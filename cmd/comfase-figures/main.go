@@ -1,0 +1,119 @@
+// Command comfase-figures regenerates every table and figure of the
+// paper's evaluation section (§IV-C) and writes them to an output
+// directory:
+//
+//	fig4_golden.csv    per-vehicle speed/acceleration profiles (Fig. 4)
+//	fig5_duration.csv  classification vs attack duration (Fig. 5)
+//	fig6_pd.csv        classification vs propagation delay (Fig. 6)
+//	fig7_start.csv     classification vs attack start time (Fig. 7)
+//	report.txt         campaign totals, collider shares, DoS banding
+//
+// The full delay campaign is Table II's 11250 experiments; pass -quick
+// for a 150-experiment smoke version.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"comfase/internal/analysis"
+	"comfase/internal/figures"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "comfase-figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	outDir := flag.String("out", "results", "output directory")
+	seed := flag.Uint64("seed", 1, "random seed")
+	quick := flag.Bool("quick", false, "reduced 150-experiment delay grid")
+	flag.Parse()
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+
+	opts := figures.Options{
+		Seed:  *seed,
+		Quick: *quick,
+		Progress: func(done, total int) {
+			if done%500 == 0 || done == total {
+				fmt.Printf("  %d/%d experiments\n", done, total)
+			}
+		},
+	}
+	fmt.Printf("running reproduction (quick=%v)...\n", *quick)
+	res, err := figures.Run(opts)
+	if err != nil {
+		return err
+	}
+
+	if err := writeFile(*outDir, "fig4_golden.csv", res.GoldenLog.WriteCSV); err != nil {
+		return err
+	}
+	for _, f := range []struct {
+		name   string
+		series analysis.Series
+	}{
+		{name: "fig5_duration.csv", series: res.Fig5},
+		{name: "fig6_pd.csv", series: res.Fig6},
+		{name: "fig7_start.csv", series: res.Fig7},
+	} {
+		series := f.series
+		err := writeFile(*outDir, f.name, func(w io.Writer) error {
+			return analysis.SeriesCSV(w, series)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if err := writeFile(*outDir, "report.txt", res.WriteReport); err != nil {
+		return err
+	}
+	// Raw per-experiment logs (the AttackCampaignLog view).
+	err = writeFile(*outDir, "experiments_delay.csv", func(w io.Writer) error {
+		return analysis.ExperimentsCSV(w, res.Delay.Experiments)
+	})
+	if err != nil {
+		return err
+	}
+	err = writeFile(*outDir, "experiments_dos.csv", func(w io.Writer) error {
+		return analysis.ExperimentsCSV(w, res.DoS.Experiments)
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("golden max decel: %.3f m/s^2\n", res.Golden.MaxDecel)
+	fmt.Printf("delay campaign:   %s (wall %v)\n", summarize(res, true), res.DelayWall)
+	fmt.Printf("dos campaign:     %s (wall %v)\n", summarize(res, false), res.DoSWall)
+	fmt.Printf("artifacts written to %s\n", *outDir)
+	return nil
+}
+
+func summarize(res *figures.Result, delay bool) string {
+	if delay {
+		return analysis.SummaryLine(res.Delay)
+	}
+	return analysis.SummaryLine(res.DoS)
+}
+
+// writeFile creates dir/name and streams content into it via write.
+func writeFile(dir, name string, write func(io.Writer) error) error {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	return f.Close()
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestQuickRunWritesAllArtifacts drives the binary's run() in quick mode
+// and checks every output file exists and is well formed.
+func TestQuickRunWritesAllArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick reproduction takes ~3 s")
+	}
+	dir := t.TempDir()
+	// run() reads package-level flags; set them via the flag API.
+	resetFlags(t, map[string]string{
+		"out":   dir,
+		"quick": "true",
+		"seed":  "1",
+	})
+	if err := run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, name := range []string{
+		"fig4_golden.csv", "fig5_duration.csv", "fig6_pd.csv",
+		"fig7_start.csv", "report.txt",
+	} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if len(data) == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+	report, err := os.ReadFile(filepath.Join(dir, "report.txt"))
+	if err != nil {
+		t.Fatalf("report: %v", err)
+	}
+	for _, want := range []string{"Golden run", "Delay campaign", "DoS campaign"} {
+		if !strings.Contains(string(report), want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	fig6, err := os.ReadFile(filepath.Join(dir, "fig6_pd.csv"))
+	if err != nil {
+		t.Fatalf("fig6: %v", err)
+	}
+	if !strings.HasPrefix(string(fig6), "x,severe,benign,negligible,noneffective") {
+		t.Errorf("fig6 header wrong: %.60s", fig6)
+	}
+}
+
+// resetFlags reinitialises the package flag set for a test invocation.
+func resetFlags(t *testing.T, values map[string]string) {
+	t.Helper()
+	old := flag.CommandLine
+	t.Cleanup(func() { flag.CommandLine = old })
+	flag.CommandLine = flag.NewFlagSet("comfase-figures-test", flag.ContinueOnError)
+	args := []string{}
+	for k, v := range values {
+		args = append(args, "-"+k+"="+v)
+	}
+	osArgs := append([]string{"comfase-figures"}, args...)
+	oldArgs := os.Args
+	t.Cleanup(func() { os.Args = oldArgs })
+	os.Args = osArgs
+}

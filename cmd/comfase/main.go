@@ -1,0 +1,207 @@
+// Command comfase runs ComFASE golden runs and attack-injection
+// campaigns from JSON configuration files.
+//
+// Usage:
+//
+//	comfase golden [-seed N] [-csv golden.csv]
+//	comfase campaign -config experiment.json [-out report.txt] [-v]
+//
+// The config format is documented in internal/config; an empty scenario/
+// comm section reproduces the paper's setup (§IV-A). Example:
+//
+//	{
+//	  "campaign": {
+//	    "attack": "delay",
+//	    "valuesS":     {"range": {"from": 0.2, "to": 3.0, "step": 0.2}},
+//	    "startTimesS": {"range": {"from": 17, "to": 21.8, "step": 0.2}},
+//	    "durationsS":  {"range": {"from": 1, "to": 30, "step": 1}}
+//	  }
+//	}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"comfase/internal/analysis"
+	"comfase/internal/config"
+	"comfase/internal/core"
+	"comfase/internal/scenario"
+	"comfase/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "comfase:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	if len(args) == 0 {
+		return usageError()
+	}
+	switch args[0] {
+	case "golden":
+		return runGolden(args[1:], stdout)
+	case "campaign":
+		return runCampaign(args[1:], stdout)
+	case "-h", "--help", "help":
+		printUsage(stdout)
+		return nil
+	default:
+		return usageError()
+	}
+}
+
+func usageError() error {
+	return fmt.Errorf("usage: comfase <golden|campaign> [flags]; see comfase help")
+}
+
+func printUsage(w io.Writer) {
+	fmt.Fprint(w, `comfase - communication fault and attack simulation engine
+
+Subcommands:
+  golden    run the attack-free reference simulation of the paper scenario
+            flags: -seed N, -csv FILE (write the Fig. 4 time series)
+  campaign  run an attack-injection campaign from a JSON config
+            flags: -config FILE (required), -out FILE, -v (progress)
+`)
+}
+
+func runGolden(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("golden", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 1, "random seed")
+	csvPath := fs.String("csv", "", "write the golden-run time series as CSV")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	eng, err := core.NewEngine(core.EngineConfig{
+		Scenario: scenario.PaperScenario(),
+		Comm:     scenario.PaperCommModel(),
+		Seed:     *seed,
+	})
+	if err != nil {
+		return err
+	}
+	log, res, err := eng.GoldenRun()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "golden run: max deceleration %.3f m/s^2, %d beacon deliveries, %d samples\n",
+		res.MaxDecel, res.Deliveries, log.Len())
+	if *csvPath != "" {
+		if err := writeCSV(log, *csvPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "time series written to %s\n", *csvPath)
+	}
+	return nil
+}
+
+func writeCSV(log *trace.FullLog, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := log.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func runCampaign(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("campaign", flag.ContinueOnError)
+	cfgPath := fs.String("config", "", "JSON experiment configuration (required)")
+	outPath := fs.String("out", "", "write the report to this file instead of stdout")
+	verbose := fs.Bool("v", false, "print campaign progress")
+	workers := fs.Int("workers", 1, "parallel experiment workers (0 = all cores)")
+	csvPath := fs.String("csv", "", "write per-experiment results as CSV")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *cfgPath == "" {
+		return fmt.Errorf("campaign: -config is required")
+	}
+	f, err := os.Open(*cfgPath)
+	if err != nil {
+		return err
+	}
+	parsed, err := config.Parse(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	eng, err := core.NewEngine(parsed.Engine)
+	if err != nil {
+		return err
+	}
+	var progress core.Progress
+	if *verbose {
+		progress = func(done, total int) {
+			if done%500 == 0 || done == total {
+				fmt.Fprintf(stdout, "  %d/%d experiments\n", done, total)
+			}
+		}
+	}
+	var res *core.CampaignResult
+	if *workers == 1 {
+		res, err = eng.RunCampaign(parsed.Campaign, progress)
+	} else {
+		res, err = eng.RunCampaignParallel(parsed.Campaign, *workers, progress)
+	}
+	if err != nil {
+		return err
+	}
+
+	if *csvPath != "" {
+		cf, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		if err := analysis.ExperimentsCSV(cf, res.Experiments); err != nil {
+			cf.Close()
+			return err
+		}
+		if err := cf.Close(); err != nil {
+			return err
+		}
+	}
+
+	out := stdout
+	if *outPath != "" {
+		of, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer of.Close()
+		out = of
+	}
+	return writeCampaignReport(out, res)
+}
+
+func writeCampaignReport(w io.Writer, res *core.CampaignResult) error {
+	if _, err := fmt.Fprintf(w, "%s\n\n", analysis.SummaryLine(res)); err != nil {
+		return err
+	}
+	for _, series := range []analysis.Series{
+		analysis.ByDuration(res.Experiments),
+		analysis.ByValue(res.Experiments),
+		analysis.ByStart(res.Experiments),
+	} {
+		if err := analysis.WriteSeriesTable(w, series); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w, "collider attribution:"); err != nil {
+		return err
+	}
+	return analysis.WriteColliderTable(w, analysis.ColliderShares(res.Experiments))
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunUsage(t *testing.T) {
+	if err := run(nil, os.Stdout); err == nil {
+		t.Error("no args accepted")
+	}
+	if err := run([]string{"frobnicate"}, os.Stdout); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	var sb strings.Builder
+	if err := run([]string{"help"}, &sb); err != nil {
+		t.Errorf("help: %v", err)
+	}
+	if !strings.Contains(sb.String(), "golden") || !strings.Contains(sb.String(), "campaign") {
+		t.Errorf("usage output incomplete: %q", sb.String())
+	}
+}
+
+func TestRunGoldenWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "golden.csv")
+	var sb strings.Builder
+	if err := run([]string{"golden", "-csv", csvPath}, &sb); err != nil {
+		t.Fatalf("golden: %v", err)
+	}
+	if !strings.Contains(sb.String(), "max deceleration") {
+		t.Errorf("golden output = %q", sb.String())
+	}
+	data, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatalf("read csv: %v", err)
+	}
+	if !strings.HasPrefix(string(data), "time_s,vehicle,pos_m,speed_mps,accel_mps2") {
+		t.Errorf("csv header missing: %.80s", data)
+	}
+	if lines := strings.Count(string(data), "\n"); lines < 20000 {
+		t.Errorf("csv has %d lines, want ~24001 (6000 samples x 4 vehicles)", lines)
+	}
+}
+
+func TestRunCampaignFromConfig(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "exp.json")
+	cfg := `{
+	  "campaign": {
+	    "attack": "delay",
+	    "valuesS": {"values": [2.0]},
+	    "startTimesS": {"values": [18]},
+	    "durationsS": {"values": [10]}
+	  }
+	}`
+	if err := os.WriteFile(cfgPath, []byte(cfg), 0o644); err != nil {
+		t.Fatalf("write config: %v", err)
+	}
+	outPath := filepath.Join(dir, "report.txt")
+	var sb strings.Builder
+	if err := run([]string{"campaign", "-config", cfgPath, "-out", outPath}, &sb); err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	report, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatalf("read report: %v", err)
+	}
+	for _, want := range []string{"1 experiments", "severe=1", "collider"} {
+		if !strings.Contains(string(report), want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+func TestRunCampaignErrors(t *testing.T) {
+	if err := run([]string{"campaign"}, os.Stdout); err == nil {
+		t.Error("missing -config accepted")
+	}
+	if err := run([]string{"campaign", "-config", "/nonexistent.json"}, os.Stdout); err == nil {
+		t.Error("missing file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"campaign": {}}`), 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := run([]string{"campaign", "-config", bad}, os.Stdout); err == nil {
+		t.Error("empty campaign accepted")
+	}
+}

@@ -1,0 +1,143 @@
+// Teleoperation scenario: the second scenario type the paper names
+// (§III) and plans to evaluate (§V). A remotely driven vehicle follows a
+// lead vehicle; the remote operator (full scene perception, e.g. CCTV)
+// sends speed commands over the wireless channel at 20 Hz. A DoS attack
+// on the command downlink is injected while the lead vehicle brakes:
+//
+//   - without a command watchdog the remote vehicle barrels on at its
+//     last commanded speed and rams the braking leader;
+//   - with a 0.5 s watchdog it performs a safe stop.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"comfase/internal/core"
+	"comfase/internal/geo"
+	"comfase/internal/nic"
+	"comfase/internal/phy"
+	"comfase/internal/roadnet"
+	"comfase/internal/sim/des"
+	"comfase/internal/teleop"
+	"comfase/internal/traffic"
+	"comfase/internal/vehicle"
+	"comfase/internal/wave1609"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	for _, mode := range []struct {
+		name     string
+		watchdog des.Time
+	}{
+		{name: "no watchdog   ", watchdog: 0},
+		{name: "0.5 s watchdog", watchdog: 500 * des.Millisecond},
+	} {
+		collisions, finalSpeed, gap, err := scenarioRun(mode.watchdog)
+		if err != nil {
+			return err
+		}
+		verdict := "SAFE STOP"
+		if collisions > 0 {
+			verdict = "COLLISION"
+		}
+		fmt.Printf("%s: %s (final speed %.1f m/s, final gap %.1f m, %d collisions)\n",
+			mode.name, verdict, finalSpeed, gap, collisions)
+	}
+	fmt.Println("\nDoS on the command downlink from t=20s; lead vehicle brakes at t=22s.")
+	fmt.Println("The watchdog converts a certain collision into a controlled stop —")
+	fmt.Println("the teleoperation counterpart of the platooning AEB result.")
+	return nil
+}
+
+func scenarioRun(watchdog des.Time) (collisions int, finalSpeed, finalGap float64, err error) {
+	k := des.NewKernel()
+	net, err := roadnet.NewNetwork(roadnet.PaperHighway())
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	sim, err := traffic.NewSimulator(traffic.Config{Kernel: k, Network: net})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	air, err := nic.NewAir(nic.Config{
+		Kernel:   k,
+		Channel:  phy.DefaultChannelConfig(),
+		Schedule: wave1609.NewSchedule(wave1609.AccessContinuous),
+		Seed:     1,
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+
+	// Lead vehicle cruises at 20 m/s and brakes to a stop at t=22s.
+	lead, err := sim.AddVehicle(vehicle.PaperCar("lead"), vehicle.State{Pos: 300, Speed: 20})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	leadTracker := traffic.SpeedTracker{
+		Maneuver: traffic.Braking{CruiseSpeed: 20, FinalSpeed: 0, BrakeAt: 22, Decel: 4},
+		Gain:     2,
+	}
+	sim.OnPreStep(func(now des.Time) {
+		lead.Command(leadTracker.Accel(now.Seconds(), lead.State))
+	})
+
+	// Remote vehicle starts 100 m behind.
+	remoteVeh, err := sim.AddVehicle(vehicle.PaperCar("remote"), vehicle.State{Pos: 200, Speed: 20})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	remote, err := teleop.NewRemoteVehicle(teleop.RemoteVehicleConfig{
+		Kernel: k, Air: air, Vehicle: remoteVeh, Watchdog: watchdog,
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	dt := sim.StepLength().Seconds()
+	sim.OnPreStep(func(now des.Time) { remote.ControlStep(now, dt) })
+
+	// The operator keeps a 2 s headway behind the lead vehicle using
+	// ground-truth perception.
+	operator, err := teleop.NewOperator(teleop.OperatorConfig{
+		Kernel:   k,
+		Air:      air,
+		Position: geo.Vec{X: 400, Y: 30},
+		Policy: func(des.Time) teleop.Command {
+			gap := lead.State.Rear(lead.Spec.Length) - remoteVeh.State.Pos
+			target := lead.State.Speed + 0.25*(gap-2*remoteVeh.State.Speed)
+			if target < 0 || gap < 5 {
+				return teleop.Command{Brake: true, BrakeDecel: 6}
+			}
+			return teleop.Command{TargetSpeed: target}
+		},
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+
+	if err := sim.Start(); err != nil {
+		return 0, 0, 0, err
+	}
+	operator.Start()
+
+	// DoS the command downlink from t=20s until the end (the paper's DoS
+	// model applied to the teleoperation scenario).
+	dos, err := core.NewDoSAttack(60*des.Second, "remote")
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	k.ScheduleAt(20*des.Second, func() { air.SetInterceptor(dos) })
+
+	if err := k.RunUntil(60 * des.Second); err != nil {
+		return 0, 0, 0, err
+	}
+	finalGap = lead.State.Rear(lead.Spec.Length) - remoteVeh.State.Pos
+	return len(sim.Collisions()), remoteVeh.State.Speed, finalGap, nil
+}

@@ -1,0 +1,3 @@
+module comfase
+
+go 1.22

@@ -1,0 +1,179 @@
+// Package analysis turns classified campaign results into the paper's
+// evaluation artifacts: classification histograms by attack duration
+// (Fig. 5), by propagation-delay value (Fig. 6) and by attack start time
+// (Fig. 7), plus the collider-attribution shares of §IV-C1/C2.
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"comfase/internal/classify"
+	"comfase/internal/core"
+	"comfase/internal/sim/des"
+)
+
+// Bucket is one x-axis point of a classification figure.
+type Bucket struct {
+	// Key is the numeric x value (seconds for durations/starts, seconds
+	// of PD for values).
+	Key float64
+	// Counts are the outcome tallies at this x value.
+	Counts classify.Counts
+}
+
+// Series is an ordered set of buckets — one paper figure.
+type Series struct {
+	// Name labels the series ("Fig5-duration", ...).
+	Name string
+	// XLabel describes the key axis.
+	XLabel string
+	// Buckets are sorted by Key ascending.
+	Buckets []Bucket
+}
+
+// group buckets experiments by a key extractor.
+func group(name, xlabel string, exps []core.ExperimentResult, key func(core.ExperimentResult) float64) Series {
+	m := make(map[float64]*classify.Counts)
+	for _, e := range exps {
+		k := key(e)
+		c, ok := m[k]
+		if !ok {
+			c = &classify.Counts{}
+			m[k] = c
+		}
+		c.Add(e.Outcome)
+	}
+	s := Series{Name: name, XLabel: xlabel, Buckets: make([]Bucket, 0, len(m))}
+	for k, c := range m {
+		s.Buckets = append(s.Buckets, Bucket{Key: k, Counts: *c})
+	}
+	sort.Slice(s.Buckets, func(i, j int) bool { return s.Buckets[i].Key < s.Buckets[j].Key })
+	return s
+}
+
+// ByDuration reproduces Fig. 5: classification per attack duration.
+func ByDuration(exps []core.ExperimentResult) Series {
+	return group("Fig5-duration", "attack duration (s)", exps,
+		func(e core.ExperimentResult) float64 { return e.Spec.Duration.Seconds() })
+}
+
+// ByValue reproduces Fig. 6: classification per attack value (PD).
+func ByValue(exps []core.ExperimentResult) Series {
+	return group("Fig6-pd-value", "propagation delay (s)", exps,
+		func(e core.ExperimentResult) float64 { return e.Spec.Value })
+}
+
+// ByStart reproduces Fig. 7: classification per attack start time.
+func ByStart(exps []core.ExperimentResult) Series {
+	return group("Fig7-start-time", "attack start time (s)", exps,
+		func(e core.ExperimentResult) float64 { return e.Spec.Start.Seconds() })
+}
+
+// ColliderShare is one vehicle's share of the collision incidents.
+type ColliderShare struct {
+	// Vehicle is the collider's ID.
+	Vehicle string
+	// Count is the number of first collisions it caused.
+	Count int
+	// Percent is Count over all collision experiments.
+	Percent float64
+}
+
+// ColliderShares computes the §IV-C collider attribution: which vehicle
+// caused the first collision, across all experiments that collided.
+func ColliderShares(exps []core.ExperimentResult) []ColliderShare {
+	counts := make(map[string]int)
+	total := 0
+	for _, e := range exps {
+		if e.Collider == "" {
+			continue
+		}
+		counts[e.Collider]++
+		total++
+	}
+	out := make([]ColliderShare, 0, len(counts))
+	for v, c := range counts {
+		share := ColliderShare{Vehicle: v, Count: c}
+		if total > 0 {
+			share.Percent = 100 * float64(c) / float64(total)
+		}
+		out = append(out, share)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Vehicle < out[j].Vehicle
+	})
+	return out
+}
+
+// ColliderByStart maps each attack start time to the collider of that
+// experiment (DoS analysis: "attack start time bands determine the
+// collider"). Experiments without collisions map to "".
+func ColliderByStart(exps []core.ExperimentResult) map[des.Time]string {
+	out := make(map[des.Time]string, len(exps))
+	for _, e := range exps {
+		out[e.Spec.Start] = e.Collider
+	}
+	return out
+}
+
+// WriteSeriesTable renders a series as an aligned text table, one row per
+// bucket, matching the stacked-bar figures of the paper.
+func WriteSeriesTable(w io.Writer, s Series) error {
+	if _, err := fmt.Fprintf(w, "%s  (x = %s)\n", s.Name, s.XLabel); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%12s %8s %8s %12s %14s %8s\n",
+		"x", "severe", "benign", "negligible", "non-effective", "total"); err != nil {
+		return err
+	}
+	for _, b := range s.Buckets {
+		if _, err := fmt.Fprintf(w, "%12.2f %8d %8d %12d %14d %8d\n",
+			b.Key, b.Counts.Severe, b.Counts.Benign, b.Counts.Negligible,
+			b.Counts.NonEffective, b.Counts.Total()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteColliderTable renders the collider attribution table.
+func WriteColliderTable(w io.Writer, shares []ColliderShare) error {
+	if _, err := fmt.Fprintf(w, "%12s %8s %9s\n", "collider", "count", "percent"); err != nil {
+		return err
+	}
+	for _, s := range shares {
+		if _, err := fmt.Fprintf(w, "%12s %8d %8.1f%%\n", s.Vehicle, s.Count, s.Percent); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SummaryLine renders the §IV-C1-style one-line campaign summary.
+func SummaryLine(res *core.CampaignResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d experiments: %v (golden max decel %.2f m/s^2)",
+		len(res.Experiments), res.Counts, res.Golden.MaxDecel)
+	return b.String()
+}
+
+// SeriesCSV writes a series as CSV (x,severe,benign,negligible,noneffective).
+func SeriesCSV(w io.Writer, s Series) error {
+	if _, err := fmt.Fprintln(w, "x,severe,benign,negligible,noneffective"); err != nil {
+		return err
+	}
+	for _, b := range s.Buckets {
+		if _, err := fmt.Fprintf(w, "%g,%d,%d,%d,%d\n",
+			b.Key, b.Counts.Severe, b.Counts.Benign, b.Counts.Negligible,
+			b.Counts.NonEffective); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Bar glyphs: one per outcome class, matching the stacked-bar encoding
+// of the paper's Figs. 5-7.
+const (
+	glyphSevere       = '#'
+	glyphBenign       = '+'
+	glyphNegligible   = '.'
+	glyphNonEffective = ' '
+)
+
+// WriteSeriesBars renders a series as horizontal stacked bars, a
+// terminal rendition of the paper's classification figures:
+//
+//	17.00 |#################+++++++....        | 450
+//
+// width is the bar width in characters (0 defaults to 50). Bars are
+// scaled to the largest bucket total so relative sizes are comparable.
+func WriteSeriesBars(w io.Writer, s Series, width int) error {
+	if width <= 0 {
+		width = 50
+	}
+	maxTotal := 0
+	for _, b := range s.Buckets {
+		if t := b.Counts.Total(); t > maxTotal {
+			maxTotal = t
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s  (x = %s; %c severe, %c benign, %c negligible)\n",
+		s.Name, s.XLabel, glyphSevere, glyphBenign, glyphNegligible); err != nil {
+		return err
+	}
+	if maxTotal == 0 {
+		_, err := fmt.Fprintln(w, "  (no experiments)")
+		return err
+	}
+	for _, b := range s.Buckets {
+		bar := renderBar(b, width, maxTotal)
+		if _, err := fmt.Fprintf(w, "%8.2f |%-*s| %d\n", b.Key, width, bar, b.Counts.Total()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// renderBar builds one stacked bar scaled to maxTotal.
+func renderBar(b Bucket, width, maxTotal int) string {
+	scale := func(n int) int {
+		return (n*width + maxTotal/2) / maxTotal
+	}
+	var sb strings.Builder
+	sb.Grow(width)
+	appendRun(&sb, glyphSevere, scale(b.Counts.Severe))
+	appendRun(&sb, glyphBenign, scale(b.Counts.Benign))
+	appendRun(&sb, glyphNegligible, scale(b.Counts.Negligible))
+	appendRun(&sb, glyphNonEffective, scale(b.Counts.NonEffective))
+	out := sb.String()
+	if len(out) > width {
+		out = out[:width]
+	}
+	return out
+}
+
+func appendRun(sb *strings.Builder, g rune, n int) {
+	for i := 0; i < n; i++ {
+		sb.WriteRune(g)
+	}
+}

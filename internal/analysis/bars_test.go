@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteSeriesBars(t *testing.T) {
+	s := ByStart(sampleExperiments())
+	var sb strings.Builder
+	if err := WriteSeriesBars(&sb, s, 40); err != nil {
+		t.Fatalf("WriteSeriesBars: %v", err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header + one line per bucket.
+	if len(lines) != 1+len(s.Buckets) {
+		t.Fatalf("lines = %d, want %d:\n%s", len(lines), 1+len(s.Buckets), out)
+	}
+	if !strings.Contains(lines[0], "severe") {
+		t.Errorf("header missing legend: %q", lines[0])
+	}
+	// Severe glyphs appear for the bucket with severe outcomes.
+	if !strings.Contains(out, "#") {
+		t.Error("no severe glyphs rendered")
+	}
+	// Each bar line ends with the bucket total.
+	if !strings.HasSuffix(strings.TrimSpace(lines[1]), "3") {
+		t.Errorf("bucket total missing: %q", lines[1])
+	}
+}
+
+func TestWriteSeriesBarsDefaults(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteSeriesBars(&sb, ByValue(sampleExperiments()), 0); err != nil {
+		t.Fatalf("WriteSeriesBars: %v", err)
+	}
+	// Default width 50: a full bar line is at least 50+2 wide.
+	for _, l := range strings.Split(sb.String(), "\n")[1:] {
+		if l == "" {
+			continue
+		}
+		if len(l) < 52 {
+			t.Errorf("bar line too short for default width: %q", l)
+		}
+	}
+}
+
+func TestWriteSeriesBarsEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteSeriesBars(&sb, Series{Name: "empty"}, 30); err != nil {
+		t.Fatalf("WriteSeriesBars: %v", err)
+	}
+	if !strings.Contains(sb.String(), "no experiments") {
+		t.Errorf("empty series rendering: %q", sb.String())
+	}
+}
+
+func TestRenderBarNeverExceedsWidth(t *testing.T) {
+	for _, b := range ByDuration(sampleExperiments()).Buckets {
+		for _, width := range []int{1, 10, 50, 100} {
+			bar := renderBar(b, width, 3)
+			if len(bar) > width {
+				t.Errorf("bar %q exceeds width %d", bar, width)
+			}
+		}
+	}
+}

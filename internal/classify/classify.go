@@ -1,0 +1,171 @@
+// Package classify implements Step-4 of the ComFASE execution flow: the
+// comparison of an attack experiment against the golden run and its
+// classification into the four §IV-B severity categories based on
+// deceleration profiles and collision incidents.
+package classify
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Outcome is the severity class of one experiment.
+type Outcome int
+
+// The §IV-B result classification categories.
+const (
+	// NonEffective: the attack had no effect at all — speed profiles
+	// identical to the golden run and no failure indications.
+	NonEffective Outcome = iota + 1
+	// Negligible: behaviour changed, but the maximum deceleration stays
+	// within the golden run's maximum (1.53 m/s^2 in the paper).
+	Negligible
+	// Benign: deceleration above the golden maximum but within the
+	// maximum comfortable braking rate (5 m/s^2).
+	Benign
+	// Severe: a collision occurred, or a vehicle performed emergency
+	// braking (deceleration beyond 5 m/s^2).
+	Severe
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case NonEffective:
+		return "non-effective"
+	case Negligible:
+		return "negligible"
+	case Benign:
+		return "benign"
+	case Severe:
+		return "severe"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Valid reports whether o is a defined category.
+func (o Outcome) Valid() bool { return o >= NonEffective && o <= Severe }
+
+// Thresholds are the classificationParameters of Algorithm 1 line 18.
+type Thresholds struct {
+	// SpeedDevEpsilon is the per-sample speed deviation below which the
+	// attack counts as having no effect (non-effective). Strictly
+	// "identical speed profiles" in the paper; a small epsilon absorbs
+	// float noise.
+	SpeedDevEpsilon float64
+	// NegligibleMaxDecel is the golden run's maximum deceleration
+	// (paper: 1.53 m/s^2); at or below it the change is negligible.
+	NegligibleMaxDecel float64
+	// BenignMaxDecel is the maximum comfortable braking rate (paper:
+	// 5 m/s^2); at or below it the change is benign.
+	BenignMaxDecel float64
+	// EmergencyMaxDecel documents the emergency-braking band's upper
+	// bound (paper: 8 m/s^2); anything above BenignMaxDecel is severe
+	// regardless, so this value only annotates reports.
+	EmergencyMaxDecel float64
+}
+
+// PaperThresholds returns §IV-B's thresholds, anchored at the measured
+// golden-run maximum deceleration.
+func PaperThresholds(goldenMaxDecel float64) Thresholds {
+	return Thresholds{
+		SpeedDevEpsilon:    1e-3,
+		NegligibleMaxDecel: goldenMaxDecel,
+		BenignMaxDecel:     5,
+		EmergencyMaxDecel:  8,
+	}
+}
+
+// Validate reports the first threshold problem, or nil.
+func (t Thresholds) Validate() error {
+	switch {
+	case t.SpeedDevEpsilon < 0:
+		return errors.New("classify: negative epsilon")
+	case t.NegligibleMaxDecel <= 0:
+		return errors.New("classify: negligible threshold must be positive")
+	case t.BenignMaxDecel <= t.NegligibleMaxDecel:
+		return errors.New("classify: benign threshold must exceed negligible")
+	case t.EmergencyMaxDecel < t.BenignMaxDecel:
+		return errors.New("classify: emergency threshold must be >= benign")
+	}
+	return nil
+}
+
+// Observation is what one experiment yielded, measured against the golden
+// run.
+type Observation struct {
+	// MaxDecel is the strongest deceleration across all vehicles
+	// (m/s^2, positive).
+	MaxDecel float64
+	// MaxSpeedDev is the largest per-sample speed deviation from the
+	// golden run across all vehicles (m/s).
+	MaxSpeedDev float64
+	// Collided reports whether any collision incident occurred.
+	Collided bool
+}
+
+// Classify maps an observation to its §IV-B category.
+func Classify(t Thresholds, obs Observation) Outcome {
+	switch {
+	case obs.Collided:
+		return Severe
+	case obs.MaxSpeedDev <= t.SpeedDevEpsilon:
+		return NonEffective
+	case obs.MaxDecel <= t.NegligibleMaxDecel:
+		return Negligible
+	case obs.MaxDecel <= t.BenignMaxDecel:
+		return Benign
+	default:
+		return Severe
+	}
+}
+
+// Counts tallies outcomes per category.
+type Counts struct {
+	NonEffective int `json:"nonEffective"`
+	Negligible   int `json:"negligible"`
+	Benign       int `json:"benign"`
+	Severe       int `json:"severe"`
+}
+
+// Add increments the tally for the outcome.
+func (c *Counts) Add(o Outcome) {
+	switch o {
+	case NonEffective:
+		c.NonEffective++
+	case Negligible:
+		c.Negligible++
+	case Benign:
+		c.Benign++
+	case Severe:
+		c.Severe++
+	}
+}
+
+// Total returns the number of tallied experiments.
+func (c Counts) Total() int {
+	return c.NonEffective + c.Negligible + c.Benign + c.Severe
+}
+
+// Of returns the tally of one category.
+func (c Counts) Of(o Outcome) int {
+	switch o {
+	case NonEffective:
+		return c.NonEffective
+	case Negligible:
+		return c.Negligible
+	case Benign:
+		return c.Benign
+	case Severe:
+		return c.Severe
+	default:
+		return 0
+	}
+}
+
+// String renders "severe=..., benign=..., negligible=..., non-effective=...".
+func (c Counts) String() string {
+	return fmt.Sprintf("severe=%d benign=%d negligible=%d non-effective=%d",
+		c.Severe, c.Benign, c.Negligible, c.NonEffective)
+}

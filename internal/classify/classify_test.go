@@ -1,0 +1,135 @@
+package classify
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOutcomeStringAndValid(t *testing.T) {
+	tests := []struct {
+		o    Outcome
+		want string
+	}{
+		{o: NonEffective, want: "non-effective"},
+		{o: Negligible, want: "negligible"},
+		{o: Benign, want: "benign"},
+		{o: Severe, want: "severe"},
+	}
+	for _, tt := range tests {
+		if tt.o.String() != tt.want {
+			t.Errorf("String = %q, want %q", tt.o.String(), tt.want)
+		}
+		if !tt.o.Valid() {
+			t.Errorf("%v not valid", tt.o)
+		}
+	}
+	if Outcome(0).Valid() || Outcome(9).Valid() {
+		t.Error("invalid outcome considered valid")
+	}
+	if Outcome(0).String() == "" {
+		t.Error("invalid outcome has empty String")
+	}
+}
+
+func TestPaperThresholds(t *testing.T) {
+	th := PaperThresholds(1.53)
+	if err := th.Validate(); err != nil {
+		t.Fatalf("paper thresholds invalid: %v", err)
+	}
+	if th.NegligibleMaxDecel != 1.53 || th.BenignMaxDecel != 5 || th.EmergencyMaxDecel != 8 {
+		t.Errorf("thresholds %+v do not match §IV-B", th)
+	}
+}
+
+func TestThresholdsValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Thresholds)
+	}{
+		{name: "negative epsilon", mutate: func(th *Thresholds) { th.SpeedDevEpsilon = -1 }},
+		{name: "zero negligible", mutate: func(th *Thresholds) { th.NegligibleMaxDecel = 0 }},
+		{name: "benign below negligible", mutate: func(th *Thresholds) { th.BenignMaxDecel = 1 }},
+		{name: "emergency below benign", mutate: func(th *Thresholds) { th.EmergencyMaxDecel = 4 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			th := PaperThresholds(1.53)
+			tt.mutate(&th)
+			if err := th.Validate(); err == nil {
+				t.Error("invalid thresholds accepted")
+			}
+		})
+	}
+}
+
+func TestClassifyPaperRules(t *testing.T) {
+	th := PaperThresholds(1.53)
+	tests := []struct {
+		name string
+		obs  Observation
+		want Outcome
+	}{
+		{name: "identical profiles", obs: Observation{MaxDecel: 1.53, MaxSpeedDev: 0}, want: NonEffective},
+		{name: "tiny float noise", obs: Observation{MaxDecel: 1.53, MaxSpeedDev: 5e-4}, want: NonEffective},
+		{name: "changed but within golden decel", obs: Observation{MaxDecel: 1.2, MaxSpeedDev: 0.5}, want: Negligible},
+		{name: "exactly golden max", obs: Observation{MaxDecel: 1.53, MaxSpeedDev: 0.5}, want: Negligible},
+		{name: "above golden below comfort", obs: Observation{MaxDecel: 3, MaxSpeedDev: 1}, want: Benign},
+		{name: "exactly comfortable limit", obs: Observation{MaxDecel: 5, MaxSpeedDev: 1}, want: Benign},
+		{name: "emergency braking", obs: Observation{MaxDecel: 6.5, MaxSpeedDev: 2}, want: Severe},
+		{name: "beyond emergency band", obs: Observation{MaxDecel: 9, MaxSpeedDev: 2}, want: Severe},
+		{name: "collision overrides everything", obs: Observation{MaxDecel: 0.5, MaxSpeedDev: 0, Collided: true}, want: Severe},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Classify(th, tt.obs); got != tt.want {
+				t.Errorf("Classify(%+v) = %v, want %v", tt.obs, got, tt.want)
+			}
+		})
+	}
+}
+
+// Property: classification is monotone in MaxDecel — more deceleration
+// never yields a milder class (without collisions, above the
+// non-effective epsilon).
+func TestClassifyMonotoneProperty(t *testing.T) {
+	th := PaperThresholds(1.53)
+	f := func(a, b float64) bool {
+		a, b = abs(a), abs(b)
+		if a > b {
+			a, b = b, a
+		}
+		lo := Classify(th, Observation{MaxDecel: a, MaxSpeedDev: 1})
+		hi := Classify(th, Observation{MaxDecel: b, MaxSpeedDev: 1})
+		return lo <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountsAddTotalOf(t *testing.T) {
+	var c Counts
+	for _, o := range []Outcome{Severe, Severe, Benign, Negligible, NonEffective, Severe} {
+		c.Add(o)
+	}
+	c.Add(Outcome(99)) // unknown outcomes are ignored
+	if c.Total() != 6 {
+		t.Errorf("Total = %d, want 6", c.Total())
+	}
+	if c.Of(Severe) != 3 || c.Of(Benign) != 1 || c.Of(Negligible) != 1 || c.Of(NonEffective) != 1 {
+		t.Errorf("Counts = %+v", c)
+	}
+	if c.Of(Outcome(99)) != 0 {
+		t.Error("unknown outcome counted")
+	}
+	if c.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,41 @@
+package classify_test
+
+import (
+	"fmt"
+
+	"comfase/internal/classify"
+)
+
+// The §IV-B classification in action: anchor the thresholds at the
+// golden run's maximum deceleration and classify three observations.
+func ExampleClassify() {
+	th := classify.PaperThresholds(1.53)
+
+	fmt.Println(classify.Classify(th, classify.Observation{
+		MaxDecel: 1.53, MaxSpeedDev: 0,
+	}))
+	fmt.Println(classify.Classify(th, classify.Observation{
+		MaxDecel: 3.2, MaxSpeedDev: 1.4,
+	}))
+	fmt.Println(classify.Classify(th, classify.Observation{
+		MaxDecel: 0.9, MaxSpeedDev: 0.2, Collided: true,
+	}))
+	// Output:
+	// non-effective
+	// benign
+	// severe
+}
+
+func ExampleCounts() {
+	var c classify.Counts
+	for _, o := range []classify.Outcome{
+		classify.Severe, classify.Severe, classify.Benign, classify.Negligible,
+	} {
+		c.Add(o)
+	}
+	fmt.Println(c.Total(), c.Of(classify.Severe))
+	fmt.Println(c)
+	// Output:
+	// 4 2
+	// severe=2 benign=1 negligible=1 non-effective=0
+}

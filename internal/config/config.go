@@ -1,0 +1,433 @@
+// Package config parses JSON experiment configurations for the ComFASE
+// command-line tools. A config file describes the Step-1 objects of
+// Algorithm 1 (traffic scenario, communication model, attack campaign)
+// in human units (seconds, m/s); zero values fall back to the paper's
+// defaults, so "{}" reproduces the paper's setup exactly.
+package config
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"comfase/internal/core"
+	"comfase/internal/phy"
+	"comfase/internal/platoon"
+	"comfase/internal/safety"
+	"comfase/internal/scenario"
+	"comfase/internal/sim/des"
+	"comfase/internal/sim/rng"
+	"comfase/internal/traffic"
+	"comfase/internal/wave1609"
+)
+
+// Range expands to an inclusive arithmetic sequence [From, To] with the
+// given Step. Explicit lists and ranges can be mixed; both contribute.
+type Range struct {
+	From float64 `json:"from"`
+	To   float64 `json:"to"`
+	Step float64 `json:"step"`
+}
+
+// Expand returns the sequence, or an error for a malformed range.
+func (r Range) Expand() ([]float64, error) {
+	if r.Step <= 0 {
+		return nil, fmt.Errorf("config: range step %v must be positive", r.Step)
+	}
+	if r.To < r.From {
+		return nil, fmt.Errorf("config: range [%v,%v] is inverted", r.From, r.To)
+	}
+	var out []float64
+	// Index-based loop avoids float accumulation drift.
+	n := int(math.Floor((r.To-r.From)/r.Step + 1e-9))
+	for i := 0; i <= n; i++ {
+		out = append(out, r.From+float64(i)*r.Step)
+	}
+	return out, nil
+}
+
+// Vector is a list of values, an expandable range, or both.
+type Vector struct {
+	Values []float64 `json:"values,omitempty"`
+	Range  *Range    `json:"range,omitempty"`
+}
+
+// Expand returns the merged value list.
+func (v Vector) Expand() ([]float64, error) {
+	out := append([]float64(nil), v.Values...)
+	if v.Range != nil {
+		expanded, err := v.Range.Expand()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, expanded...)
+	}
+	return out, nil
+}
+
+// ManeuverConfig selects the leader's driving pattern.
+type ManeuverConfig struct {
+	// Type is "sinusoidal", "constant" or "braking".
+	Type string `json:"type"`
+	// BaseSpeedMps is the cruise/mean speed.
+	BaseSpeedMps float64 `json:"baseSpeedMps,omitempty"`
+	// AmplitudeMps is the sinusoidal speed swing.
+	AmplitudeMps float64 `json:"amplitudeMps,omitempty"`
+	// FrequencyHz is the sinusoidal frequency.
+	FrequencyHz float64 `json:"frequencyHz,omitempty"`
+	// PhaseS is the sinusoidal phase shift in seconds.
+	PhaseS float64 `json:"phaseS,omitempty"`
+	// BrakeAtS, FinalSpeedMps, DecelMps2 parameterise braking maneuvers.
+	BrakeAtS      float64 `json:"brakeAtS,omitempty"`
+	FinalSpeedMps float64 `json:"finalSpeedMps,omitempty"`
+	DecelMps2     float64 `json:"decelMps2,omitempty"`
+}
+
+// Build returns the maneuver, defaulting to the paper's sinusoid.
+func (m ManeuverConfig) Build() (traffic.Maneuver, error) {
+	switch m.Type {
+	case "", "sinusoidal":
+		s := scenario.PaperManeuver()
+		if m.BaseSpeedMps > 0 {
+			s.Base = m.BaseSpeedMps
+		}
+		if m.AmplitudeMps > 0 {
+			s.Amplitude = m.AmplitudeMps
+		}
+		if m.FrequencyHz > 0 {
+			s.Frequency = m.FrequencyHz
+		}
+		if m.PhaseS != 0 {
+			s.Phase = m.PhaseS
+		}
+		return s, nil
+	case "constant":
+		speed := m.BaseSpeedMps
+		if speed <= 0 {
+			speed = 27.78
+		}
+		return traffic.ConstantSpeed{Speed: speed}, nil
+	case "braking":
+		b := traffic.Braking{
+			CruiseSpeed: m.BaseSpeedMps,
+			FinalSpeed:  m.FinalSpeedMps,
+			BrakeAt:     m.BrakeAtS,
+			Decel:       m.DecelMps2,
+		}
+		if b.CruiseSpeed <= 0 {
+			b.CruiseSpeed = 27.78
+		}
+		if b.Decel <= 0 {
+			b.Decel = 4
+		}
+		return b, nil
+	default:
+		return nil, fmt.Errorf("config: unknown maneuver type %q", m.Type)
+	}
+}
+
+// AEBConfig enables the autonomous-emergency-braking safety monitor on
+// every follower. Zero fields fall back to safety.DefaultAEB.
+type AEBConfig struct {
+	// TTCThresholdS is the time-to-collision trigger in seconds.
+	TTCThresholdS float64 `json:"ttcThresholdS,omitempty"`
+	// MinGapM is the distance floor in metres.
+	MinGapM float64 `json:"minGapM,omitempty"`
+	// DecelMps2 is the emergency deceleration magnitude.
+	DecelMps2 float64 `json:"decelMps2,omitempty"`
+}
+
+// Build returns the monitor.
+func (a AEBConfig) Build() (*safety.AEB, error) {
+	aeb := safety.DefaultAEB()
+	if a.TTCThresholdS > 0 {
+		aeb.TTCThreshold = a.TTCThresholdS
+	}
+	if a.MinGapM > 0 {
+		aeb.MinGap = a.MinGapM
+	}
+	if a.DecelMps2 > 0 {
+		aeb.Decel = a.DecelMps2
+	}
+	return aeb, aeb.Validate()
+}
+
+// ScenarioConfig overrides the paper's traffic scenario.
+type ScenarioConfig struct {
+	NrVehicles     int             `json:"nrVehicles,omitempty"`
+	TotalSimTimeS  float64         `json:"totalSimTimeS,omitempty"`
+	Lane           int             `json:"lane,omitempty"`
+	LeaderStartM   float64         `json:"leaderStartM,omitempty"`
+	StepLengthS    float64         `json:"stepLengthS,omitempty"`
+	Maneuver       *ManeuverConfig `json:"maneuver,omitempty"`
+	MaxSpeedMps    float64         `json:"maxSpeedMps,omitempty"`
+	MaxAccelMps2   float64         `json:"maxAccelMps2,omitempty"`
+	MaxDecelMps2   float64         `json:"maxDecelMps2,omitempty"`
+	VehicleLengthM float64         `json:"vehicleLengthM,omitempty"`
+	ActuationLagS  float64         `json:"actuationLagS,omitempty"`
+	// AEB equips followers with the emergency-braking monitor.
+	AEB *AEBConfig `json:"aeb,omitempty"`
+}
+
+// Build returns a TrafficScenario with the paper defaults overridden.
+func (c ScenarioConfig) Build() (scenario.TrafficScenario, error) {
+	ts := scenario.PaperScenario()
+	if c.NrVehicles > 0 {
+		ts.NrVehicles = c.NrVehicles
+	}
+	if c.TotalSimTimeS > 0 {
+		ts.TotalSimTime = des.FromSeconds(c.TotalSimTimeS)
+	}
+	if c.Lane > 0 {
+		ts.Lane = c.Lane
+	}
+	if c.LeaderStartM > 0 {
+		ts.LeaderStartPos = c.LeaderStartM
+	}
+	if c.StepLengthS > 0 {
+		ts.StepLength = des.FromSeconds(c.StepLengthS)
+	}
+	if c.MaxSpeedMps > 0 {
+		ts.VehicleTemplate.MaxSpeed = c.MaxSpeedMps
+	}
+	if c.MaxAccelMps2 > 0 {
+		ts.VehicleTemplate.MaxAccel = c.MaxAccelMps2
+	}
+	if c.MaxDecelMps2 > 0 {
+		ts.VehicleTemplate.MaxDecel = c.MaxDecelMps2
+	}
+	if c.VehicleLengthM > 0 {
+		ts.VehicleTemplate.Length = c.VehicleLengthM
+	}
+	if c.ActuationLagS > 0 {
+		ts.VehicleTemplate.ActuationLag = c.ActuationLagS
+	}
+	if c.Maneuver != nil {
+		m, err := c.Maneuver.Build()
+		if err != nil {
+			return scenario.TrafficScenario{}, err
+		}
+		ts.Maneuver = m
+	}
+	if c.AEB != nil {
+		aeb, err := c.AEB.Build()
+		if err != nil {
+			return scenario.TrafficScenario{}, err
+		}
+		ts.AEB = aeb
+	}
+	return ts, ts.Validate()
+}
+
+// CommConfig overrides the paper's communication model.
+type CommConfig struct {
+	// PathLoss is "freespace" or "tworay".
+	PathLoss string `json:"pathLoss,omitempty"`
+	// AccessMode is "continuous" or "alternating" (IEEE 1609.4).
+	AccessMode string `json:"accessMode,omitempty"`
+	// PacketBits is the packetSize.
+	PacketBits int `json:"packetBits,omitempty"`
+	// BeaconIntervalS is the beaconingTime in seconds.
+	BeaconIntervalS float64 `json:"beaconIntervalS,omitempty"`
+	// TxPowerDBm overrides the transmit power.
+	TxPowerDBm float64 `json:"txPowerDBm,omitempty"`
+	// Decider is "threshold" or "probabilistic".
+	Decider string `json:"decider,omitempty"`
+	// Fading is "" (off, the paper's setup) or "nakagami".
+	Fading string `json:"fading,omitempty"`
+	// FadingSeed seeds the fading process (default 1).
+	FadingSeed uint64 `json:"fadingSeed,omitempty"`
+}
+
+// Build returns a CommModel with the paper defaults overridden.
+func (c CommConfig) Build() (scenario.CommModel, error) {
+	cm := scenario.PaperCommModel()
+	switch c.PathLoss {
+	case "", "freespace":
+		cm.Channel.PathLoss = phy.FreeSpace{Alpha: 2}
+	case "tworay":
+		cm.Channel.PathLoss = phy.TwoRayInterference{}
+	default:
+		return scenario.CommModel{}, fmt.Errorf("config: unknown path loss %q", c.PathLoss)
+	}
+	switch c.AccessMode {
+	case "", "continuous":
+		cm.Schedule = wave1609.NewSchedule(wave1609.AccessContinuous)
+	case "alternating":
+		cm.Schedule = wave1609.NewSchedule(wave1609.AccessAlternating)
+	default:
+		return scenario.CommModel{}, fmt.Errorf("config: unknown access mode %q", c.AccessMode)
+	}
+	switch c.Decider {
+	case "", "threshold":
+		cm.Channel.Decider = phy.DeciderThreshold
+	case "probabilistic":
+		cm.Channel.Decider = phy.DeciderProbabilistic
+	default:
+		return scenario.CommModel{}, fmt.Errorf("config: unknown decider %q", c.Decider)
+	}
+	switch c.Fading {
+	case "":
+		// The paper's experiments run without fading.
+	case "nakagami":
+		seed := c.FadingSeed
+		if seed == 0 {
+			seed = 1
+		}
+		cm.Channel.Fading = phy.NewNakagamiFading(rng.New(seed, "fading"))
+	default:
+		return scenario.CommModel{}, fmt.Errorf("config: unknown fading %q", c.Fading)
+	}
+	if c.PacketBits > 0 {
+		cm.PacketBits = c.PacketBits
+	}
+	if c.BeaconIntervalS > 0 {
+		cm.BeaconInterval = des.FromSeconds(c.BeaconIntervalS)
+	}
+	if c.TxPowerDBm != 0 {
+		cm.Channel.TxPowerDBm = c.TxPowerDBm
+	}
+	return cm, cm.Validate()
+}
+
+// CampaignConfig describes the attack campaign grid.
+type CampaignConfig struct {
+	// Attack is "delay", "dos", "packet-loss" or "replay".
+	Attack string `json:"attack"`
+	// Targets are the attacked vehicle IDs (default: vehicle.2).
+	Targets []string `json:"targets,omitempty"`
+	// ValuesS is the attackValuesVector (seconds for delay/dos/replay,
+	// probability for packet-loss).
+	ValuesS Vector `json:"valuesS"`
+	// StartTimesS is the attackStartVector in seconds.
+	StartTimesS Vector `json:"startTimesS"`
+	// DurationsS is the attackEndVector as start-relative durations.
+	DurationsS Vector `json:"durationsS"`
+}
+
+// Build expands the vectors into a CampaignSetup.
+func (c CampaignConfig) Build() (core.CampaignSetup, error) {
+	var kind core.AttackKind
+	switch c.Attack {
+	case "", "delay":
+		kind = core.AttackDelay
+	case "dos":
+		kind = core.AttackDoS
+	case "packet-loss":
+		kind = core.AttackPacketLoss
+	case "replay":
+		kind = core.AttackReplay
+	case "jamming":
+		kind = core.AttackJamming
+	default:
+		return core.CampaignSetup{}, fmt.Errorf("config: unknown attack %q", c.Attack)
+	}
+	targets := c.Targets
+	if len(targets) == 0 {
+		targets = []string{"vehicle.2"}
+	}
+	values, err := c.ValuesS.Expand()
+	if err != nil {
+		return core.CampaignSetup{}, fmt.Errorf("values: %w", err)
+	}
+	starts, err := c.StartTimesS.Expand()
+	if err != nil {
+		return core.CampaignSetup{}, fmt.Errorf("startTimes: %w", err)
+	}
+	durations, err := c.DurationsS.Expand()
+	if err != nil {
+		return core.CampaignSetup{}, fmt.Errorf("durations: %w", err)
+	}
+	setup := core.CampaignSetup{Attack: kind, Targets: targets, Values: values}
+	for _, s := range starts {
+		setup.Starts = append(setup.Starts, des.FromSeconds(s))
+	}
+	for _, d := range durations {
+		setup.Durations = append(setup.Durations, des.FromSeconds(d))
+	}
+	return setup, setup.Validate()
+}
+
+// File is a complete experiment description.
+type File struct {
+	// Seed drives all randomness (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// Controller is "cacc", "acc" or "ploeg" (default cacc).
+	Controller string         `json:"controller,omitempty"`
+	Scenario   ScenarioConfig `json:"scenario,omitempty"`
+	Comm       CommConfig     `json:"comm,omitempty"`
+	Campaign   CampaignConfig `json:"campaign,omitempty"`
+}
+
+// Parsed is the fully built experiment configuration.
+type Parsed struct {
+	Seed     uint64
+	Engine   core.EngineConfig
+	Campaign core.CampaignSetup
+}
+
+// ControllerFactory maps a controller name to a factory.
+func ControllerFactory(name string) (scenario.ControllerFactory, error) {
+	switch name {
+	case "", "cacc":
+		return func(int) platoon.Controller { return platoon.DefaultCACC() }, nil
+	case "acc":
+		return func(int) platoon.Controller { return platoon.DefaultACC() }, nil
+	case "ploeg":
+		return func(int) platoon.Controller { return platoon.DefaultPloeg() }, nil
+	default:
+		return nil, fmt.Errorf("config: unknown controller %q", name)
+	}
+}
+
+// Parse reads and builds a config file. An empty document reproduces the
+// paper's setup with the delay campaign left empty (fill Campaign to run
+// one).
+func Parse(r io.Reader) (*Parsed, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var f File
+	if err := dec.Decode(&f); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, errors.New("config: empty document")
+		}
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	return BuildFile(f)
+}
+
+// BuildFile turns a decoded File into a Parsed configuration.
+func BuildFile(f File) (*Parsed, error) {
+	seed := f.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	ts, err := f.Scenario.Build()
+	if err != nil {
+		return nil, err
+	}
+	cm, err := f.Comm.Build()
+	if err != nil {
+		return nil, err
+	}
+	factory, err := ControllerFactory(f.Controller)
+	if err != nil {
+		return nil, err
+	}
+	setup, err := f.Campaign.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Parsed{
+		Seed: seed,
+		Engine: core.EngineConfig{
+			Scenario:    ts,
+			Comm:        cm,
+			Controllers: factory,
+			Seed:        seed,
+		},
+		Campaign: setup,
+	}, nil
+}

@@ -1,0 +1,44 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse ensures arbitrary (possibly hostile) config documents never
+// panic the parser: they either build a valid experiment or return an
+// error.
+func FuzzParse(f *testing.F) {
+	f.Add(`{}`)
+	f.Add(`{"seed": 7}`)
+	f.Add(`{"campaign": {"attack": "delay",
+	  "valuesS": {"values": [1]},
+	  "startTimesS": {"values": [17]},
+	  "durationsS": {"values": [10]}}}`)
+	f.Add(`{"scenario": {"nrVehicles": -3}}`)
+	f.Add(`{"comm": {"pathLoss": "tworay", "fading": "nakagami"}}`)
+	f.Add(`{"campaign": {"valuesS": {"range": {"from": 3, "to": 1, "step": 0}}}}`)
+	f.Add(`[1,2,3]`)
+	f.Add(`"not an object"`)
+	f.Add(`{"scenario": {"maneuver": {"type": "braking", "decelMps2": 1e308}}}`)
+
+	f.Fuzz(func(t *testing.T, doc string) {
+		p, err := Parse(strings.NewReader(doc))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Anything accepted must be internally consistent.
+		if p.Seed == 0 {
+			t.Errorf("accepted config with zero seed")
+		}
+		if err := p.Engine.Scenario.Validate(); err != nil {
+			t.Errorf("accepted invalid scenario: %v", err)
+		}
+		if err := p.Engine.Comm.Validate(); err != nil {
+			t.Errorf("accepted invalid comm model: %v", err)
+		}
+		if err := p.Campaign.Validate(); err != nil {
+			t.Errorf("accepted invalid campaign: %v", err)
+		}
+	})
+}

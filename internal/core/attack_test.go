@@ -1,0 +1,167 @@
+package core
+
+import (
+	"testing"
+
+	"comfase/internal/msg"
+	"comfase/internal/sim/des"
+	"comfase/internal/sim/rng"
+)
+
+func TestNewDelayAttackValidation(t *testing.T) {
+	if _, err := NewDelayAttack(-des.Second, "v2"); err == nil {
+		t.Error("negative delay accepted")
+	}
+	if _, err := NewDelayAttack(des.Second); err == nil {
+		t.Error("no targets accepted")
+	}
+	if _, err := NewDelayAttack(des.Second, ""); err == nil {
+		t.Error("empty target accepted")
+	}
+	a, err := NewDelayAttack(2*des.Second, "v2", "v3")
+	if err != nil {
+		t.Fatalf("NewDelayAttack: %v", err)
+	}
+	if a.Name() != "delay" || a.Delay() != 2*des.Second {
+		t.Errorf("a = %v %v", a.Name(), a.Delay())
+	}
+	got := a.Targets()
+	if len(got) != 2 || got[0] != "v2" || got[1] != "v3" {
+		t.Errorf("Targets = %v", got)
+	}
+}
+
+func TestDelayAttackIntercept(t *testing.T) {
+	a, _ := NewDelayAttack(2*des.Second, "v2")
+	tests := []struct {
+		name     string
+		src, dst string
+		hit      bool
+	}{
+		{name: "target sends", src: "v2", dst: "v3", hit: true},
+		{name: "target receives", src: "v1", dst: "v2", hit: true},
+		{name: "bystander link", src: "v3", dst: "v4", hit: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			v := a.Intercept(0, tt.src, tt.dst, nil)
+			if v.OverrideDelay != tt.hit {
+				t.Errorf("OverrideDelay = %v, want %v", v.OverrideDelay, tt.hit)
+			}
+			if tt.hit && v.Delay != 2*des.Second {
+				t.Errorf("Delay = %v", v.Delay)
+			}
+			if v.Drop {
+				t.Error("delay attack dropped a frame")
+			}
+		})
+	}
+}
+
+func TestDoSAttack(t *testing.T) {
+	if _, err := NewDoSAttack(0, "v2"); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := NewDoSAttack(60 * des.Second); err == nil {
+		t.Error("no targets accepted")
+	}
+	a, err := NewDoSAttack(60*des.Second, "v2")
+	if err != nil {
+		t.Fatalf("NewDoSAttack: %v", err)
+	}
+	if a.Name() != "dos" {
+		t.Errorf("Name = %q", a.Name())
+	}
+	v := a.Intercept(0, "v2", "v1", nil)
+	if !v.OverrideDelay || v.Delay != 60*des.Second {
+		t.Errorf("verdict = %+v, want PD pinned to horizon", v)
+	}
+	if v := a.Intercept(0, "v3", "v4", nil); v.OverrideDelay {
+		t.Error("bystander link attacked")
+	}
+}
+
+func TestPacketLossAttack(t *testing.T) {
+	if _, err := NewPacketLossAttack(1.5, rng.New(1, "x"), "v2"); err == nil {
+		t.Error("p>1 accepted")
+	}
+	if _, err := NewPacketLossAttack(-0.1, rng.New(1, "x"), "v2"); err == nil {
+		t.Error("p<0 accepted")
+	}
+	if _, err := NewPacketLossAttack(0.5, nil, "v2"); err == nil {
+		t.Error("nil rng accepted")
+	}
+	a, err := NewPacketLossAttack(1.0, rng.New(1, "x"), "v2")
+	if err != nil {
+		t.Fatalf("NewPacketLossAttack: %v", err)
+	}
+	if a.Name() != "packet-loss" {
+		t.Errorf("Name = %q", a.Name())
+	}
+	for i := 0; i < 10; i++ {
+		if !a.Intercept(0, "v2", "v1", nil).Drop {
+			t.Fatal("p=1 jammer let a frame through")
+		}
+	}
+	if a.Intercept(0, "v3", "v4", nil).Drop {
+		t.Error("bystander frame dropped")
+	}
+	never, _ := NewPacketLossAttack(0, rng.New(1, "x"), "v2")
+	for i := 0; i < 10; i++ {
+		if never.Intercept(0, "v2", "v1", nil).Drop {
+			t.Fatal("p=0 jammer dropped a frame")
+		}
+	}
+}
+
+func TestFalsificationAttack(t *testing.T) {
+	if _, err := NewFalsificationAttack(nil, "v2"); err == nil {
+		t.Error("nil falsifier accepted")
+	}
+	a, err := NewFalsificationAttack(func(b msg.Beacon) msg.Beacon {
+		b.Accel = 99
+		return b
+	}, "v2")
+	if err != nil {
+		t.Fatalf("NewFalsificationAttack: %v", err)
+	}
+	if a.Name() != "falsification" {
+		t.Errorf("Name = %q", a.Name())
+	}
+	orig := msg.Beacon{Source: "v2", Accel: 1.5}
+	v := a.Intercept(0, "v2", "v3", orig)
+	fb, ok := v.Payload.(msg.Beacon)
+	if !ok || fb.Accel != 99 {
+		t.Errorf("payload = %+v, want falsified accel", v.Payload)
+	}
+	if orig.Accel != 1.5 {
+		t.Error("original beacon mutated")
+	}
+	// Only frames SENT by the target are falsified.
+	if v := a.Intercept(0, "v1", "v2", orig); v.Payload != nil {
+		t.Error("frame to target falsified")
+	}
+	// Non-beacon payloads pass through.
+	if v := a.Intercept(0, "v2", "v3", "not a beacon"); v.Payload != nil {
+		t.Error("non-beacon payload replaced")
+	}
+}
+
+func TestReplayAttack(t *testing.T) {
+	if _, err := NewReplayAttack(0, "v2"); err == nil {
+		t.Error("zero age accepted")
+	}
+	a, err := NewReplayAttack(des.Second, "v2")
+	if err != nil {
+		t.Fatalf("NewReplayAttack: %v", err)
+	}
+	if a.Name() != "replay" {
+		t.Errorf("Name = %q", a.Name())
+	}
+	if v := a.Intercept(0, "v2", "v1", nil); !v.OverrideDelay || v.Delay != des.Second {
+		t.Errorf("verdict = %+v", v)
+	}
+	if v := a.Intercept(0, "v1", "v2", nil); v.OverrideDelay {
+		t.Error("replay attacked frames TO the target")
+	}
+}

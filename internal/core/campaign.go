@@ -1,0 +1,243 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"comfase/internal/sim/des"
+	"comfase/internal/sim/rng"
+)
+
+// AttackKind selects a predefined attack model (the attackModel parameter
+// of Algorithm 1 line 4).
+type AttackKind int
+
+// The shipped attack models.
+const (
+	AttackDelay AttackKind = iota + 1
+	AttackDoS
+	AttackPacketLoss
+	AttackReplay
+	AttackJamming
+)
+
+// String implements fmt.Stringer.
+func (k AttackKind) String() string {
+	switch k {
+	case AttackDelay:
+		return "delay"
+	case AttackDoS:
+		return "dos"
+	case AttackPacketLoss:
+		return "packet-loss"
+	case AttackReplay:
+		return "replay"
+	case AttackJamming:
+		return "jamming"
+	default:
+		return fmt.Sprintf("AttackKind(%d)", int(k))
+	}
+}
+
+// Valid reports whether k names a shipped model.
+func (k AttackKind) Valid() bool { return k >= AttackDelay && k <= AttackJamming }
+
+// ModelFactory builds a custom attack/fault model for one experiment.
+// The paper stresses that "fault and attack models are implemented in
+// separate scripts, facilitating addition of new models" (§V); a factory
+// is the Go equivalent — any AttackModel (falsification forgers, sybil
+// nodes, calibration faults, ...) can be swept over the campaign grid.
+type ModelFactory func(spec ExperimentSpec, horizon des.Time, seed uint64) (AttackModel, error)
+
+// CampaignSetup mirrors setCampaign(attackModel, targetVehicles,
+// attackStartVector, attackValuesVector, attackEndVector) of Algorithm 1.
+// The experiment grid is the cross product Starts x Values x Durations,
+// exactly the paper's three nested loops.
+type CampaignSetup struct {
+	// Attack selects a predefined model. Ignored when Factory is set.
+	Attack AttackKind
+	// Factory, when non-nil, builds a custom model per experiment,
+	// overriding Attack.
+	Factory ModelFactory
+	// Targets are the attacked vehicle IDs (paper: "vehicle.2").
+	Targets []string
+	// Values is the attackValuesVector. Unit depends on the model:
+	// seconds of propagation delay for delay/DoS/replay, drop
+	// probability for packet loss.
+	Values []float64
+	// Starts is the attackStartVector.
+	Starts []des.Time
+	// Durations encodes the attackEndVector relative to each start
+	// (paper: attackStartTime + 1..30 s). A duration that reaches past
+	// the simulation horizon is clipped at totalSimTime, which is how
+	// DoS campaigns express "until the simulation ends".
+	Durations []des.Time
+}
+
+// Validate reports the first setup problem, or nil.
+func (c CampaignSetup) Validate() error {
+	switch {
+	case c.Factory == nil && !c.Attack.Valid():
+		return fmt.Errorf("core: unknown attack kind %v", c.Attack)
+	case len(c.Targets) == 0:
+		return errors.New("core: campaign needs target vehicles")
+	case len(c.Values) == 0:
+		return errors.New("core: campaign needs attack values")
+	case len(c.Starts) == 0:
+		return errors.New("core: campaign needs attack start times")
+	case len(c.Durations) == 0:
+		return errors.New("core: campaign needs attack durations")
+	}
+	// Jamming values are transmit powers in dBm and may legitimately be
+	// negative; all other kinds use non-negative seconds/probabilities.
+	if c.Attack != AttackJamming {
+		for _, v := range c.Values {
+			if v < 0 {
+				return fmt.Errorf("core: negative attack value %v", v)
+			}
+		}
+	}
+	for _, s := range c.Starts {
+		if s < 0 {
+			return fmt.Errorf("core: negative attack start %v", s)
+		}
+	}
+	for _, d := range c.Durations {
+		if d <= 0 {
+			return fmt.Errorf("core: non-positive attack duration %v", d)
+		}
+	}
+	return nil
+}
+
+// NumExperiments returns the size of the experiment grid.
+func (c CampaignSetup) NumExperiments() int {
+	return len(c.Starts) * len(c.Values) * len(c.Durations)
+}
+
+// Experiments expands the grid in the paper's loop order (start, value,
+// duration).
+func (c CampaignSetup) Experiments() []ExperimentSpec {
+	out := make([]ExperimentSpec, 0, c.NumExperiments())
+	n := 0
+	for _, start := range c.Starts {
+		for _, value := range c.Values {
+			for _, dur := range c.Durations {
+				out = append(out, ExperimentSpec{
+					Nr:       n,
+					Kind:     c.Attack,
+					Factory:  c.Factory,
+					Targets:  c.Targets,
+					Value:    value,
+					Start:    start,
+					Duration: dur,
+				})
+				n++
+			}
+		}
+	}
+	return out
+}
+
+// ExperimentSpec is one attack injection experiment of a campaign.
+type ExperimentSpec struct {
+	// Nr is the expNr of Algorithm 1.
+	Nr int
+	// Kind is the attack model. Ignored when Factory is set.
+	Kind AttackKind
+	// Factory builds a custom model for this experiment (overrides
+	// Kind).
+	Factory ModelFactory
+	// Targets are the attacked vehicles.
+	Targets []string
+	// Value is the attack value (PD seconds, drop probability, ...).
+	Value float64
+	// Start is the attackStartTime.
+	Start des.Time
+	// Duration is attackEndTime - attackStartTime before horizon
+	// clipping.
+	Duration des.Time
+}
+
+// End returns the attackEndTime clipped at the horizon.
+func (e ExperimentSpec) End(horizon des.Time) des.Time {
+	end := e.Start.Add(e.Duration)
+	if end > horizon {
+		return horizon
+	}
+	return end
+}
+
+// String renders a compact experiment label.
+func (e ExperimentSpec) String() string {
+	return fmt.Sprintf("#%d %s value=%g start=%v dur=%v targets=%s",
+		e.Nr, e.Kind, e.Value, e.Start, e.Duration, describeTargets(e.Targets))
+}
+
+// buildModel instantiates the attack model for one experiment. horizon is
+// the totalSimTime (the DoS PD value); seed derives stochastic attack
+// streams.
+func (e ExperimentSpec) buildModel(horizon des.Time, seed uint64) (AttackModel, error) {
+	if e.Factory != nil {
+		model, err := e.Factory(e, horizon, seed)
+		if err != nil {
+			return nil, err
+		}
+		if model == nil {
+			return nil, errors.New("core: model factory returned nil")
+		}
+		return model, nil
+	}
+	switch e.Kind {
+	case AttackDelay:
+		return NewDelayAttack(des.FromSeconds(e.Value), e.Targets...)
+	case AttackDoS:
+		return NewDoSAttack(horizon, e.Targets...)
+	case AttackPacketLoss:
+		stream := rng.New(seed, fmt.Sprintf("attack.loss.%d", e.Nr))
+		return NewPacketLossAttack(e.Value, stream, e.Targets...)
+	case AttackReplay:
+		return NewReplayAttack(des.FromSeconds(e.Value), e.Targets...)
+	case AttackJamming:
+		// Value is the jammer transmit power in dBm.
+		return NewJammingAttack(e.Value, e.Targets...)
+	default:
+		return nil, fmt.Errorf("core: unknown attack kind %v", e.Kind)
+	}
+}
+
+// PaperDelayCampaign returns Table II's delay campaign: PD values 0.2 to
+// 3.0 s (0.2 steps), start times 17.0 to 21.8 s (0.2 steps), durations 1
+// to 30 s (1 s steps) — 25*15*30 = 11250 experiments targeting Vehicle 2.
+func PaperDelayCampaign() CampaignSetup {
+	setup := CampaignSetup{
+		Attack:  AttackDelay,
+		Targets: []string{"vehicle.2"},
+	}
+	for v := 1; v <= 15; v++ {
+		setup.Values = append(setup.Values, float64(v)*0.2)
+	}
+	for s := 0; s < 25; s++ {
+		setup.Starts = append(setup.Starts, 17*des.Second+des.Time(s)*200*des.Millisecond)
+	}
+	for d := 1; d <= 30; d++ {
+		setup.Durations = append(setup.Durations, des.Time(d)*des.Second)
+	}
+	return setup
+}
+
+// PaperDoSCampaign returns Table II's DoS campaign: 25 start times 17.0
+// to 21.8 s, PD pinned to the 60 s horizon, attack active until the end
+// of the simulation.
+func PaperDoSCampaign() CampaignSetup {
+	setup := CampaignSetup{
+		Attack:    AttackDoS,
+		Targets:   []string{"vehicle.2"},
+		Values:    []float64{60},
+		Durations: []des.Time{60 * des.Second},
+	}
+	for s := 0; s < 25; s++ {
+		setup.Starts = append(setup.Starts, 17*des.Second+des.Time(s)*200*des.Millisecond)
+	}
+	return setup
+}

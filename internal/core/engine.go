@@ -1,0 +1,306 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"comfase/internal/classify"
+	"comfase/internal/nic"
+	"comfase/internal/scenario"
+	"comfase/internal/trace"
+	"comfase/internal/traffic"
+)
+
+// EngineConfig assembles everything an attack campaign needs.
+type EngineConfig struct {
+	// Scenario is the Step-1 traffic configuration.
+	Scenario scenario.TrafficScenario
+	// Comm is the Step-1 communication configuration.
+	Comm scenario.CommModel
+	// Controllers builds follower controllers per platoon index; nil
+	// defaults to the paper's CACC.
+	Controllers scenario.ControllerFactory
+	// Seed drives every stochastic component. Identical (config, seed)
+	// pairs reproduce identical campaigns.
+	Seed uint64
+	// Thresholds override the classification parameters; zero value
+	// means "derive from the golden run per §IV-B".
+	Thresholds *classify.Thresholds
+}
+
+// Engine is the ComFASE engine: it owns a validated configuration and
+// executes Algorithm 1.
+type Engine struct {
+	cfg        EngineConfig
+	golden     *trace.FullLog
+	goldenRes  *GoldenResult
+	thresholds classify.Thresholds
+}
+
+// GoldenResult summarises the attack-free reference run (Step-2).
+type GoldenResult struct {
+	// MaxDecel is the strongest deceleration of the golden run — the
+	// negligible/benign boundary of §IV-B (1.53 m/s^2 in the paper).
+	MaxDecel float64
+	// Collisions must be empty for a usable golden run.
+	Collisions []traffic.Collision
+	// Deliveries is the number of successfully decoded beacons.
+	Deliveries uint64
+	// Events is the kernel event count (for performance reporting).
+	Events uint64
+}
+
+// ExperimentResult is the classified outcome of one attack experiment.
+type ExperimentResult struct {
+	// Spec is the experiment's grid point.
+	Spec ExperimentSpec
+	// Outcome is the §IV-B class.
+	Outcome classify.Outcome
+	// MaxDecel is the strongest deceleration observed (any vehicle).
+	MaxDecel float64
+	// MaxDecelPerVehicle is indexed by platoon position.
+	MaxDecelPerVehicle []float64
+	// MaxSpeedDev is the largest speed deviation from the golden run.
+	MaxSpeedDev float64
+	// Collisions lists collision incidents in order of occurrence.
+	Collisions []traffic.Collision
+	// Collider is the vehicle responsible for the FIRST collision ("" if
+	// none) — the paper's collider analysis (§IV-C1/2, [32]).
+	Collider string
+}
+
+// Collided reports whether the experiment produced a collision.
+func (r ExperimentResult) Collided() bool { return len(r.Collisions) > 0 }
+
+// CampaignResult aggregates a full attack-injection campaign (Step-3+4).
+type CampaignResult struct {
+	// Setup echoes the campaign grid.
+	Setup CampaignSetup
+	// Golden is the reference-run summary.
+	Golden GoldenResult
+	// Thresholds are the classification parameters used.
+	Thresholds classify.Thresholds
+	// Experiments holds one classified result per grid point, in expNr
+	// order.
+	Experiments []ExperimentResult
+	// Counts tallies the outcome classes.
+	Counts classify.Counts
+}
+
+// Progress receives (completed, total) notifications during a campaign.
+type Progress func(done, total int)
+
+// NewEngine validates the configuration and returns an engine.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	if err := cfg.Scenario.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Comm.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Controllers == nil {
+		cfg.Controllers = scenario.DefaultControllers()
+	}
+	if cfg.Thresholds != nil {
+		if err := cfg.Thresholds.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return &Engine{cfg: cfg}, nil
+}
+
+// Config returns the engine configuration.
+func (e *Engine) Config() EngineConfig { return e.cfg }
+
+// GoldenRun executes Step-2: the attack-free reference simulation. The
+// resulting log is cached and reused by subsequent experiments. Calling
+// it again re-runs and replaces the cache.
+func (e *Engine) GoldenRun() (*trace.FullLog, GoldenResult, error) {
+	sim, err := scenario.Build(e.cfg.Scenario, e.cfg.Comm, e.cfg.Seed, e.cfg.Controllers)
+	if err != nil {
+		return nil, GoldenResult{}, err
+	}
+	log := trace.NewFullLog(sim.VehicleIDs())
+	sim.AddRecorder(log)
+	if err := sim.Start(); err != nil {
+		return nil, GoldenResult{}, err
+	}
+	if err := sim.RunUntil(e.cfg.Scenario.TotalSimTime); err != nil {
+		return nil, GoldenResult{}, err
+	}
+	res := GoldenResult{
+		MaxDecel:   log.MaxDeceleration(),
+		Collisions: sim.Traffic.Collisions(),
+		Deliveries: sim.Air.Stats().Deliveries,
+		Events:     sim.Kernel.Executed(),
+	}
+	if len(res.Collisions) > 0 {
+		return nil, res, fmt.Errorf("core: golden run collided: %v", res.Collisions[0])
+	}
+	e.golden = log
+	e.goldenRes = &res
+	if e.cfg.Thresholds != nil {
+		e.thresholds = *e.cfg.Thresholds
+	} else {
+		e.thresholds = classify.PaperThresholds(res.MaxDecel)
+	}
+	return log, res, nil
+}
+
+// ensureGolden lazily executes the golden run.
+func (e *Engine) ensureGolden() error {
+	if e.golden != nil {
+		return nil
+	}
+	_, _, err := e.GoldenRun()
+	return err
+}
+
+// Thresholds returns the classification parameters in use (valid after
+// the golden run).
+func (e *Engine) Thresholds() classify.Thresholds { return e.thresholds }
+
+// RunExperiment executes Step-3 for a single grid point: build a fresh
+// simulation, run to attackStartTime, install the attack model (the
+// CommModelEditor step), run to attackEndTime, remove the model, run to
+// totalSimTime, then classify against the golden run (Step-4).
+func (e *Engine) RunExperiment(spec ExperimentSpec) (ExperimentResult, error) {
+	res, _, err := e.runExperiment(spec, false)
+	return res, err
+}
+
+// RunExperimentWithLog is RunExperiment plus the full per-vehicle time
+// series of the attacked run — the raw material for single-experiment
+// case studies (trajectory plots, gap evolution).
+func (e *Engine) RunExperimentWithLog(spec ExperimentSpec) (ExperimentResult, *trace.FullLog, error) {
+	return e.runExperiment(spec, true)
+}
+
+func (e *Engine) runExperiment(spec ExperimentSpec, withLog bool) (ExperimentResult, *trace.FullLog, error) {
+	if err := e.ensureGolden(); err != nil {
+		return ExperimentResult{}, nil, err
+	}
+	horizon := e.cfg.Scenario.TotalSimTime
+	model, err := spec.buildModel(horizon, e.cfg.Seed)
+	if err != nil {
+		return ExperimentResult{}, nil, err
+	}
+	sim, err := scenario.Build(e.cfg.Scenario, e.cfg.Comm, e.cfg.Seed, e.cfg.Controllers)
+	if err != nil {
+		return ExperimentResult{}, nil, err
+	}
+	summary := trace.NewSummary(len(sim.Members), e.golden)
+	sim.AddRecorder(summary)
+	var full *trace.FullLog
+	if withLog {
+		full = trace.NewFullLog(sim.VehicleIDs())
+		sim.AddRecorder(full)
+	}
+	if err := sim.Start(); err != nil {
+		return ExperimentResult{}, nil, err
+	}
+
+	start := spec.Start
+	if start > horizon {
+		start = horizon
+	}
+	end := spec.End(horizon)
+
+	// Algorithm 1 lines 12-14: the three SimUntil phases.
+	if err := sim.RunUntil(start); err != nil {
+		return ExperimentResult{}, nil, err
+	}
+	if err := applyAttack(sim, model); err != nil {
+		return ExperimentResult{}, nil, err
+	}
+	if err := sim.RunUntil(end); err != nil {
+		return ExperimentResult{}, nil, err
+	}
+	if err := removeAttack(sim, model); err != nil {
+		return ExperimentResult{}, nil, err
+	}
+	if err := sim.RunUntil(horizon); err != nil {
+		return ExperimentResult{}, nil, err
+	}
+
+	if summary.Misaligned {
+		return ExperimentResult{}, nil, errors.New("core: attack run sampling misaligned with golden run")
+	}
+	collisions := sim.Traffic.Collisions()
+	collider := ""
+	if len(collisions) > 0 {
+		collider = collisions[0].Collider
+	}
+	res := ExperimentResult{
+		Spec:               spec,
+		MaxDecel:           summary.MaxDecelOverall(),
+		MaxDecelPerVehicle: summary.MaxDecel,
+		MaxSpeedDev:        summary.MaxSpeedDev,
+		Collisions:         collisions,
+		Collider:           collider,
+	}
+	res.Outcome = classify.Classify(e.thresholds, classify.Observation{
+		MaxDecel:    res.MaxDecel,
+		MaxSpeedDev: res.MaxSpeedDev,
+		Collided:    res.Collided(),
+	})
+	return res, full, nil
+}
+
+// applyAttack activates an attack model on a running simulation — the
+// CommModelEditor step of Algorithm 1 line 11. Frame-level models swap
+// the Air's interceptor; physical-layer models install themselves.
+func applyAttack(sim *scenario.Simulation, model AttackModel) error {
+	switch m := model.(type) {
+	case Installer:
+		return m.Install(sim)
+	case nic.Interceptor:
+		sim.Air.SetInterceptor(m)
+		return nil
+	default:
+		return fmt.Errorf("core: attack model %q implements neither Interceptor nor Installer", model.Name())
+	}
+}
+
+// removeAttack deactivates the model at attackEndTime.
+func removeAttack(sim *scenario.Simulation, model AttackModel) error {
+	switch m := model.(type) {
+	case Installer:
+		return m.Uninstall(sim)
+	case nic.Interceptor:
+		sim.Air.SetInterceptor(nil)
+		return nil
+	default:
+		return fmt.Errorf("core: attack model %q implements neither Interceptor nor Installer", model.Name())
+	}
+}
+
+// RunCampaign executes Step-3 and Step-4 for the whole grid. progress may
+// be nil.
+func (e *Engine) RunCampaign(setup CampaignSetup, progress Progress) (*CampaignResult, error) {
+	if err := setup.Validate(); err != nil {
+		return nil, err
+	}
+	if err := e.ensureGolden(); err != nil {
+		return nil, err
+	}
+	specs := setup.Experiments()
+	out := &CampaignResult{
+		Setup:       setup,
+		Golden:      *e.goldenRes,
+		Thresholds:  e.thresholds,
+		Experiments: make([]ExperimentResult, 0, len(specs)),
+	}
+	for i, spec := range specs {
+		res, err := e.RunExperiment(spec)
+		if err != nil {
+			return nil, fmt.Errorf("experiment %v: %w", spec, err)
+		}
+		out.Experiments = append(out.Experiments, res)
+		out.Counts.Add(res.Outcome)
+		if progress != nil {
+			progress(i+1, len(specs))
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"comfase/internal/msg"
+	"comfase/internal/nic"
+	"comfase/internal/sim/des"
+	"comfase/internal/sim/rng"
+)
+
+// ComFASE is a fault AND attack injection tool (§I). The models in this
+// file are the fault side: non-malicious hardware/software failures of
+// the communication unit, injected through the same CommModelEditor
+// mechanism as the attacks.
+
+// OmissionFault models a crash/omission failure of the target's on-board
+// transmitter: from fault activation on, none of the target's frames
+// reach any receiver, while its reception keeps working. This is the
+// classic omission fault of dependability taxonomies, distinct from the
+// bidirectional DoS attack.
+type OmissionFault struct {
+	targets targetSet
+}
+
+var (
+	_ AttackModel     = (*OmissionFault)(nil)
+	_ nic.Interceptor = (*OmissionFault)(nil)
+)
+
+// NewOmissionFault builds an omission fault for the target transmitters.
+func NewOmissionFault(targets ...string) (*OmissionFault, error) {
+	ts, err := newTargetSet(targets)
+	if err != nil {
+		return nil, err
+	}
+	return &OmissionFault{targets: ts}, nil
+}
+
+// Name implements AttackModel.
+func (f *OmissionFault) Name() string { return "omission" }
+
+// Targets implements AttackModel.
+func (f *OmissionFault) Targets() []string { return f.targets.sorted() }
+
+// Intercept implements nic.Interceptor.
+func (f *OmissionFault) Intercept(_ des.Time, src, _ string, _ any) nic.Verdict {
+	return nic.Verdict{Drop: f.targets[src]}
+}
+
+// CorruptionFault models a value failure in the target's beacon path
+// (faulty sensor, serialisation bug): the kinematic fields of every
+// transmitted beacon are perturbed with zero-mean Gaussian noise.
+type CorruptionFault struct {
+	// sigmaPos/sigmaSpeed/sigmaAccel are the noise standard deviations.
+	sigmaPos   float64
+	sigmaSpeed float64
+	sigmaAccel float64
+	rng        *rng.Source
+	targets    targetSet
+}
+
+var (
+	_ AttackModel     = (*CorruptionFault)(nil)
+	_ nic.Interceptor = (*CorruptionFault)(nil)
+)
+
+// NewCorruptionFault builds a corruption fault with per-field noise
+// levels (standard deviations; zero disables a field).
+func NewCorruptionFault(sigmaPos, sigmaSpeed, sigmaAccel float64, src *rng.Source, targets ...string) (*CorruptionFault, error) {
+	if sigmaPos < 0 || sigmaSpeed < 0 || sigmaAccel < 0 {
+		return nil, errors.New("core: corruption noise levels must be non-negative")
+	}
+	if sigmaPos == 0 && sigmaSpeed == 0 && sigmaAccel == 0 {
+		return nil, errors.New("core: corruption fault needs at least one noisy field")
+	}
+	if src == nil {
+		return nil, errors.New("core: corruption fault needs an RNG source")
+	}
+	ts, err := newTargetSet(targets)
+	if err != nil {
+		return nil, err
+	}
+	return &CorruptionFault{
+		sigmaPos:   sigmaPos,
+		sigmaSpeed: sigmaSpeed,
+		sigmaAccel: sigmaAccel,
+		rng:        src,
+		targets:    ts,
+	}, nil
+}
+
+// Name implements AttackModel.
+func (f *CorruptionFault) Name() string { return "corruption" }
+
+// Targets implements AttackModel.
+func (f *CorruptionFault) Targets() []string { return f.targets.sorted() }
+
+// Intercept implements nic.Interceptor.
+func (f *CorruptionFault) Intercept(_ des.Time, src, _ string, payload any) nic.Verdict {
+	if !f.targets[src] {
+		return nic.Verdict{}
+	}
+	b, ok := payload.(msg.Beacon)
+	if !ok {
+		return nic.Verdict{}
+	}
+	c := b.Clone()
+	if f.sigmaPos > 0 {
+		c.Pos = f.rng.Normal(c.Pos, f.sigmaPos)
+	}
+	if f.sigmaSpeed > 0 {
+		c.Speed = f.rng.Normal(c.Speed, f.sigmaSpeed)
+	}
+	if f.sigmaAccel > 0 {
+		c.Accel = f.rng.Normal(c.Accel, f.sigmaAccel)
+	}
+	return nic.Verdict{Payload: c}
+}
+
+// CalibrationFault models a systematic sensor bias: constant offsets on
+// the advertised kinematic fields (e.g. a GNSS position bias or a
+// miscalibrated accelerometer).
+type CalibrationFault struct {
+	offPos   float64
+	offSpeed float64
+	offAccel float64
+	targets  targetSet
+}
+
+var (
+	_ AttackModel     = (*CalibrationFault)(nil)
+	_ nic.Interceptor = (*CalibrationFault)(nil)
+)
+
+// NewCalibrationFault builds a bias fault with per-field offsets.
+func NewCalibrationFault(offPos, offSpeed, offAccel float64, targets ...string) (*CalibrationFault, error) {
+	if offPos == 0 && offSpeed == 0 && offAccel == 0 {
+		return nil, errors.New("core: calibration fault needs at least one offset")
+	}
+	ts, err := newTargetSet(targets)
+	if err != nil {
+		return nil, err
+	}
+	return &CalibrationFault{
+		offPos:   offPos,
+		offSpeed: offSpeed,
+		offAccel: offAccel,
+		targets:  ts,
+	}, nil
+}
+
+// Name implements AttackModel.
+func (f *CalibrationFault) Name() string { return "calibration" }
+
+// Targets implements AttackModel.
+func (f *CalibrationFault) Targets() []string { return f.targets.sorted() }
+
+// Intercept implements nic.Interceptor.
+func (f *CalibrationFault) Intercept(_ des.Time, src, _ string, payload any) nic.Verdict {
+	if !f.targets[src] {
+		return nic.Verdict{}
+	}
+	b, ok := payload.(msg.Beacon)
+	if !ok {
+		return nic.Verdict{}
+	}
+	c := b.Clone()
+	c.Pos += f.offPos
+	c.Speed += f.offSpeed
+	c.Accel += f.offAccel
+	return nic.Verdict{Payload: c}
+}
+
+// String renders a short description of the fault configuration.
+func (f *CalibrationFault) String() string {
+	return fmt.Sprintf("calibration(dPos=%g dSpeed=%g dAccel=%g)",
+		f.offPos, f.offSpeed, f.offAccel)
+}

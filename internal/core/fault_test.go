@@ -1,0 +1,177 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"comfase/internal/classify"
+	"comfase/internal/msg"
+	"comfase/internal/nic"
+	"comfase/internal/scenario"
+	"comfase/internal/sim/des"
+	"comfase/internal/sim/rng"
+)
+
+func TestOmissionFault(t *testing.T) {
+	if _, err := NewOmissionFault(); err == nil {
+		t.Error("no targets accepted")
+	}
+	f, err := NewOmissionFault("vehicle.2")
+	if err != nil {
+		t.Fatalf("NewOmissionFault: %v", err)
+	}
+	if f.Name() != "omission" {
+		t.Errorf("Name = %q", f.Name())
+	}
+	if !f.Intercept(0, "vehicle.2", "vehicle.3", nil).Drop {
+		t.Error("target transmission not dropped")
+	}
+	// Omission is transmit-only: frames TO the target still arrive.
+	if f.Intercept(0, "vehicle.1", "vehicle.2", nil).Drop {
+		t.Error("frame to target dropped")
+	}
+}
+
+func TestCorruptionFaultValidation(t *testing.T) {
+	r := rng.New(1, "f")
+	if _, err := NewCorruptionFault(-1, 0, 0, r, "v"); err == nil {
+		t.Error("negative sigma accepted")
+	}
+	if _, err := NewCorruptionFault(0, 0, 0, r, "v"); err == nil {
+		t.Error("all-zero sigmas accepted")
+	}
+	if _, err := NewCorruptionFault(1, 0, 0, nil, "v"); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, err := NewCorruptionFault(1, 0, 0, r); err == nil {
+		t.Error("no targets accepted")
+	}
+}
+
+func TestCorruptionFaultPerturbsFields(t *testing.T) {
+	f, err := NewCorruptionFault(5, 1, 0.5, rng.New(1, "f"), "vehicle.2")
+	if err != nil {
+		t.Fatalf("NewCorruptionFault: %v", err)
+	}
+	orig := msg.Beacon{Source: "vehicle.2", Pos: 100, Speed: 25, Accel: 1}
+	var devPos, devSpeed, devAccel float64
+	for i := 0; i < 200; i++ {
+		v := f.Intercept(0, "vehicle.2", "vehicle.3", orig)
+		b, ok := v.Payload.(msg.Beacon)
+		if !ok {
+			t.Fatal("payload not replaced")
+		}
+		devPos += math.Abs(b.Pos - 100)
+		devSpeed += math.Abs(b.Speed - 25)
+		devAccel += math.Abs(b.Accel - 1)
+	}
+	if devPos == 0 || devSpeed == 0 || devAccel == 0 {
+		t.Errorf("fields not perturbed: %v %v %v", devPos, devSpeed, devAccel)
+	}
+	if orig.Pos != 100 {
+		t.Error("original beacon mutated")
+	}
+	// Bystanders and non-beacons untouched.
+	if f.Intercept(0, "vehicle.1", "vehicle.3", orig).Payload != nil {
+		t.Error("bystander frame corrupted")
+	}
+	if f.Intercept(0, "vehicle.2", "vehicle.3", "junk").Payload != nil {
+		t.Error("non-beacon corrupted")
+	}
+}
+
+func TestCalibrationFault(t *testing.T) {
+	if _, err := NewCalibrationFault(0, 0, 0, "v"); err == nil {
+		t.Error("all-zero offsets accepted")
+	}
+	if _, err := NewCalibrationFault(1, 0, 0); err == nil {
+		t.Error("no targets accepted")
+	}
+	f, err := NewCalibrationFault(10, -2, 0.5, "vehicle.2")
+	if err != nil {
+		t.Fatalf("NewCalibrationFault: %v", err)
+	}
+	if f.Name() != "calibration" || f.String() == "" {
+		t.Error("metadata wrong")
+	}
+	orig := msg.Beacon{Source: "vehicle.2", Pos: 100, Speed: 25, Accel: 1}
+	v := f.Intercept(0, "vehicle.2", "vehicle.3", orig)
+	b, ok := v.Payload.(msg.Beacon)
+	if !ok || b.Pos != 110 || b.Speed != 23 || b.Accel != 1.5 {
+		t.Errorf("biased beacon = %+v", v.Payload)
+	}
+}
+
+// TestFaultInjectionEndToEnd runs the three fault models through the full
+// three-phase injection flow and checks they degrade the platoon in the
+// physically expected direction.
+func TestFaultInjectionEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault injection runs in -short mode")
+	}
+	ts := scenario.PaperScenario()
+	cm := scenario.PaperCommModel()
+
+	// collidesUnder injects a model over the 18-28 s window (the
+	// reliably severe window of the delay experiments) and reports
+	// whether the run collided.
+	collidesUnder := func(model AttackModel) bool {
+		sim, err := scenario.Build(ts, cm, 1, nil)
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		if err := sim.Start(); err != nil {
+			t.Fatalf("Start: %v", err)
+		}
+		if err := sim.RunUntil(18 * des.Second); err != nil {
+			t.Fatalf("RunUntil: %v", err)
+		}
+		if err := applyAttack(sim, model); err != nil {
+			t.Fatalf("applyAttack: %v", err)
+		}
+		if err := sim.RunUntil(28 * des.Second); err != nil {
+			t.Fatalf("RunUntil: %v", err)
+		}
+		if err := removeAttack(sim, model); err != nil {
+			t.Fatalf("removeAttack: %v", err)
+		}
+		if err := sim.RunUntil(ts.TotalSimTime); err != nil {
+			t.Fatalf("RunUntil: %v", err)
+		}
+		return len(sim.Traffic.Collisions()) > 0
+	}
+
+	omission, err := NewOmissionFault("vehicle.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 10 s transmitter omission starting in the deceleration phase
+	// leaves Vehicle 3 blind to Vehicle 2's state: collisions follow.
+	if !collidesUnder(omission) {
+		t.Error("omission fault did not collide in the severe window")
+	}
+
+	// Zero-mean corruption noise is low-passed by the 0.5 s actuation
+	// lag and must NOT collide — faults are not automatically attacks.
+	corrupt, err := NewCorruptionFault(0, 0, 3, rng.New(1, "f"), "vehicle.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if collidesUnder(corrupt) {
+		t.Error("zero-mean corruption noise collided; expected filtering to absorb it")
+	}
+
+	// A systematic +2 m/s^2 accelerometer bias, however, poisons the
+	// feedforward persistently (like the falsification attack) and does
+	// cause collisions.
+	bias, err := NewCalibrationFault(0, 0, 2, "vehicle.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !collidesUnder(bias) {
+		t.Error("systematic accelerometer bias did not collide in the severe window")
+	}
+
+	var _ nic.Interceptor = omission
+	var _ = classify.Severe
+}

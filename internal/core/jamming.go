@@ -1,0 +1,102 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"comfase/internal/geo"
+	"comfase/internal/nic"
+	"comfase/internal/scenario"
+	"comfase/internal/sim/des"
+)
+
+// Installer is implemented by attack models that manipulate the
+// simulation beyond per-frame interception — e.g. RF jammers that add
+// hardware to the scene. The engine installs them at attackStartTime and
+// uninstalls them at attackEndTime, in place of swapping an Interceptor.
+type Installer interface {
+	// Install activates the attack on a running simulation.
+	Install(sim *scenario.Simulation) error
+	// Uninstall deactivates it.
+	Uninstall(sim *scenario.Simulation) error
+}
+
+// JammingAttack is a physical-layer attack: an RF jammer rides along
+// with the target vehicle and radiates continuous interference. Unlike
+// the delay/DoS models (which rewrite the channel's propagation-delay
+// parameter), the jammer's impact — receivers' carrier sense going busy
+// and SINR collapse — emerges from the 802.11p PHY model itself.
+type JammingAttack struct {
+	powerDBm float64
+	burst    des.Time
+	period   des.Time
+	targets  targetSet
+	jammer   *nic.Jammer
+}
+
+var (
+	_ AttackModel = (*JammingAttack)(nil)
+	_ Installer   = (*JammingAttack)(nil)
+)
+
+// NewJammingAttack builds a jammer with the given transmit power that
+// follows the first target vehicle. Typical values: 23 dBm matches the
+// vehicles' own radios; -20 dBm is a weak nuisance jammer.
+func NewJammingAttack(powerDBm float64, targets ...string) (*JammingAttack, error) {
+	ts, err := newTargetSet(targets)
+	if err != nil {
+		return nil, err
+	}
+	return &JammingAttack{
+		powerDBm: powerDBm,
+		burst:    des.Millisecond,
+		period:   des.Millisecond,
+		targets:  ts,
+	}, nil
+}
+
+// Name implements AttackModel.
+func (a *JammingAttack) Name() string { return "jamming" }
+
+// Targets implements AttackModel.
+func (a *JammingAttack) Targets() []string { return a.targets.sorted() }
+
+// PowerDBm returns the jammer's transmit power.
+func (a *JammingAttack) PowerDBm() float64 { return a.powerDBm }
+
+// Install implements Installer: it attaches a jammer that tracks the
+// first target vehicle's position and starts radiating.
+func (a *JammingAttack) Install(sim *scenario.Simulation) error {
+	if a.jammer != nil {
+		return errors.New("core: jamming attack already installed")
+	}
+	target := a.targets.sorted()[0]
+	veh, err := sim.Traffic.Vehicle(target)
+	if err != nil {
+		return fmt.Errorf("jamming target: %w", err)
+	}
+	lane, err := sim.Network.Lane(sim.Scenario().Road.ID, sim.Scenario().Lane)
+	if err != nil {
+		return err
+	}
+	pos := func() geo.Vec {
+		return geo.Vec{X: veh.State.Pos, Y: lane.CenterY}
+	}
+	j, err := sim.Air.AddJammer("jammer."+target, pos, a.powerDBm, a.burst, a.period)
+	if err != nil {
+		return err
+	}
+	a.jammer = j
+	j.Start()
+	return nil
+}
+
+// Uninstall implements Installer.
+func (a *JammingAttack) Uninstall(*scenario.Simulation) error {
+	if a.jammer == nil {
+		return errors.New("core: jamming attack not installed")
+	}
+	a.jammer.Stop()
+	a.jammer = nil
+	return nil
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// RunCampaignParallel executes the campaign grid on the given number of
+// worker goroutines. Every experiment builds its own simulation, so runs
+// are independent and the result is bit-for-bit identical to the
+// sequential RunCampaign — the workers only change wall-clock time (the
+// paper's 11,250-experiment campaign is embarrassingly parallel; the
+// authors ran it on an 8-core Ryzen).
+//
+// workers <= 0 selects GOMAXPROCS. progress may be nil; when set it is
+// invoked from worker goroutines under a lock, in completion (not grid)
+// order.
+func (e *Engine) RunCampaignParallel(setup CampaignSetup, workers int, progress Progress) (*CampaignResult, error) {
+	if err := setup.Validate(); err != nil {
+		return nil, err
+	}
+	// Prime the golden run before spawning workers: the cached log is
+	// shared read-only by every experiment.
+	if err := e.ensureGolden(); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	specs := setup.Experiments()
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	if workers <= 1 {
+		return e.RunCampaign(setup, progress)
+	}
+
+	results := make([]ExperimentResult, len(specs))
+	jobs := make(chan int)
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		done     int
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				res, err := e.RunExperiment(specs[idx])
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("experiment %v: %w", specs[idx], err)
+					}
+					mu.Unlock()
+					continue
+				}
+				results[idx] = res
+				done++
+				if progress != nil {
+					progress(done, len(specs))
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for idx := range specs {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	out := &CampaignResult{
+		Setup:       setup,
+		Golden:      *e.goldenRes,
+		Thresholds:  e.thresholds,
+		Experiments: results,
+	}
+	for _, r := range results {
+		out.Counts.Add(r.Outcome)
+	}
+	return out, nil
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"comfase/internal/sim/des"
+)
+
+func smallGrid() CampaignSetup {
+	return CampaignSetup{
+		Attack:    AttackDelay,
+		Targets:   []string{"vehicle.2"},
+		Values:    []float64{0.4, 2.0},
+		Starts:    []des.Time{17 * des.Second, 19800 * des.Millisecond, 21 * des.Second},
+		Durations: []des.Time{2 * des.Second, 10 * des.Second},
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("24 experiments in -short mode")
+	}
+	seq, err := paperEngine(t).RunCampaign(smallGrid(), nil)
+	if err != nil {
+		t.Fatalf("RunCampaign: %v", err)
+	}
+	par, err := paperEngine(t).RunCampaignParallel(smallGrid(), 4, nil)
+	if err != nil {
+		t.Fatalf("RunCampaignParallel: %v", err)
+	}
+	if seq.Counts != par.Counts {
+		t.Fatalf("counts differ: %v vs %v", seq.Counts, par.Counts)
+	}
+	for i := range seq.Experiments {
+		a, b := seq.Experiments[i], par.Experiments[i]
+		if a.Outcome != b.Outcome || a.MaxDecel != b.MaxDecel || a.Collider != b.Collider {
+			t.Errorf("experiment %d diverged: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestParallelProgressCoversAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("12 experiments in -short mode")
+	}
+	var calls atomic.Int64
+	var sawTotal atomic.Int64
+	_, err := paperEngine(t).RunCampaignParallel(smallGrid(), 3, func(done, total int) {
+		calls.Add(1)
+		sawTotal.Store(int64(total))
+	})
+	if err != nil {
+		t.Fatalf("RunCampaignParallel: %v", err)
+	}
+	if calls.Load() != 12 || sawTotal.Load() != 12 {
+		t.Errorf("progress calls = %d (total %d), want 12", calls.Load(), sawTotal.Load())
+	}
+}
+
+func TestParallelRejectsInvalidSetup(t *testing.T) {
+	if _, err := paperEngine(t).RunCampaignParallel(CampaignSetup{}, 2, nil); err == nil {
+		t.Error("invalid setup accepted")
+	}
+}
+
+func TestParallelSingleWorkerFallsBack(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign in -short mode")
+	}
+	setup := CampaignSetup{
+		Attack:    AttackDelay,
+		Targets:   []string{"vehicle.2"},
+		Values:    []float64{2.0},
+		Starts:    []des.Time{18 * des.Second},
+		Durations: []des.Time{10 * des.Second},
+	}
+	res, err := paperEngine(t).RunCampaignParallel(setup, 1, nil)
+	if err != nil {
+		t.Fatalf("RunCampaignParallel: %v", err)
+	}
+	if res.Counts.Total() != 1 {
+		t.Errorf("total = %d", res.Counts.Total())
+	}
+}

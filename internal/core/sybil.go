@@ -1,0 +1,111 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"comfase/internal/geo"
+	"comfase/internal/mac"
+	"comfase/internal/msg"
+	"comfase/internal/nic"
+	"comfase/internal/scenario"
+	"comfase/internal/sim/des"
+)
+
+// Forger produces the forged beacon a Sybil node broadcasts at time now.
+// The returned beacon's PlatoonID/PlatoonIndex decide which cache slot it
+// poisons at the receivers; SentAt is stamped by the attack.
+type Forger func(now des.Time) msg.Beacon
+
+// SybilAttack is an application-layer attack in the style of Boeira et
+// al. (paper §II-D): an attacker node joins the channel and broadcasts
+// beacons under a forged platoon identity. Because the paper's
+// communication model carries no authentication ("no security mechanisms
+// are implemented inside the Veins communication model", §III-C), the
+// followers' caches accept the forgeries — the newest sender time stamp
+// wins.
+type SybilAttack struct {
+	forge   Forger
+	period  des.Time
+	targets targetSet
+
+	ticker *des.Ticker
+	radio  *nic.Radio
+	seq    uint64
+	// Sent counts forged beacons broadcast.
+	Sent uint64
+}
+
+var (
+	_ AttackModel = (*SybilAttack)(nil)
+	_ Installer   = (*SybilAttack)(nil)
+)
+
+// NewSybilAttack builds a Sybil node that shadows the first target
+// vehicle's position and broadcasts forge(now) every period (default:
+// the paper's 0.1 s beaconing).
+func NewSybilAttack(forge Forger, period des.Time, targets ...string) (*SybilAttack, error) {
+	if forge == nil {
+		return nil, errors.New("core: sybil attack needs a forger")
+	}
+	if period <= 0 {
+		period = 100 * des.Millisecond
+	}
+	ts, err := newTargetSet(targets)
+	if err != nil {
+		return nil, err
+	}
+	return &SybilAttack{forge: forge, period: period, targets: ts}, nil
+}
+
+// Name implements AttackModel.
+func (a *SybilAttack) Name() string { return "sybil" }
+
+// Targets implements AttackModel.
+func (a *SybilAttack) Targets() []string { return a.targets.sorted() }
+
+// Install implements Installer: the Sybil node's radio joins the medium
+// next to the target and starts forging.
+func (a *SybilAttack) Install(sim *scenario.Simulation) error {
+	if a.ticker != nil {
+		return errors.New("core: sybil attack already installed")
+	}
+	target := a.targets.sorted()[0]
+	veh, err := sim.Traffic.Vehicle(target)
+	if err != nil {
+		return fmt.Errorf("sybil target: %w", err)
+	}
+	lane, err := sim.Network.Lane(sim.Scenario().Road.ID, sim.Scenario().Lane)
+	if err != nil {
+		return err
+	}
+	// The attacker drives on the adjacent lane, level with the target.
+	radio, err := sim.Air.AddRadio("sybil."+target, func() geo.Vec {
+		return geo.Vec{X: veh.State.Pos, Y: lane.CenterY + 3.2}
+	}, nil)
+	if err != nil {
+		return err
+	}
+	a.radio = radio
+	k := sim.Kernel
+	a.ticker = des.NewTicker(k, a.period, des.PriorityNormal, func() {
+		a.seq++
+		b := a.forge(k.Now())
+		b.SentAt = k.Now()
+		b.Seq = a.seq
+		_ = a.radio.Send(b, sim.Comm().PacketBits, mac.ACVideo, a.seq)
+		a.Sent++
+	})
+	a.ticker.Start(k.Now())
+	return nil
+}
+
+// Uninstall implements Installer.
+func (a *SybilAttack) Uninstall(*scenario.Simulation) error {
+	if a.ticker == nil {
+		return errors.New("core: sybil attack not installed")
+	}
+	a.ticker.StopTicker()
+	a.ticker = nil
+	return nil
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"comfase/internal/msg"
+	"comfase/internal/scenario"
+	"comfase/internal/sim/des"
+)
+
+func TestNewSybilAttackValidation(t *testing.T) {
+	forge := func(des.Time) msg.Beacon { return msg.Beacon{} }
+	if _, err := NewSybilAttack(nil, 0, "vehicle.2"); err == nil {
+		t.Error("nil forger accepted")
+	}
+	if _, err := NewSybilAttack(forge, 0); err == nil {
+		t.Error("no targets accepted")
+	}
+	a, err := NewSybilAttack(forge, 0, "vehicle.2")
+	if err != nil {
+		t.Fatalf("NewSybilAttack: %v", err)
+	}
+	if a.Name() != "sybil" || a.period != 100*des.Millisecond {
+		t.Errorf("defaults wrong: %q %v", a.Name(), a.period)
+	}
+}
+
+func TestSybilLifecycle(t *testing.T) {
+	forge := func(des.Time) msg.Beacon { return msg.Beacon{} }
+	a, _ := NewSybilAttack(forge, 0, "vehicle.2")
+	sim, err := scenario.Build(scenario.PaperScenario(), scenario.PaperCommModel(), 1, nil)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := a.Uninstall(sim); err == nil {
+		t.Error("uninstall before install accepted")
+	}
+	if err := a.Install(sim); err != nil {
+		t.Fatalf("Install: %v", err)
+	}
+	if err := a.Install(sim); err == nil {
+		t.Error("double install accepted")
+	}
+	if err := a.Uninstall(sim); err != nil {
+		t.Fatalf("Uninstall: %v", err)
+	}
+	bad, _ := NewSybilAttack(forge, 0, "vehicle.99")
+	if err := bad.Install(sim); err == nil {
+		t.Error("unknown target accepted")
+	}
+}
+
+// TestSybilLeaderImpersonation is the Boeira-style end-to-end case: a
+// Sybil node impersonates the platoon leader and advertises a hard
+// constant acceleration. Every follower's leader cache is poisoned (no
+// authentication in the channel), the CACC feedforward goes wrong for
+// the whole platoon, and collisions follow.
+func TestSybilLeaderImpersonation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end sybil run in -short mode")
+	}
+	forge := func(des.Time) msg.Beacon {
+		return msg.Beacon{
+			Source:       "evil",
+			PlatoonID:    "platoon.0",
+			PlatoonIndex: 0, // impersonate the leader
+			Speed:        35,
+			Accel:        2.5,
+			Length:       4,
+			Pos:          1e6, // far ahead: spacing comes from radar anyway
+		}
+	}
+	attack, err := NewSybilAttack(forge, 0, "vehicle.2")
+	if err != nil {
+		t.Fatalf("NewSybilAttack: %v", err)
+	}
+	sim, err := scenario.Build(scenario.PaperScenario(), scenario.PaperCommModel(), 1, nil)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := sim.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := sim.RunUntil(18 * des.Second); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if err := applyAttack(sim, attack); err != nil {
+		t.Fatalf("applyAttack: %v", err)
+	}
+	if err := sim.RunUntil(28 * des.Second); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if err := removeAttack(sim, attack); err != nil {
+		t.Fatalf("removeAttack: %v", err)
+	}
+	if err := sim.RunUntil(60 * des.Second); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if attack.Sent == 0 {
+		t.Fatal("sybil node sent nothing")
+	}
+	if len(sim.Traffic.Collisions()) == 0 {
+		t.Error("leader impersonation did not destabilise the platoon")
+	}
+}

@@ -1,0 +1,38 @@
+// Package msg defines the application payloads exchanged over the V2V
+// channel. The platooning application broadcasts cooperative awareness
+// beacons (CAM/BSM style) carrying the kinematic state that CACC
+// controllers consume — the data whose delayed or blocked delivery the
+// ComFASE attacks exploit.
+package msg
+
+import "comfase/internal/sim/des"
+
+// Beacon is a periodic cooperative-awareness message. Field layout
+// follows Plexe's platooning beacon: identity plus kinematic state.
+type Beacon struct {
+	// Source is the sending vehicle's ID.
+	Source string `json:"source"`
+	// Seq is the per-sender sequence number, starting at 1.
+	Seq uint64 `json:"seq"`
+	// SentAt is the application-level send time stamp.
+	SentAt des.Time `json:"sentAtNs"`
+	// PlatoonID names the platoon the sender belongs to.
+	PlatoonID string `json:"platoonId"`
+	// PlatoonIndex is the sender's position in the platoon (0 = leader).
+	PlatoonIndex int `json:"platoonIndex"`
+	// Pos is the sender's front-bumper lane position in metres.
+	Pos float64 `json:"posM"`
+	// Lane is the sender's lane index.
+	Lane int `json:"lane"`
+	// Speed is the sender's speed in m/s.
+	Speed float64 `json:"speedMps"`
+	// Accel is the sender's realised acceleration in m/s^2.
+	Accel float64 `json:"accelMps2"`
+	// Length is the sender's vehicle length in metres, needed by
+	// followers to compute bumper-to-bumper spacing.
+	Length float64 `json:"lengthM"`
+}
+
+// Clone returns a copy of the beacon. Attack models that falsify fields
+// must clone first so the sender's history is not rewritten.
+func (b Beacon) Clone() Beacon { return b }

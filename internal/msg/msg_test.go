@@ -1,0 +1,59 @@
+package msg
+
+import (
+	"encoding/json"
+	"testing"
+
+	"comfase/internal/sim/des"
+)
+
+func TestBeaconCloneIsIndependent(t *testing.T) {
+	b := Beacon{Source: "vehicle.2", Seq: 7, Speed: 27.78, Accel: 1.2}
+	c := b.Clone()
+	c.Accel = -9
+	c.Seq = 99
+	if b.Accel != 1.2 || b.Seq != 7 {
+		t.Errorf("clone mutation leaked into original: %+v", b)
+	}
+}
+
+func TestBeaconJSONRoundTrip(t *testing.T) {
+	b := Beacon{
+		Source:       "vehicle.1",
+		Seq:          42,
+		SentAt:       17200 * des.Millisecond,
+		PlatoonID:    "platoon.0",
+		PlatoonIndex: 0,
+		Pos:          123.45,
+		Lane:         2,
+		Speed:        27.78,
+		Accel:        -1.53,
+		Length:       4,
+	}
+	data, err := json.Marshal(b)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var got Beacon
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if got != b {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, b)
+	}
+	// Field tags keep the wire contract stable.
+	for _, key := range []string{`"source"`, `"seq"`, `"sentAtNs"`, `"posM"`, `"speedMps"`, `"accelMps2"`} {
+		if !json.Valid(data) || !contains(string(data), key) {
+			t.Errorf("wire form missing %s: %s", key, data)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,393 @@
+// Package nic assembles the per-vehicle network interface (EDCA MAC +
+// 802.11p PHY + 1609.4 schedule) and the shared Air medium that couples
+// them — the complete inter-vehicle communication model of the Veins
+// substitute.
+//
+// Air is also ComFASE's injection point: every frame delivery passes
+// through an optional Interceptor that can drop frames, override the
+// channel's propagation delay (the paper's delay and DoS attack models,
+// Table I) or falsify payloads before they reach the receiver. Swapping
+// the interceptor is the Go equivalent of Algorithm 1's CommModelEditor.
+package nic
+
+import (
+	"errors"
+	"fmt"
+
+	"comfase/internal/geo"
+	"comfase/internal/mac"
+	"comfase/internal/phy"
+	"comfase/internal/sim/des"
+	"comfase/internal/sim/rng"
+	"comfase/internal/wave1609"
+)
+
+// MACOverheadBits is the MAC header + FCS overhead added to every
+// application payload (24-byte 802.11 header + 4-byte FCS).
+const MACOverheadBits = (24 + 4) * 8
+
+// RxMeta describes how a frame arrived at a receiver.
+type RxMeta struct {
+	// Src is the transmitting node.
+	Src string
+	// SentAt is the transmission start time.
+	SentAt des.Time
+	// RxAt is the delivery time (end of reception).
+	RxAt des.Time
+	// PropDelay is the propagation delay applied to this link — the
+	// attack-visible quantity.
+	PropDelay des.Time
+	// RxPowerDBm is the received signal power.
+	RxPowerDBm float64
+	// SINRdB is the signal-to-interference-plus-noise ratio the decider
+	// used.
+	SINRdB float64
+}
+
+// RxHandler consumes successfully decoded frames.
+type RxHandler func(f mac.Frame, meta RxMeta)
+
+// Verdict is an Interceptor's decision about one frame delivery on one
+// link.
+type Verdict struct {
+	// Drop discards the frame for this receiver.
+	Drop bool
+	// OverrideDelay, when true, replaces the channel's propagation delay
+	// with Delay — the mechanism of the paper's delay/DoS attacks.
+	OverrideDelay bool
+	// Delay is the overriding propagation delay.
+	Delay des.Time
+	// Payload, when non-nil, replaces the frame payload (falsification
+	// attacks).
+	Payload any
+}
+
+// Interceptor inspects every (transmitter, receiver) frame delivery while
+// installed. Implementations are the ComFASE attack models.
+type Interceptor interface {
+	// Intercept is called at transmission time for each receiver.
+	Intercept(now des.Time, src, dst string, payload any) Verdict
+}
+
+// Stats counts medium-level events.
+type Stats struct {
+	// FramesSent counts transmissions started.
+	FramesSent uint64
+	// Deliveries counts successfully decoded frames.
+	Deliveries uint64
+	// DroppedBelowSensitivity counts receptions under the sensitivity
+	// floor (they still contribute interference).
+	DroppedBelowSensitivity uint64
+	// DroppedSINR counts decoding failures.
+	DroppedSINR uint64
+	// DroppedHalfDuplex counts frames lost because the receiver was
+	// transmitting.
+	DroppedHalfDuplex uint64
+	// DroppedOffChannel counts frames lost because the receiver was
+	// tuned to the SCH (alternating 1609.4 access).
+	DroppedOffChannel uint64
+	// DroppedByInterceptor counts frames dropped by the attack model.
+	DroppedByInterceptor uint64
+	// DelayOverridden counts deliveries whose propagation delay the
+	// attack model rewrote.
+	DelayOverridden uint64
+	// NoiseBursts counts jamming bursts radiated onto the medium.
+	NoiseBursts uint64
+}
+
+// Config configures the shared medium.
+type Config struct {
+	// Kernel drives all radio events (required).
+	Kernel *des.Kernel
+	// Channel is the analog-channel model (required valid).
+	Channel phy.ChannelConfig
+	// Schedule is the 1609.4 channel-access schedule shared by all
+	// radios.
+	Schedule wave1609.Schedule
+	// Seed derives the backoff and decider random streams.
+	Seed uint64
+}
+
+// Air is the shared broadcast medium connecting all radios.
+type Air struct {
+	k     *des.Kernel
+	cfg   phy.ChannelConfig
+	sched wave1609.Schedule
+
+	radios []*Radio
+	byID   map[string]*Radio
+
+	interceptor Interceptor
+	deciderRNG  *rng.Source
+	seed        uint64
+
+	stats Stats
+}
+
+// NewAir builds an empty medium.
+func NewAir(cfg Config) (*Air, error) {
+	if cfg.Kernel == nil {
+		return nil, errors.New("nic: Config.Kernel is required")
+	}
+	if err := cfg.Channel.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Schedule.Validate(); err != nil {
+		return nil, err
+	}
+	return &Air{
+		k:          cfg.Kernel,
+		cfg:        cfg.Channel,
+		sched:      cfg.Schedule,
+		byID:       make(map[string]*Radio, 8),
+		deciderRNG: rng.New(cfg.Seed, "nic.decider"),
+		seed:       cfg.Seed,
+	}, nil
+}
+
+// SetInterceptor installs (or, with nil, removes) the attack model. This
+// is ComFASE's CommModelEditor: Algorithm 1 applies it at attackStartTime
+// and removes it at attackEndTime.
+func (a *Air) SetInterceptor(i Interceptor) { a.interceptor = i }
+
+// Interceptor returns the installed attack model, if any.
+func (a *Air) Interceptor() Interceptor { return a.interceptor }
+
+// Stats returns a snapshot of the medium counters.
+func (a *Air) Stats() Stats { return a.stats }
+
+// Channel returns the analog channel configuration.
+func (a *Air) Channel() phy.ChannelConfig { return a.cfg }
+
+// Radio returns a registered radio by node ID.
+func (a *Air) Radio(id string) (*Radio, error) {
+	r, ok := a.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("nic: unknown radio %q", id)
+	}
+	return r, nil
+}
+
+// AddRadio registers a node on the medium. pos must report the node's
+// antenna position; handler receives decoded frames.
+func (a *Air) AddRadio(id string, pos func() geo.Vec, handler RxHandler) (*Radio, error) {
+	if id == "" {
+		return nil, errors.New("nic: radio ID must be non-empty")
+	}
+	if pos == nil {
+		return nil, errors.New("nic: position provider is required")
+	}
+	if _, dup := a.byID[id]; dup {
+		return nil, fmt.Errorf("nic: duplicate radio %q", id)
+	}
+	r := &Radio{
+		id:      id,
+		air:     a,
+		pos:     pos,
+		handler: handler,
+	}
+	m, err := mac.New(mac.Config{
+		Kernel:   a.k,
+		RNG:      rng.New(a.seed, "nic.mac."+id),
+		Schedule: a.sched,
+		Airtime:  a.airtime,
+		Transmit: func(f mac.Frame) { a.transmit(r, f) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.mac = m
+	a.radios = append(a.radios, r)
+	a.byID[id] = r
+	return r, nil
+}
+
+// airtime converts PSDU bits to on-air time via the configured MCS.
+func (a *Air) airtime(bits int) des.Time {
+	us := a.cfg.MCS.FrameAirtimeUs(bits)
+	return des.FromSeconds(us / 1e6)
+}
+
+// transmit fans a started transmission out to every other radio.
+func (a *Air) transmit(src *Radio, f mac.Frame) {
+	now := a.k.Now()
+	dur := a.airtime(f.Bits)
+	a.stats.FramesSent++
+	src.txStart = now
+	src.txEnd = now.Add(dur)
+	a.k.ScheduleAt(src.txEnd, src.mac.TxDone)
+
+	srcPos := src.pos()
+	for _, dst := range a.radios {
+		if dst == src {
+			continue
+		}
+		dist := srcPos.Dist(dst.pos())
+		delay := a.cfg.Delay.Delay(dist)
+		payload := f.Payload
+		if a.interceptor != nil {
+			v := a.interceptor.Intercept(now, src.id, dst.id, payload)
+			if v.Drop {
+				a.stats.DroppedByInterceptor++
+				continue
+			}
+			if v.OverrideDelay {
+				delay = v.Delay
+				a.stats.DelayOverridden++
+			}
+			if v.Payload != nil {
+				payload = v.Payload
+			}
+		}
+		rxPower := a.cfg.RxPowerDBm(dist)
+		if a.cfg.Fading != nil {
+			rxPower += a.cfg.Fading.GainDB(dist)
+		}
+		rec := &reception{
+			frame:    f,
+			payload:  payload,
+			sentAt:   now,
+			start:    now.Add(delay),
+			powerDBm: rxPower,
+			delay:    delay,
+		}
+		rec.end = rec.start.Add(dur)
+		a.k.ScheduleAt(rec.start, func() { dst.beginReception(rec) })
+		a.k.ScheduleAt(rec.end, func() { dst.endReception(rec) })
+	}
+}
+
+// reception is one frame arriving at one radio.
+type reception struct {
+	frame    mac.Frame
+	payload  any
+	sentAt   des.Time
+	start    des.Time
+	end      des.Time
+	powerDBm float64
+	delay    des.Time
+	// interferenceMw accumulates the power of every overlapping
+	// reception at this radio (worst-case SINR, like Veins' per-segment
+	// minimum).
+	interferenceMw float64
+	// sensedBusy records whether this reception raised carrier sense.
+	sensedBusy bool
+	// noise marks pure interference (jamming bursts): it contributes to
+	// carrier sense and SINR but is never decoded.
+	noise bool
+}
+
+// Radio is one node's network interface on the Air.
+type Radio struct {
+	id      string
+	air     *Air
+	pos     func() geo.Vec
+	handler RxHandler
+	mac     *mac.EDCA
+
+	active  []*reception
+	txStart des.Time
+	txEnd   des.Time
+	busy    int
+}
+
+// ID returns the node ID.
+func (r *Radio) ID() string { return r.id }
+
+// MAC exposes the EDCA entity (for stats and tests).
+func (r *Radio) MAC() *mac.EDCA { return r.mac }
+
+// Send broadcasts an application payload of the given size (payload bits,
+// the paper's packetSize) at the given access category. MAC overhead is
+// added automatically.
+func (r *Radio) Send(payload any, payloadBits int, ac mac.AccessCategory, seq uint64) error {
+	return r.mac.Enqueue(mac.Frame{
+		Seq:     seq,
+		Src:     r.id,
+		Bits:    payloadBits + MACOverheadBits,
+		AC:      ac,
+		Payload: payload,
+	})
+}
+
+// beginReception registers an incoming frame: it interferes with every
+// overlapping reception and may raise carrier sense.
+func (r *Radio) beginReception(rec *reception) {
+	mw := phy.DBmToMilliwatt(rec.powerDBm)
+	for _, other := range r.active {
+		other.interferenceMw += mw
+		rec.interferenceMw += phy.DBmToMilliwatt(other.powerDBm)
+	}
+	r.active = append(r.active, rec)
+	if rec.powerDBm >= r.air.cfg.CCAThresholdDBm {
+		rec.sensedBusy = true
+		r.busy++
+		if r.busy == 1 {
+			r.mac.ChannelBusy()
+		}
+	}
+}
+
+// endReception finishes an incoming frame: decide, deliver, release
+// carrier sense.
+func (r *Radio) endReception(rec *reception) {
+	for i, other := range r.active {
+		if other == rec {
+			r.active = append(r.active[:i], r.active[i+1:]...)
+			break
+		}
+	}
+	if rec.sensedBusy {
+		r.busy--
+		if r.busy == 0 {
+			r.mac.ChannelIdle()
+		}
+	}
+
+	a := r.air
+	cfg := a.cfg
+	switch {
+	case rec.noise:
+		// Jamming bursts are never decoded; their effect is the carrier
+		// sense and interference they already contributed.
+		return
+	case rec.powerDBm < cfg.SensitivityDBm:
+		a.stats.DroppedBelowSensitivity++
+		return
+	case r.txStart < rec.end && rec.start < r.txEnd:
+		// Half duplex: we transmitted during part of the reception.
+		a.stats.DroppedHalfDuplex++
+		return
+	case !a.sched.InCCH(rec.start) || !a.sched.InCCH(rec.end):
+		a.stats.DroppedOffChannel++
+		return
+	}
+
+	sinr := cfg.SINRdB(rec.powerDBm, phy.MilliwattToDBm(rec.interferenceMw))
+	ok := false
+	switch cfg.Decider {
+	case phy.DeciderThreshold:
+		ok = sinr >= cfg.MCS.MinSNRdB()
+	case phy.DeciderProbabilistic:
+		per := cfg.MCS.PacketErrorRate(sinr, rec.frame.Bits)
+		ok = !a.deciderRNG.Bernoulli(per)
+	}
+	if !ok {
+		a.stats.DroppedSINR++
+		return
+	}
+	a.stats.Deliveries++
+	if r.handler == nil {
+		return
+	}
+	f := rec.frame
+	f.Payload = rec.payload
+	r.handler(f, RxMeta{
+		Src:        f.Src,
+		SentAt:     rec.sentAt,
+		RxAt:       rec.end,
+		PropDelay:  rec.delay,
+		RxPowerDBm: rec.powerDBm,
+		SINRdB:     sinr,
+	})
+}

@@ -1,0 +1,140 @@
+package phy
+
+import (
+	"errors"
+
+	"comfase/internal/sim/des"
+)
+
+// DelayModel computes the propagation delay of a frame as a function of
+// transmitter-receiver distance. This is the Veins channel parameter
+// (propagationDelay) that ComFASE's delay and DoS attack models rewrite
+// (Table I: target parameter "Propagation delay (PD)").
+type DelayModel interface {
+	// Delay returns the propagation delay for the given distance in
+	// metres.
+	Delay(distance float64) des.Time
+}
+
+// SpeedOfLightDelay is the physical default: distance / c. For platoon
+// ranges (< 100 m) this is a few hundred nanoseconds.
+type SpeedOfLightDelay struct{}
+
+var _ DelayModel = SpeedOfLightDelay{}
+
+// Delay implements DelayModel.
+func (SpeedOfLightDelay) Delay(distance float64) des.Time {
+	if distance < 0 {
+		distance = 0
+	}
+	return des.FromSeconds(distance / SpeedOfLight)
+}
+
+// FixedDelay returns a constant propagation delay regardless of distance.
+// It is the building block the attack models use: ComFASE overrides the
+// channel's PD with the attackValue while an attack is active.
+type FixedDelay struct {
+	// D is the constant delay.
+	D des.Time
+}
+
+var _ DelayModel = FixedDelay{}
+
+// Delay implements DelayModel.
+func (f FixedDelay) Delay(float64) des.Time { return f.D }
+
+// DeciderMode selects how the receiver judges frames.
+type DeciderMode int
+
+const (
+	// DeciderThreshold accepts every frame whose SINR clears the MCS
+	// threshold — fully deterministic, used by default for campaign
+	// reproducibility.
+	DeciderThreshold DeciderMode = iota + 1
+	// DeciderProbabilistic draws a Bernoulli success from the SINR-based
+	// packet error rate, like Veins' NIST decider.
+	DeciderProbabilistic
+)
+
+// ChannelConfig bundles the analog-channel parameters of the CommModel of
+// ComFASE Step-1 plus the receiver characteristics.
+type ChannelConfig struct {
+	// PathLoss is the wirelessModel (free-space in the paper's
+	// experiments).
+	PathLoss PathLoss
+	// Delay is the propagation-delay model (speed of light by default).
+	Delay DelayModel
+	// FreqHz is the carrier frequency (5.89 GHz CCH by default).
+	FreqHz float64
+	// TxPowerDBm is the transmit power (Veins default 20 mW = 13 dBm;
+	// we use 23 dBm, a common DSRC setting).
+	TxPowerDBm float64
+	// NoiseFloorDBm is thermal noise plus receiver noise figure over the
+	// 10 MHz channel (about -104 dBm + 6 dB NF = -98 dBm).
+	NoiseFloorDBm float64
+	// SensitivityDBm is the minimum detectable signal (Veins default
+	// -89 dBm).
+	SensitivityDBm float64
+	// CCAThresholdDBm is the carrier-sense busy threshold (-85 dBm).
+	CCAThresholdDBm float64
+	// MCS is the modulation-and-coding scheme for all frames.
+	MCS MCS
+	// Decider selects deterministic or probabilistic reception.
+	Decider DeciderMode
+	// Fading, when non-nil, adds per-frame stochastic fading on top of
+	// the path loss (e.g. NakagamiFading). The paper's experiments run
+	// without it.
+	Fading Fading
+}
+
+// DefaultChannelConfig returns the configuration used by the paper's
+// experiments: free-space path loss, speed-of-light propagation delay,
+// CCH at 5.89 GHz, QPSK 1/2 (6 Mbit/s), deterministic decider.
+func DefaultChannelConfig() ChannelConfig {
+	return ChannelConfig{
+		PathLoss:        FreeSpace{Alpha: 2},
+		Delay:           SpeedOfLightDelay{},
+		FreqHz:          5.89e9,
+		TxPowerDBm:      23,
+		NoiseFloorDBm:   -98,
+		SensitivityDBm:  -89,
+		CCAThresholdDBm: -85,
+		MCS:             MCSQpskR12,
+		Decider:         DeciderThreshold,
+	}
+}
+
+// Validate reports the first configuration problem, or nil.
+func (c ChannelConfig) Validate() error {
+	switch {
+	case c.PathLoss == nil:
+		return errors.New("phy: PathLoss is required")
+	case c.Delay == nil:
+		return errors.New("phy: Delay model is required")
+	case c.FreqHz <= 0:
+		return errors.New("phy: FreqHz must be positive")
+	case !c.MCS.Valid():
+		return errors.New("phy: invalid MCS")
+	case c.Decider != DeciderThreshold && c.Decider != DeciderProbabilistic:
+		return errors.New("phy: invalid decider mode")
+	}
+	return nil
+}
+
+// RxPowerDBm computes the received power over the configured path loss.
+func (c ChannelConfig) RxPowerDBm(distance float64) float64 {
+	return c.TxPowerDBm - c.PathLoss.LossDB(distance, c.FreqHz)
+}
+
+// SNRdB computes the signal-to-noise ratio for a received power.
+func (c ChannelConfig) SNRdB(rxPowerDBm float64) float64 {
+	return rxPowerDBm - c.NoiseFloorDBm
+}
+
+// SINRdB computes the signal-to-interference-plus-noise ratio given the
+// aggregate interference power in dBm (use math.Inf(-1) for none).
+func (c ChannelConfig) SINRdB(rxPowerDBm, interferenceDBm float64) float64 {
+	noiseMw := DBmToMilliwatt(c.NoiseFloorDBm)
+	intMw := DBmToMilliwatt(interferenceDBm)
+	return rxPowerDBm - MilliwattToDBm(noiseMw+intMw)
+}

@@ -1,0 +1,42 @@
+package phy_test
+
+import (
+	"fmt"
+
+	"comfase/internal/phy"
+)
+
+// Link-budget arithmetic for the paper's channel: free-space path loss
+// at DSRC frequency, receive power, SNR, and the decodability of the
+// 6 Mbit/s beacon rate.
+func ExampleChannelConfig() {
+	cfg := phy.DefaultChannelConfig()
+
+	rx := cfg.RxPowerDBm(10) // platoon-spacing distance
+	snr := cfg.SNRdB(rx)
+	fmt.Printf("rx at 10 m: %.1f dBm, SNR %.1f dB\n", rx, snr)
+	fmt.Println("decodable:", snr >= cfg.MCS.MinSNRdB())
+	// Output:
+	// rx at 10 m: -44.9 dBm, SNR 53.1 dB
+	// decodable: true
+}
+
+// The paper's 200-bit beacons occupy the channel for 80 us at QPSK 1/2.
+func ExampleMCS_FrameAirtimeUs() {
+	fmt.Println(phy.MCSQpskR12.FrameAirtimeUs(200), "us")
+	fmt.Println(phy.MCSQpskR12.BitrateMbps(), "Mbit/s")
+	// Output:
+	// 80 us
+	// 6 Mbit/s
+}
+
+// The propagation delay the ComFASE attacks rewrite is distance / c by
+// default — sub-microsecond at platoon range.
+func ExampleSpeedOfLightDelay() {
+	var d phy.SpeedOfLightDelay
+	fmt.Println(d.Delay(10) < 100) // nanoseconds
+	fmt.Println(phy.FixedDelay{D: 2e9}.Delay(10))
+	// Output:
+	// true
+	// 2s
+}

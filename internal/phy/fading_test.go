@@ -1,0 +1,80 @@
+package phy
+
+import (
+	"math"
+	"testing"
+
+	"comfase/internal/sim/rng"
+)
+
+func TestNakagamiUnitMeanPower(t *testing.T) {
+	f := NewNakagamiFading(rng.New(1, "fading"))
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += DBToLinear(f.GainDB(10)) // near range: m = 3
+	}
+	mean := sum / n
+	if math.Abs(mean-1) > 0.02 {
+		t.Errorf("near-range fading mean power = %v, want ~1", mean)
+	}
+}
+
+func TestNakagamiFarRangeMoreVariable(t *testing.T) {
+	f := NewNakagamiFading(rng.New(1, "fading"))
+	variance := func(dist float64) float64 {
+		const n = 100000
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			g := DBToLinear(f.GainDB(dist))
+			sum += g
+			sumSq += g * g
+		}
+		mean := sum / n
+		return sumSq/n - mean*mean
+	}
+	near := variance(10) // m = 3: Var = 1/3
+	far := variance(200) // m = 1.5: Var = 2/3
+	if far <= near {
+		t.Errorf("far-range variance %v not above near-range %v", far, near)
+	}
+	if math.Abs(near-1.0/3.0) > 0.05 {
+		t.Errorf("m=3 variance = %v, want ~1/3", near)
+	}
+	if math.Abs(far-2.0/3.0) > 0.08 {
+		t.Errorf("m=1.5 variance = %v, want ~2/3", far)
+	}
+}
+
+func TestNakagamiDegenerateShapes(t *testing.T) {
+	f := &NakagamiFading{M: 0, Src: rng.New(1, "x")}
+	for i := 0; i < 100; i++ {
+		g := f.GainDB(10)
+		if math.IsNaN(g) || math.IsInf(g, 0) {
+			t.Fatalf("invalid gain %v for degenerate shape", g)
+		}
+	}
+	sub := &NakagamiFading{M: 0.5, Src: rng.New(1, "y")}
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += DBToLinear(sub.GainDB(10))
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.05 {
+		t.Errorf("m=0.5 mean power = %v, want ~1 (shape<1 boost path)", mean)
+	}
+}
+
+func TestNakagamiName(t *testing.T) {
+	if NewNakagamiFading(rng.New(1, "z")).Name() != "nakagami" {
+		t.Error("Name wrong")
+	}
+}
+
+func TestChannelConfigValidWithFading(t *testing.T) {
+	cfg := DefaultChannelConfig()
+	cfg.Fading = NewNakagamiFading(rng.New(1, "f"))
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("config with fading invalid: %v", err)
+	}
+}

@@ -1,0 +1,270 @@
+package phy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"comfase/internal/sim/des"
+)
+
+func TestUnitConversionsRoundTrip(t *testing.T) {
+	f := func(dbm float64) bool {
+		dbm = math.Mod(dbm, 200)
+		back := MilliwattToDBm(DBmToMilliwatt(dbm))
+		return math.Abs(back-dbm) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if MilliwattToDBm(0) != math.Inf(-1) {
+		t.Error("0 mW should be -inf dBm")
+	}
+	if DBmToMilliwatt(math.Inf(-1)) != 0 {
+		t.Error("-inf dBm should be 0 mW")
+	}
+	if got := DBmToMilliwatt(0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("0 dBm = %v mW, want 1", got)
+	}
+	if got := DBToLinear(3); math.Abs(got-1.9953) > 1e-3 {
+		t.Errorf("3 dB = %v, want ~2", got)
+	}
+	if got := LinearToDB(100); math.Abs(got-20) > 1e-12 {
+		t.Errorf("100x = %v dB, want 20", got)
+	}
+}
+
+func TestFreeSpaceKnownValue(t *testing.T) {
+	// FSPL at 100 m, 5.89 GHz: 20log10(4*pi*100*5.89e9/c) = ~87.8 dB.
+	m := FreeSpace{}
+	got := m.LossDB(100, 5.89e9)
+	if math.Abs(got-87.84) > 0.1 {
+		t.Errorf("FSPL(100m) = %v dB, want ~87.84", got)
+	}
+}
+
+func TestFreeSpaceMonotoneInDistance(t *testing.T) {
+	m := FreeSpace{}
+	prev := math.Inf(-1)
+	for d := 1.0; d <= 10000; d *= 1.7 {
+		l := m.LossDB(d, 5.89e9)
+		if l <= prev {
+			t.Fatalf("free-space loss not monotone at %v m", d)
+		}
+		prev = l
+	}
+}
+
+func TestFreeSpaceAlphaExponent(t *testing.T) {
+	base := FreeSpace{Alpha: 2}
+	steep := FreeSpace{Alpha: 3}
+	// At 100 m the alpha-3 model loses an extra 10*log10(100) = 20 dB.
+	diff := steep.LossDB(100, 5.89e9) - base.LossDB(100, 5.89e9)
+	if math.Abs(diff-20) > 1e-9 {
+		t.Errorf("alpha exponent delta = %v dB, want 20", diff)
+	}
+}
+
+func TestFreeSpaceClampsBelowOneMetre(t *testing.T) {
+	m := FreeSpace{}
+	if m.LossDB(0.1, 5.89e9) != m.LossDB(1, 5.89e9) {
+		t.Error("sub-metre distances should clamp to 1 m")
+	}
+}
+
+func TestTwoRayApproachesFreeSpaceNearby(t *testing.T) {
+	// At very short range the direct ray dominates: the models should be
+	// within a few dB of each other.
+	fs := FreeSpace{}
+	tr := TwoRayInterference{}
+	d := 10.0
+	diff := math.Abs(fs.LossDB(d, 5.89e9) - tr.LossDB(d, 5.89e9))
+	if diff > 6 {
+		t.Errorf("two-ray deviates %v dB from free space at %v m", diff, d)
+	}
+}
+
+func TestTwoRayShowsFadingStructure(t *testing.T) {
+	// The hallmark of the two-ray model: non-monotone loss (fading dips)
+	// at mid range, unlike free space.
+	tr := TwoRayInterference{}
+	monotone := true
+	prev := tr.LossDB(10, 5.89e9)
+	for d := 11.0; d < 500; d++ {
+		l := tr.LossDB(d, 5.89e9)
+		if l < prev {
+			monotone = false
+			break
+		}
+		prev = l
+	}
+	if monotone {
+		t.Error("two-ray model shows no interference structure")
+	}
+}
+
+func TestMCSValidAndString(t *testing.T) {
+	if !MCSQpskR12.Valid() || MCS(0).Valid() || MCS(99).Valid() {
+		t.Error("MCS validity wrong")
+	}
+	if MCSQpskR12.String() != "QPSK-1/2" {
+		t.Errorf("String = %q", MCSQpskR12.String())
+	}
+	if MCS(99).String() == "" {
+		t.Error("unknown MCS has empty String")
+	}
+	if MCSQpskR12.BitrateMbps() != 6 {
+		t.Errorf("QPSK 1/2 bitrate = %v, want 6", MCSQpskR12.BitrateMbps())
+	}
+}
+
+func TestFrameAirtime(t *testing.T) {
+	// 200-bit payload (the paper's packetSize) at QPSK 1/2:
+	// ceil((200+22)/48) = 5 symbols -> 40 + 5*8 = 80 us.
+	got := MCSQpskR12.FrameAirtimeUs(200)
+	if got != 80 {
+		t.Errorf("airtime(200 bits) = %v us, want 80", got)
+	}
+	if MCSQpskR12.FrameAirtimeUs(0) != 40+8 {
+		t.Errorf("empty frame = %v us, want preamble + 1 symbol", MCSQpskR12.FrameAirtimeUs(0))
+	}
+	if MCSQpskR12.FrameAirtimeUs(-5) != MCSQpskR12.FrameAirtimeUs(0) {
+		t.Error("negative bits not clamped")
+	}
+}
+
+func TestFrameAirtimeFasterMCSShorter(t *testing.T) {
+	slow := MCSBpskR12.FrameAirtimeUs(800)
+	fast := MCSQam64R34.FrameAirtimeUs(800)
+	if fast >= slow {
+		t.Errorf("64QAM airtime %v >= BPSK airtime %v", fast, slow)
+	}
+}
+
+func TestBitErrorRateMonotoneInSNR(t *testing.T) {
+	for mcs := MCSBpskR12; mcs <= MCSQam64R34; mcs++ {
+		prev := 1.0
+		for snr := -10.0; snr <= 30; snr += 0.5 {
+			ber := mcs.BitErrorRate(snr)
+			if ber < 0 || ber > 0.5 {
+				t.Fatalf("%v BER(%v) = %v out of range", mcs, snr, ber)
+			}
+			if ber > prev+1e-12 {
+				t.Fatalf("%v BER not nonincreasing at %v dB", mcs, snr)
+			}
+			prev = ber
+		}
+	}
+}
+
+func TestBitErrorRateOrderingAcrossMCS(t *testing.T) {
+	// At a fixed mid-range SNR, higher-order modulation must have a
+	// higher error rate.
+	snr := 8.0
+	if MCSQpskR12.BitErrorRate(snr) >= MCSQam64R34.BitErrorRate(snr) {
+		t.Error("QPSK 1/2 not more robust than 64QAM 3/4")
+	}
+}
+
+func TestPacketErrorRate(t *testing.T) {
+	// High SNR: essentially error-free for beacon-sized frames.
+	if per := MCSQpskR12.PacketErrorRate(30, 400); per > 1e-6 {
+		t.Errorf("PER at 30 dB = %v, want ~0", per)
+	}
+	// Very low SNR: certain loss.
+	if per := MCSQpskR12.PacketErrorRate(-10, 400); per < 0.999 {
+		t.Errorf("PER at -10 dB = %v, want ~1", per)
+	}
+	if MCSQpskR12.PacketErrorRate(10, 0) != 0 {
+		t.Error("zero-length packet should have zero PER")
+	}
+	// PER grows with frame length.
+	if MCSQpskR12.PacketErrorRate(7, 100) >= MCSQpskR12.PacketErrorRate(7, 10000) {
+		t.Error("PER not increasing in frame length")
+	}
+}
+
+func TestSpeedOfLightDelay(t *testing.T) {
+	d := SpeedOfLightDelay{}
+	// 300 m -> ~1.0007 us.
+	got := d.Delay(300)
+	want := des.FromSeconds(300 / SpeedOfLight)
+	if got != want {
+		t.Errorf("Delay(300) = %v, want %v", got, want)
+	}
+	if d.Delay(-5) != 0 {
+		t.Error("negative distance should clamp to zero delay")
+	}
+	// Platoon-range delay is sub-microsecond.
+	if d.Delay(50) > des.Microsecond {
+		t.Errorf("Delay(50 m) = %v, want < 1 us", d.Delay(50))
+	}
+}
+
+func TestFixedDelayIgnoresDistance(t *testing.T) {
+	fd := FixedDelay{D: 2 * des.Second}
+	if fd.Delay(1) != 2*des.Second || fd.Delay(1e6) != 2*des.Second {
+		t.Error("FixedDelay not constant")
+	}
+}
+
+func TestDefaultChannelConfigValid(t *testing.T) {
+	cfg := DefaultChannelConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	if cfg.MCS != MCSQpskR12 {
+		t.Errorf("default MCS = %v, want QPSK 1/2", cfg.MCS)
+	}
+}
+
+func TestChannelConfigValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*ChannelConfig)
+	}{
+		{name: "nil pathloss", mutate: func(c *ChannelConfig) { c.PathLoss = nil }},
+		{name: "nil delay", mutate: func(c *ChannelConfig) { c.Delay = nil }},
+		{name: "zero freq", mutate: func(c *ChannelConfig) { c.FreqHz = 0 }},
+		{name: "bad mcs", mutate: func(c *ChannelConfig) { c.MCS = 0 }},
+		{name: "bad decider", mutate: func(c *ChannelConfig) { c.Decider = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultChannelConfig()
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestRxPowerAtPlatoonRangeDecodable(t *testing.T) {
+	cfg := DefaultChannelConfig()
+	// At 10 m (platoon spacing) the link budget is enormous.
+	rx := cfg.RxPowerDBm(10)
+	if rx < cfg.SensitivityDBm+40 {
+		t.Errorf("rx power at 10 m = %v dBm, expected far above sensitivity", rx)
+	}
+	if snr := cfg.SNRdB(rx); snr < MCSQpskR12.MinSNRdB() {
+		t.Errorf("SNR at 10 m = %v dB, expected decodable", snr)
+	}
+}
+
+func TestSINRWithInterference(t *testing.T) {
+	cfg := DefaultChannelConfig()
+	rx := -60.0
+	// No interference: SINR == SNR.
+	if got, want := cfg.SINRdB(rx, math.Inf(-1)), cfg.SNRdB(rx); math.Abs(got-want) > 1e-9 {
+		t.Errorf("SINR without interference = %v, want %v", got, want)
+	}
+	// Strong co-channel interferer dominates noise.
+	withInt := cfg.SINRdB(rx, -70)
+	if math.Abs(withInt-10) > 0.1 {
+		t.Errorf("SINR with -70 dBm interferer = %v, want ~10 dB", withInt)
+	}
+	if withInt >= cfg.SNRdB(rx) {
+		t.Error("interference did not reduce SINR")
+	}
+}

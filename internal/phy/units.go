@@ -1,0 +1,40 @@
+// Package phy implements the IEEE 802.11p physical layer of the Veins
+// substitute: path-loss models (free-space and two-ray interference, the
+// two wirelessModel options of ComFASE Step-1), thermal noise, an
+// SINR-based frame decider with per-MCS bit-error rates, and the
+// propagation-delay model — the exact channel parameter ComFASE's delay
+// and DoS attacks manipulate.
+package phy
+
+import "math"
+
+// SpeedOfLight is the propagation speed used for the default propagation
+// delay model, in m/s.
+const SpeedOfLight = 299792458.0
+
+// DBmToMilliwatt converts a power level from dBm to milliwatts.
+func DBmToMilliwatt(dbm float64) float64 {
+	return math.Pow(10, dbm/10)
+}
+
+// MilliwattToDBm converts a power level from milliwatts to dBm. Zero or
+// negative power maps to -inf dBm.
+func MilliwattToDBm(mw float64) float64 {
+	if mw <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(mw)
+}
+
+// DBToLinear converts a ratio from decibels to linear scale.
+func DBToLinear(db float64) float64 {
+	return math.Pow(10, db/10)
+}
+
+// LinearToDB converts a linear ratio to decibels.
+func LinearToDB(lin float64) float64 {
+	if lin <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(lin)
+}

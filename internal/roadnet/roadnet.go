@@ -1,0 +1,178 @@
+// Package roadnet models the road infrastructure on which the traffic
+// simulator places vehicles. It is the static-network part of our SUMO
+// substitute: roads composed of parallel lanes, each with a length, a
+// width and a speed limit, mirroring the roadFeatures configuration of
+// ComFASE's Step-1 (number of lanes, length, width, speed limit).
+//
+// The demonstration scenario of the paper needs only a single straight
+// multi-lane road, but the package supports multiple roads so richer
+// scenarios (merges, teleoperation routes) can be added the way the
+// paper's future-work section anticipates.
+package roadnet
+
+import (
+	"errors"
+	"fmt"
+
+	"comfase/internal/geo"
+)
+
+// Errors returned by network construction and lookups.
+var (
+	ErrNoLanes       = errors.New("roadnet: road must have at least one lane")
+	ErrBadLength     = errors.New("roadnet: road length must be positive")
+	ErrBadWidth      = errors.New("roadnet: lane width must be positive")
+	ErrBadSpeedLimit = errors.New("roadnet: speed limit must be positive")
+	ErrUnknownRoad   = errors.New("roadnet: unknown road")
+	ErrUnknownLane   = errors.New("roadnet: unknown lane")
+)
+
+// RoadSpec describes a straight road segment, matching the roadFeatures
+// parameters of ComFASE Step-1.
+type RoadSpec struct {
+	// ID names the road, e.g. "highway".
+	ID string
+	// Lanes is the number of parallel lanes (the paper's scenario: 4).
+	Lanes int
+	// Length is the drivable length in metres (paper: 9400 m).
+	Length float64
+	// LaneWidth is the width of each lane in metres (paper: 3.2 m).
+	LaneWidth float64
+	// SpeedLimit is the maximum allowed speed in m/s (paper: 90 m/s).
+	SpeedLimit float64
+}
+
+// Validate reports the first specification problem, or nil.
+func (s RoadSpec) Validate() error {
+	switch {
+	case s.Lanes < 1:
+		return ErrNoLanes
+	case s.Length <= 0:
+		return ErrBadLength
+	case s.LaneWidth <= 0:
+		return ErrBadWidth
+	case s.SpeedLimit <= 0:
+		return ErrBadSpeedLimit
+	}
+	return nil
+}
+
+// Lane is one drivable lane of a road.
+type Lane struct {
+	// Road is the owning road's ID.
+	Road string
+	// Index is the lane index, 0 = rightmost.
+	Index int
+	// Length mirrors the road length in metres.
+	Length float64
+	// Width is the lane width in metres.
+	Width float64
+	// SpeedLimit is the lane's speed limit in m/s.
+	SpeedLimit float64
+	// CenterY is the lateral world coordinate of the lane's centre line.
+	CenterY float64
+}
+
+// ID renders a SUMO-style lane identifier, e.g. "highway_0".
+func (l Lane) ID() string { return fmt.Sprintf("%s_%d", l.Road, l.Index) }
+
+// PositionAt maps a longitudinal offset on the lane to a world
+// coordinate. Offsets are clamped to [0, Length].
+func (l Lane) PositionAt(offset float64) geo.Vec {
+	return geo.Vec{X: geo.Clamp(offset, 0, l.Length), Y: l.CenterY}
+}
+
+// Contains reports whether a longitudinal offset lies on the lane.
+func (l Lane) Contains(offset float64) bool {
+	return offset >= 0 && offset <= l.Length
+}
+
+// Network is an immutable collection of roads and their lanes.
+type Network struct {
+	roads map[string]RoadSpec
+	lanes map[string][]Lane
+}
+
+// NewNetwork validates the specs and builds a network. Lane 0 of each
+// road sits at CenterY = LaneWidth/2, lane i at (i+0.5)*LaneWidth.
+func NewNetwork(specs ...RoadSpec) (*Network, error) {
+	n := &Network{
+		roads: make(map[string]RoadSpec, len(specs)),
+		lanes: make(map[string][]Lane, len(specs)),
+	}
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("road %q: %w", s.ID, err)
+		}
+		if _, dup := n.roads[s.ID]; dup {
+			return nil, fmt.Errorf("roadnet: duplicate road %q", s.ID)
+		}
+		n.roads[s.ID] = s
+		lanes := make([]Lane, s.Lanes)
+		for i := 0; i < s.Lanes; i++ {
+			lanes[i] = Lane{
+				Road:       s.ID,
+				Index:      i,
+				Length:     s.Length,
+				Width:      s.LaneWidth,
+				SpeedLimit: s.SpeedLimit,
+				CenterY:    (float64(i) + 0.5) * s.LaneWidth,
+			}
+		}
+		n.lanes[s.ID] = lanes
+	}
+	return n, nil
+}
+
+// Road returns the spec of a road.
+func (n *Network) Road(id string) (RoadSpec, error) {
+	s, ok := n.roads[id]
+	if !ok {
+		return RoadSpec{}, fmt.Errorf("%w: %q", ErrUnknownRoad, id)
+	}
+	return s, nil
+}
+
+// Lane returns one lane of a road.
+func (n *Network) Lane(road string, index int) (Lane, error) {
+	lanes, ok := n.lanes[road]
+	if !ok {
+		return Lane{}, fmt.Errorf("%w: %q", ErrUnknownRoad, road)
+	}
+	if index < 0 || index >= len(lanes) {
+		return Lane{}, fmt.Errorf("%w: %s_%d", ErrUnknownLane, road, index)
+	}
+	return lanes[index], nil
+}
+
+// Lanes returns a copy of the lane list of a road.
+func (n *Network) Lanes(road string) ([]Lane, error) {
+	lanes, ok := n.lanes[road]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownRoad, road)
+	}
+	out := make([]Lane, len(lanes))
+	copy(out, lanes)
+	return out, nil
+}
+
+// RoadIDs returns the IDs of all roads (order unspecified).
+func (n *Network) RoadIDs() []string {
+	ids := make([]string, 0, len(n.roads))
+	for id := range n.roads {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// PaperHighway returns the road of the paper's demonstration scenario:
+// 4 lanes, 9400 m long, 3.2 m wide lanes, 90 m/s speed limit (§IV-A1).
+func PaperHighway() RoadSpec {
+	return RoadSpec{
+		ID:         "highway",
+		Lanes:      4,
+		Length:     9400,
+		LaneWidth:  3.2,
+		SpeedLimit: 90,
+	}
+}

@@ -1,0 +1,151 @@
+package roadnet
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoadSpecValidate(t *testing.T) {
+	valid := PaperHighway()
+	tests := []struct {
+		name    string
+		mutate  func(*RoadSpec)
+		wantErr error
+	}{
+		{name: "paper highway is valid", mutate: func(*RoadSpec) {}, wantErr: nil},
+		{name: "no lanes", mutate: func(s *RoadSpec) { s.Lanes = 0 }, wantErr: ErrNoLanes},
+		{name: "negative lanes", mutate: func(s *RoadSpec) { s.Lanes = -1 }, wantErr: ErrNoLanes},
+		{name: "zero length", mutate: func(s *RoadSpec) { s.Length = 0 }, wantErr: ErrBadLength},
+		{name: "zero width", mutate: func(s *RoadSpec) { s.LaneWidth = 0 }, wantErr: ErrBadWidth},
+		{name: "zero speed", mutate: func(s *RoadSpec) { s.SpeedLimit = 0 }, wantErr: ErrBadSpeedLimit},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := valid
+			tt.mutate(&s)
+			if err := s.Validate(); !errors.Is(err, tt.wantErr) {
+				t.Errorf("Validate = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestPaperHighwayParameters(t *testing.T) {
+	s := PaperHighway()
+	if s.Lanes != 4 || s.Length != 9400 || s.LaneWidth != 3.2 || s.SpeedLimit != 90 {
+		t.Errorf("PaperHighway = %+v does not match §IV-A1", s)
+	}
+}
+
+func TestNewNetworkRejectsInvalidAndDuplicate(t *testing.T) {
+	if _, err := NewNetwork(RoadSpec{ID: "x"}); err == nil {
+		t.Error("invalid spec accepted")
+	}
+	if _, err := NewNetwork(PaperHighway(), PaperHighway()); err == nil {
+		t.Error("duplicate road accepted")
+	}
+}
+
+func TestNetworkLookups(t *testing.T) {
+	n, err := NewNetwork(PaperHighway())
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	if _, err := n.Road("highway"); err != nil {
+		t.Errorf("Road: %v", err)
+	}
+	if _, err := n.Road("nope"); !errors.Is(err, ErrUnknownRoad) {
+		t.Errorf("Road(nope) = %v, want ErrUnknownRoad", err)
+	}
+	lane, err := n.Lane("highway", 2)
+	if err != nil {
+		t.Fatalf("Lane: %v", err)
+	}
+	if lane.ID() != "highway_2" {
+		t.Errorf("lane ID = %q", lane.ID())
+	}
+	if lane.CenterY != 2.5*3.2 {
+		t.Errorf("lane 2 CenterY = %v, want 8.0", lane.CenterY)
+	}
+	if _, err := n.Lane("highway", 4); !errors.Is(err, ErrUnknownLane) {
+		t.Errorf("Lane(4) = %v, want ErrUnknownLane", err)
+	}
+	if _, err := n.Lane("highway", -1); !errors.Is(err, ErrUnknownLane) {
+		t.Errorf("Lane(-1) = %v, want ErrUnknownLane", err)
+	}
+	if _, err := n.Lane("nope", 0); !errors.Is(err, ErrUnknownRoad) {
+		t.Errorf("Lane(nope) = %v, want ErrUnknownRoad", err)
+	}
+	lanes, err := n.Lanes("highway")
+	if err != nil || len(lanes) != 4 {
+		t.Errorf("Lanes = %d,%v want 4 lanes", len(lanes), err)
+	}
+	if _, err := n.Lanes("nope"); err == nil {
+		t.Error("Lanes(nope) did not error")
+	}
+	if ids := n.RoadIDs(); len(ids) != 1 || ids[0] != "highway" {
+		t.Errorf("RoadIDs = %v", ids)
+	}
+}
+
+func TestLanesReturnsCopy(t *testing.T) {
+	n, err := NewNetwork(PaperHighway())
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	lanes, _ := n.Lanes("highway")
+	lanes[0].Length = -1
+	fresh, _ := n.Lanes("highway")
+	if fresh[0].Length != 9400 {
+		t.Error("Lanes exposed internal state")
+	}
+}
+
+func TestLanePositionAt(t *testing.T) {
+	n, _ := NewNetwork(PaperHighway())
+	lane, _ := n.Lane("highway", 0)
+	tests := []struct {
+		name   string
+		offset float64
+		wantX  float64
+	}{
+		{name: "middle", offset: 1000, wantX: 1000},
+		{name: "clamp below", offset: -5, wantX: 0},
+		{name: "clamp above", offset: 10000, wantX: 9400},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := lane.PositionAt(tt.offset)
+			if p.X != tt.wantX || p.Y != 1.6 {
+				t.Errorf("PositionAt(%v) = %v", tt.offset, p)
+			}
+		})
+	}
+}
+
+func TestLaneContainsProperty(t *testing.T) {
+	n, _ := NewNetwork(PaperHighway())
+	lane, _ := n.Lane("highway", 0)
+	f := func(off float64) bool {
+		in := lane.Contains(off)
+		return in == (off >= 0 && off <= lane.Length)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLaneCenterYMonotoneProperty(t *testing.T) {
+	n, _ := NewNetwork(PaperHighway())
+	lanes, _ := n.Lanes("highway")
+	for i := 1; i < len(lanes); i++ {
+		if lanes[i].CenterY <= lanes[i-1].CenterY {
+			t.Fatalf("lane centres not monotone: %v then %v", lanes[i-1].CenterY, lanes[i].CenterY)
+		}
+		if math.Abs(lanes[i].CenterY-lanes[i-1].CenterY-3.2) > 1e-9 {
+			t.Fatalf("lane spacing %v, want lane width", lanes[i].CenterY-lanes[i-1].CenterY)
+		}
+	}
+}

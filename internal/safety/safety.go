@@ -1,0 +1,76 @@
+// Package safety implements the redundant safety mechanisms the paper's
+// discussion (§IV-C3) and future-work section call for: "introduction of
+// sensor models in our simulation environment that monitors the distance
+// between vehicles". The AEB monitor watches the radar's ground-truth
+// gap and overrides the (possibly attack-corrupted) cooperative
+// controller with an emergency brake when a collision becomes imminent —
+// letting ComFASE-Go evaluate systems *with* protection mechanisms, not
+// only the unprotected stack of the paper's demonstration.
+package safety
+
+import (
+	"errors"
+	"math"
+)
+
+// AEB is an autonomous-emergency-braking monitor. It is a pure function
+// of the current radar measurement, so a single instance may be shared
+// across vehicles.
+type AEB struct {
+	// TTCThreshold is the time-to-collision (s) below which the monitor
+	// intervenes. Production AEB systems trigger around 0.6-1.5 s.
+	TTCThreshold float64
+	// MinGap is the distance floor (m): closer than this the monitor
+	// brakes regardless of closing speed.
+	MinGap float64
+	// Decel is the commanded emergency deceleration magnitude (m/s^2).
+	Decel float64
+}
+
+// DefaultAEB returns a monitor with a 1.5 s TTC threshold, 1 m gap floor
+// and the paper vehicle's full 9 m/s^2 braking capability.
+func DefaultAEB() *AEB {
+	return &AEB{TTCThreshold: 1.5, MinGap: 1, Decel: 9}
+}
+
+// Validate reports the first configuration problem, or nil.
+func (a *AEB) Validate() error {
+	switch {
+	case a.TTCThreshold <= 0:
+		return errors.New("safety: TTC threshold must be positive")
+	case a.MinGap < 0:
+		return errors.New("safety: min gap must be non-negative")
+	case a.Decel <= 0:
+		return errors.New("safety: emergency deceleration must be positive")
+	}
+	return nil
+}
+
+// TTC returns the time to collision (s) for a gap and closing speed
+// (positive = closing). It returns +inf when the gap is opening.
+func TTC(gap, closingSpeed float64) float64 {
+	if closingSpeed <= 0 {
+		return math.Inf(1)
+	}
+	if gap <= 0 {
+		return 0
+	}
+	return gap / closingSpeed
+}
+
+// Filter passes the controller command through the monitor. gap is the
+// radar bumper-to-bumper distance (m) and closingSpeed the radar closing
+// speed (m/s, positive = approaching). It returns the possibly
+// overridden command and whether the monitor intervened.
+func (a *AEB) Filter(cmd, gap, closingSpeed float64) (float64, bool) {
+	imminent := gap <= a.MinGap || TTC(gap, closingSpeed) < a.TTCThreshold
+	if !imminent {
+		return cmd, false
+	}
+	brake := -a.Decel
+	if cmd < brake {
+		// The controller already brakes harder than the monitor would.
+		return cmd, true
+	}
+	return brake, true
+}

@@ -1,0 +1,118 @@
+package safety
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultAEBValid(t *testing.T) {
+	if err := DefaultAEB().Validate(); err != nil {
+		t.Fatalf("default AEB invalid: %v", err)
+	}
+}
+
+func TestAEBValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*AEB)
+	}{
+		{name: "zero ttc", mutate: func(a *AEB) { a.TTCThreshold = 0 }},
+		{name: "negative min gap", mutate: func(a *AEB) { a.MinGap = -1 }},
+		{name: "zero decel", mutate: func(a *AEB) { a.Decel = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			a := DefaultAEB()
+			tt.mutate(a)
+			if err := a.Validate(); err == nil {
+				t.Error("invalid AEB accepted")
+			}
+		})
+	}
+}
+
+func TestTTC(t *testing.T) {
+	tests := []struct {
+		name         string
+		gap, closing float64
+		want         float64
+	}{
+		{name: "closing", gap: 10, closing: 5, want: 2},
+		{name: "opening", gap: 10, closing: -3, want: math.Inf(1)},
+		{name: "steady", gap: 10, closing: 0, want: math.Inf(1)},
+		{name: "overlap", gap: -1, closing: 5, want: 0},
+		{name: "zero gap", gap: 0, closing: 5, want: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := TTC(tt.gap, tt.closing); got != tt.want {
+				t.Errorf("TTC(%v, %v) = %v, want %v", tt.gap, tt.closing, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestFilterPassesSafeSituations(t *testing.T) {
+	a := DefaultAEB()
+	// 5 m gap at matched speeds: TTC infinite.
+	cmd, active := a.Filter(1.2, 5, 0)
+	if active || cmd != 1.2 {
+		t.Errorf("safe situation filtered: cmd=%v active=%v", cmd, active)
+	}
+	// Gap opening fast.
+	cmd, active = a.Filter(-0.5, 3, -10)
+	if active || cmd != -0.5 {
+		t.Errorf("opening gap filtered: cmd=%v active=%v", cmd, active)
+	}
+}
+
+func TestFilterBrakesOnImminentCollision(t *testing.T) {
+	a := DefaultAEB()
+	// 5 m gap closing at 10 m/s: TTC 0.5 s < 1.5 s threshold.
+	cmd, active := a.Filter(2.0, 5, 10)
+	if !active {
+		t.Fatal("monitor did not intervene")
+	}
+	if cmd != -9 {
+		t.Errorf("override = %v, want -9", cmd)
+	}
+}
+
+func TestFilterBrakesBelowMinGap(t *testing.T) {
+	a := DefaultAEB()
+	// 0.5 m gap, not closing: still brake (gap floor).
+	cmd, active := a.Filter(0, 0.5, -1)
+	if !active || cmd != -9 {
+		t.Errorf("min-gap floor: cmd=%v active=%v", cmd, active)
+	}
+}
+
+func TestFilterKeepsStrongerBraking(t *testing.T) {
+	a := DefaultAEB()
+	a.Decel = 6
+	// Controller already brakes at 8 > monitor's 6: keep the stronger.
+	cmd, active := a.Filter(-8, 2, 10)
+	if !active || cmd != -8 {
+		t.Errorf("stronger braking overridden: cmd=%v active=%v", cmd, active)
+	}
+}
+
+// Property: the filtered command never exceeds the input command when
+// the monitor is active (AEB only ever brakes harder, never accelerates).
+func TestFilterNeverAcceleratesProperty(t *testing.T) {
+	a := DefaultAEB()
+	f := func(cmd, gap, closing float64) bool {
+		if math.IsNaN(cmd) || math.IsNaN(gap) || math.IsNaN(closing) {
+			return true
+		}
+		out, active := a.Filter(cmd, gap, closing)
+		if !active {
+			return out == cmd
+		}
+		return out <= cmd || out == -a.Decel
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

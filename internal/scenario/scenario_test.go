@@ -1,0 +1,246 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+
+	"comfase/internal/platoon"
+	"comfase/internal/sim/des"
+	"comfase/internal/trace"
+)
+
+func TestPaperScenarioValid(t *testing.T) {
+	if err := PaperScenario().Validate(); err != nil {
+		t.Errorf("paper scenario invalid: %v", err)
+	}
+	if err := PaperCommModel().Validate(); err != nil {
+		t.Errorf("paper comm model invalid: %v", err)
+	}
+}
+
+func TestValidateCatchesBrokenConfigs(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*TrafficScenario)
+	}{
+		{name: "bad road", mutate: func(s *TrafficScenario) { s.Road.Lanes = 0 }},
+		{name: "bad vehicle", mutate: func(s *TrafficScenario) { s.VehicleTemplate.Length = 0 }},
+		{name: "no vehicles", mutate: func(s *TrafficScenario) { s.NrVehicles = 0 }},
+		{name: "nil maneuver", mutate: func(s *TrafficScenario) { s.Maneuver = nil }},
+		{name: "zero time", mutate: func(s *TrafficScenario) { s.TotalSimTime = 0 }},
+		{name: "bad lane", mutate: func(s *TrafficScenario) { s.Lane = 9 }},
+		{name: "start off road", mutate: func(s *TrafficScenario) { s.LeaderStartPos = 1e6 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := PaperScenario()
+			tt.mutate(&s)
+			if err := s.Validate(); err == nil {
+				t.Error("invalid scenario accepted")
+			}
+		})
+	}
+
+	commTests := []struct {
+		name   string
+		mutate func(*CommModel)
+	}{
+		{name: "bad channel", mutate: func(c *CommModel) { c.Channel.PathLoss = nil }},
+		{name: "bad schedule", mutate: func(c *CommModel) { c.Schedule.Mode = 0 }},
+		{name: "zero packet", mutate: func(c *CommModel) { c.PacketBits = 0 }},
+		{name: "zero beacon", mutate: func(c *CommModel) { c.BeaconInterval = 0 }},
+		{name: "bad ac", mutate: func(c *CommModel) { c.AC = 0 }},
+	}
+	for _, tt := range commTests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := PaperCommModel()
+			tt.mutate(&c)
+			if err := c.Validate(); err == nil {
+				t.Error("invalid comm model accepted")
+			}
+		})
+	}
+}
+
+func TestBuildRejectsInvalid(t *testing.T) {
+	bad := PaperScenario()
+	bad.NrVehicles = 0
+	if _, err := Build(bad, PaperCommModel(), 1, nil); err == nil {
+		t.Error("invalid scenario built")
+	}
+	badComm := PaperCommModel()
+	badComm.PacketBits = 0
+	if _, err := Build(PaperScenario(), badComm, 1, nil); err == nil {
+		t.Error("invalid comm model built")
+	}
+}
+
+func TestVehicleNaming(t *testing.T) {
+	if VehicleID(2) != "vehicle.2" {
+		t.Errorf("VehicleID(2) = %q", VehicleID(2))
+	}
+	sim, err := Build(PaperScenario(), PaperCommModel(), 1, nil)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	ids := sim.VehicleIDs()
+	want := []string{"vehicle.1", "vehicle.2", "vehicle.3", "vehicle.4"}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Errorf("IDs = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestInitialPlatoonGeometry(t *testing.T) {
+	sim, err := Build(PaperScenario(), PaperCommModel(), 1, nil)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	for i := 1; i < len(sim.Members); i++ {
+		front := sim.Members[i-1].Vehicle()
+		back := sim.Members[i].Vehicle()
+		gap := front.State.Rear(front.Spec.Length) - back.State.Pos
+		if math.Abs(gap-5) > 1e-9 {
+			t.Errorf("initial gap %d = %v, want 5 m", i, gap)
+		}
+	}
+}
+
+// TestGoldenRunStability is the Fig. 4 acceptance test: a full 60 s
+// attack-free run must keep the platoon collision-free with ~5 m gaps,
+// sinusoidal speed for every member, and a maximum deceleration near the
+// paper's golden-run value of 1.53 m/s^2.
+func TestGoldenRunStability(t *testing.T) {
+	sim, err := Build(PaperScenario(), PaperCommModel(), 1, nil)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	log := trace.NewFullLog(sim.VehicleIDs())
+	sim.AddRecorder(log)
+
+	var minGap, maxGap = math.Inf(1), math.Inf(-1)
+	sim.Traffic.OnPostStep(func(now des.Time) {
+		if now < 10*des.Second {
+			return // let transients settle
+		}
+		for i := 1; i < len(sim.Members); i++ {
+			front := sim.Members[i-1].Vehicle()
+			back := sim.Members[i].Vehicle()
+			gap := front.State.Rear(front.Spec.Length) - back.State.Pos
+			minGap = math.Min(minGap, gap)
+			maxGap = math.Max(maxGap, gap)
+		}
+	})
+
+	if err := sim.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := sim.RunUntil(60 * des.Second); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+
+	if cs := sim.Traffic.Collisions(); len(cs) != 0 {
+		t.Fatalf("golden run had collisions: %v", cs)
+	}
+	if minGap < 2 || maxGap > 8 {
+		t.Errorf("gap range [%v, %v] m, want near 5 m", minGap, maxGap)
+	}
+	maxDecel := log.MaxDeceleration()
+	if maxDecel < 1.0 || maxDecel > 2.0 {
+		t.Errorf("golden max deceleration = %v m/s^2, want ~1.53", maxDecel)
+	}
+
+	// Every vehicle's speed must oscillate around the base speed.
+	for v := 0; v < log.NumVehicles(); v++ {
+		var minSpd, maxSpd = math.Inf(1), math.Inf(-1)
+		for i := 0; i < log.Len(); i++ {
+			if log.Time(i) < 10*des.Second {
+				continue
+			}
+			s := log.At(i, v).Speed
+			minSpd = math.Min(minSpd, s)
+			maxSpd = math.Max(maxSpd, s)
+		}
+		if minSpd > 27 || maxSpd < 28.5 {
+			t.Errorf("vehicle %d speed range [%v, %v], want sinusoid around 27.78",
+				v+1, minSpd, maxSpd)
+		}
+	}
+
+	// Beacons flowed: every follower kept receiving fresh state.
+	for i, m := range sim.Members {
+		if i == 0 {
+			continue
+		}
+		if m.RxCount() < 500 {
+			t.Errorf("member %d accepted only %d beacons", i+1, m.RxCount())
+		}
+		age := 60*des.Second - m.LeaderState().Time
+		if age > des.Second {
+			t.Errorf("member %d leader cache is %v old at sim end", i+1, age)
+		}
+	}
+}
+
+func TestGoldenRunDeterminism(t *testing.T) {
+	run := func() (float64, uint64) {
+		sim, err := Build(PaperScenario(), PaperCommModel(), 7, nil)
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		sum := trace.NewSummary(4, nil)
+		sim.AddRecorder(sum)
+		if err := sim.Start(); err != nil {
+			t.Fatalf("Start: %v", err)
+		}
+		if err := sim.RunUntil(30 * des.Second); err != nil {
+			t.Fatalf("RunUntil: %v", err)
+		}
+		return sum.MaxDecelOverall(), sim.Air.Stats().Deliveries
+	}
+	d1, n1 := run()
+	d2, n2 := run()
+	if d1 != d2 || n1 != n2 {
+		t.Errorf("runs diverged: (%v,%d) vs (%v,%d)", d1, n1, d2, n2)
+	}
+}
+
+func TestStartTwiceErrors(t *testing.T) {
+	sim, err := Build(PaperScenario(), PaperCommModel(), 1, nil)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := sim.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := sim.Start(); err == nil {
+		t.Error("double Start accepted")
+	}
+}
+
+func TestCustomControllerFactoryUsed(t *testing.T) {
+	sim, err := Build(PaperScenario(), PaperCommModel(), 1,
+		func(int) platoon.Controller { return platoon.DefaultACC() })
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	for i, m := range sim.Members {
+		if i == 0 {
+			if m.Controller() != nil {
+				t.Error("leader has a controller")
+			}
+			continue
+		}
+		if m.Controller().Name() != "ACC" {
+			t.Errorf("member %d controller = %s, want ACC", i, m.Controller().Name())
+		}
+	}
+}
+
+func TestNilControllerFromFactoryRejected(t *testing.T) {
+	if _, err := Build(PaperScenario(), PaperCommModel(), 1,
+		func(int) platoon.Controller { return nil }); err == nil {
+		t.Error("nil controller accepted")
+	}
+}

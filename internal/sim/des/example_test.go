@@ -1,0 +1,46 @@
+package des_test
+
+import (
+	"fmt"
+
+	"comfase/internal/sim/des"
+)
+
+// A minimal discrete-event program: two events and a mid-run phase
+// boundary, the same RunUntil pattern ComFASE's Algorithm 1 uses for its
+// three SimUntil phases.
+func ExampleKernel_RunUntil() {
+	k := des.NewKernel()
+	k.ScheduleAt(2*des.Second, func() { fmt.Println("beacon at", k.Now()) })
+	k.ScheduleAt(5*des.Second, func() { fmt.Println("attack at", k.Now()) })
+
+	_ = k.RunUntil(3 * des.Second) // phase 1: before the attack window
+	fmt.Println("phase boundary at", k.Now())
+	_ = k.RunUntil(10 * des.Second) // phase 2: the rest
+
+	// Output:
+	// beacon at 2s
+	// phase boundary at 3s
+	// attack at 5s
+}
+
+func ExampleTicker() {
+	k := des.NewKernel()
+	n := 0
+	t := des.NewTicker(k, 100*des.Millisecond, des.PriorityNormal, func() {
+		n++
+	})
+	t.Start(100 * des.Millisecond)
+	_ = k.RunUntil(1 * des.Second)
+	fmt.Printf("%d ticks in 1 s at 10 Hz\n", n)
+	// Output:
+	// 10 ticks in 1 s at 10 Hz
+}
+
+func ExampleFromSeconds() {
+	fmt.Println(des.FromSeconds(17.2))
+	fmt.Println(des.FromSeconds(0.1) == 100*des.Millisecond)
+	// Output:
+	// 17.2s
+	// true
+}

@@ -1,0 +1,48 @@
+package des
+
+import "testing"
+
+// FuzzKernelSchedule feeds the kernel arbitrary interleavings of
+// schedule/cancel/run-until operations encoded as a byte program and
+// checks the core invariants: no panics, a monotone clock, and an
+// executed-count that never exceeds the number of scheduled events.
+func FuzzKernelSchedule(f *testing.F) {
+	f.Add([]byte{0, 10, 1, 0, 2, 20})
+	f.Add([]byte{0, 1, 0, 1, 0, 1, 2, 255})
+	f.Add([]byte{2, 0, 0, 5, 1, 9})
+	f.Fuzz(func(t *testing.T, program []byte) {
+		if len(program) > 256 {
+			program = program[:256]
+		}
+		k := NewKernel()
+		var ids []EventID
+		scheduled := 0
+		lastNow := k.Now()
+		for i := 0; i+1 < len(program); i += 2 {
+			op, arg := program[i]%3, Time(program[i+1])*Millisecond
+			switch op {
+			case 0: // schedule
+				ids = append(ids, k.ScheduleAt(arg, func() {}))
+				scheduled++
+			case 1: // cancel a (possibly stale) id
+				if len(ids) > 0 {
+					k.Cancel(ids[int(program[i+1])%len(ids)])
+				}
+			case 2: // run until arg past now
+				if err := k.RunUntil(k.Now().Add(arg)); err != nil {
+					t.Fatalf("RunUntil: %v", err)
+				}
+			}
+			if k.Now() < lastNow {
+				t.Fatalf("clock went backwards: %v -> %v", lastNow, k.Now())
+			}
+			lastNow = k.Now()
+		}
+		if err := k.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if k.Executed() > uint64(scheduled) {
+			t.Fatalf("executed %d > scheduled %d", k.Executed(), scheduled)
+		}
+	})
+}

@@ -1,0 +1,250 @@
+package des
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// Handler is the callback invoked when a scheduled event fires. It runs at
+// the event's time stamp; Kernel.Now() reports that time stamp for the
+// duration of the call.
+type Handler func()
+
+// Priority orders events that share the same time stamp: lower values run
+// first. Within one (time, priority) bucket, events run in insertion
+// order (FIFO), which keeps simulations deterministic.
+type Priority int
+
+// Well-known priorities. Most modules use PriorityNormal; the traffic
+// stepper runs late in each tick so that all radio frames delivered "at"
+// a step boundary are visible to the controllers evaluated in that step.
+const (
+	PriorityFirst  Priority = -100
+	PriorityNormal Priority = 0
+	PriorityLast   Priority = 100
+)
+
+// EventID identifies a scheduled event for cancellation. The zero value
+// is never a valid ID.
+type EventID uint64
+
+// ErrStopped is returned by Run/RunUntil when the kernel was stopped via
+// Stop before the time limit or queue exhaustion was reached.
+var ErrStopped = errors.New("des: kernel stopped")
+
+// event is a queue entry. Cancellation is implemented by flagging: the
+// entry stays in the heap and is discarded when popped.
+type event struct {
+	at       Time
+	prio     Priority
+	seq      uint64 // insertion order, tie-break within (at, prio)
+	id       EventID
+	fn       Handler
+	canceled bool
+	index    int // heap index, maintained by eventQueue
+}
+
+// eventQueue is a binary min-heap of events ordered by (at, prio, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	a, b := q[i], q[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.prio != b.prio {
+		return a.prio < b.prio
+	}
+	return a.seq < b.seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev, ok := x.(*event)
+	if !ok {
+		return
+	}
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Kernel is a single-threaded discrete-event scheduler. The zero value is
+// not usable; create kernels with NewKernel. Kernels are not safe for
+// concurrent use — all scheduling must happen from event handlers or from
+// the goroutine driving Run/RunUntil, exactly as in OMNeT++.
+type Kernel struct {
+	now     Time
+	queue   eventQueue
+	nextSeq uint64
+	nextID  EventID
+	byID    map[EventID]*event
+	stopped bool
+	// executed counts delivered (non-canceled) events, exposed for
+	// statistics and benchmarks.
+	executed uint64
+}
+
+// NewKernel returns an empty kernel with the clock at t=0.
+func NewKernel() *Kernel {
+	return &Kernel{
+		byID:   make(map[EventID]*event, 64),
+		nextID: 1,
+	}
+}
+
+// Now reports the current simulation time. During an event handler this
+// is the handler's scheduled time stamp.
+func (k *Kernel) Now() Time { return k.now }
+
+// Executed reports how many events have been delivered so far.
+func (k *Kernel) Executed() uint64 { return k.executed }
+
+// Pending reports how many events are queued, including canceled entries
+// that have not been popped yet.
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// ScheduleAt schedules fn to run at the absolute time at with normal
+// priority. Scheduling in the past is clamped to Now: the event fires at
+// the current time, after all already-queued events for that time.
+func (k *Kernel) ScheduleAt(at Time, fn Handler) EventID {
+	return k.ScheduleAtPrio(at, PriorityNormal, fn)
+}
+
+// ScheduleAtPrio schedules fn at time at with an explicit priority.
+func (k *Kernel) ScheduleAtPrio(at Time, prio Priority, fn Handler) EventID {
+	if at < k.now {
+		at = k.now
+	}
+	ev := &event{
+		at:   at,
+		prio: prio,
+		seq:  k.nextSeq,
+		id:   k.nextID,
+		fn:   fn,
+	}
+	k.nextSeq++
+	k.nextID++
+	heap.Push(&k.queue, ev)
+	k.byID[ev.id] = ev
+	return ev.id
+}
+
+// ScheduleAfter schedules fn to run after the given delay relative to the
+// current simulation time. Negative delays are clamped to zero.
+func (k *Kernel) ScheduleAfter(delay Time, fn Handler) EventID {
+	return k.ScheduleAt(k.now.Add(delay), fn)
+}
+
+// ScheduleAfterPrio schedules fn after delay with an explicit priority.
+func (k *Kernel) ScheduleAfterPrio(delay Time, prio Priority, fn Handler) EventID {
+	return k.ScheduleAtPrio(k.now.Add(delay), prio, fn)
+}
+
+// Cancel removes a pending event. It reports whether the event was still
+// pending (false if it already fired, was canceled, or never existed).
+func (k *Kernel) Cancel(id EventID) bool {
+	ev, ok := k.byID[id]
+	if !ok || ev.canceled {
+		return false
+	}
+	ev.canceled = true
+	delete(k.byID, id)
+	return true
+}
+
+// Stop makes the currently running Run/RunUntil return ErrStopped after
+// the current handler completes. Pending events remain queued.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// step pops and executes the next event. It reports false when the queue
+// is exhausted.
+func (k *Kernel) step() bool {
+	for len(k.queue) > 0 {
+		ev, ok := heap.Pop(&k.queue).(*event)
+		if !ok {
+			return false
+		}
+		if ev.canceled {
+			continue
+		}
+		delete(k.byID, ev.id)
+		k.now = ev.at
+		k.executed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (k *Kernel) Run() error {
+	k.stopped = false
+	for !k.stopped {
+		if !k.step() {
+			return nil
+		}
+	}
+	return ErrStopped
+}
+
+// RunUntil executes events with time stamps strictly before or at limit,
+// then advances the clock to limit and returns. Events scheduled exactly
+// at limit DO fire — this matches Algorithm 1's SimUntil semantics where
+// the attack window [start, end] is inclusive of its boundaries. If the
+// queue empties earlier, the clock still advances to limit.
+func (k *Kernel) RunUntil(limit Time) error {
+	if limit < k.now {
+		return fmt.Errorf("des: RunUntil(%v) is in the past (now %v)", limit, k.now)
+	}
+	k.stopped = false
+	for !k.stopped {
+		ev := k.peek()
+		if ev == nil || ev.at > limit {
+			k.now = limit
+			return nil
+		}
+		k.step()
+	}
+	return ErrStopped
+}
+
+// peek returns the next live event without removing it, discarding
+// canceled entries along the way.
+func (k *Kernel) peek() *event {
+	for len(k.queue) > 0 {
+		ev := k.queue[0]
+		if !ev.canceled {
+			return ev
+		}
+		heap.Pop(&k.queue)
+	}
+	return nil
+}
+
+// NextEventAt reports the time stamp of the next live event, or MaxTime
+// when the queue is empty.
+func (k *Kernel) NextEventAt() Time {
+	ev := k.peek()
+	if ev == nil {
+		return MaxTime
+	}
+	return ev.at
+}

@@ -1,0 +1,322 @@
+package des
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestKernelRunsInTimeOrder(t *testing.T) {
+	k := NewKernel()
+	var got []Time
+	for _, at := range []Time{5 * Second, Second, 3 * Second, 2 * Second, 4 * Second} {
+		at := at
+		k.ScheduleAt(at, func() { got = append(got, k.Now()) })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []Time{Second, 2 * Second, 3 * Second, 4 * Second, 5 * Second}
+	if len(got) != len(want) {
+		t.Fatalf("executed %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestKernelFIFOWithinSameTime(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.ScheduleAt(Second, func() { order = append(order, i) })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order %v not FIFO", order)
+		}
+	}
+}
+
+func TestKernelPriorityOrdering(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	k.ScheduleAtPrio(Second, PriorityLast, func() { order = append(order, "last") })
+	k.ScheduleAtPrio(Second, PriorityNormal, func() { order = append(order, "normal") })
+	k.ScheduleAtPrio(Second, PriorityFirst, func() { order = append(order, "first") })
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []string{"first", "normal", "last"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestKernelScheduleInPastClampsToNow(t *testing.T) {
+	k := NewKernel()
+	var firedAt Time = -1
+	k.ScheduleAt(10*Second, func() {
+		k.ScheduleAt(Second, func() { firedAt = k.Now() })
+	})
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if firedAt != 10*Second {
+		t.Errorf("past event fired at %v, want clamp to 10s", firedAt)
+	}
+}
+
+func TestKernelCancel(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	id := k.ScheduleAt(Second, func() { fired = true })
+	if !k.Cancel(id) {
+		t.Fatal("Cancel reported not pending")
+	}
+	if k.Cancel(id) {
+		t.Fatal("double Cancel reported pending")
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired {
+		t.Error("canceled event fired")
+	}
+	if k.Cancel(EventID(999)) {
+		t.Error("Cancel of unknown id reported pending")
+	}
+}
+
+func TestKernelRunUntil(t *testing.T) {
+	k := NewKernel()
+	var fired []Time
+	for _, at := range []Time{Second, 2 * Second, 3 * Second} {
+		k.ScheduleAt(at, func() { fired = append(fired, k.Now()) })
+	}
+	if err := k.RunUntil(2 * Second); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	// Boundary events fire (inclusive semantics).
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2 (inclusive boundary)", len(fired))
+	}
+	if k.Now() != 2*Second {
+		t.Errorf("Now = %v, want 2s", k.Now())
+	}
+	if err := k.RunUntil(10 * Second); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if len(fired) != 3 {
+		t.Errorf("fired %d events after second phase, want 3", len(fired))
+	}
+	if k.Now() != 10*Second {
+		t.Errorf("Now = %v, want clock advanced to 10s on empty queue", k.Now())
+	}
+}
+
+func TestKernelRunUntilPastErrors(t *testing.T) {
+	k := NewKernel()
+	k.ScheduleAt(5*Second, func() {})
+	if err := k.RunUntil(5 * Second); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if err := k.RunUntil(Second); err == nil {
+		t.Error("RunUntil in the past did not error")
+	}
+}
+
+func TestKernelStop(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		k.ScheduleAt(Time(i)*Second, func() {
+			count++
+			if count == 3 {
+				k.Stop()
+			}
+		})
+	}
+	err := k.Run()
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("Run = %v, want ErrStopped", err)
+	}
+	if count != 3 {
+		t.Errorf("count = %d, want 3", count)
+	}
+	if k.Pending() == 0 {
+		t.Error("pending events discarded by Stop")
+	}
+}
+
+func TestKernelNextEventAt(t *testing.T) {
+	k := NewKernel()
+	if got := k.NextEventAt(); got != MaxTime {
+		t.Errorf("empty NextEventAt = %v, want MaxTime", got)
+	}
+	id := k.ScheduleAt(3*Second, func() {})
+	k.ScheduleAt(7*Second, func() {})
+	if got := k.NextEventAt(); got != 3*Second {
+		t.Errorf("NextEventAt = %v, want 3s", got)
+	}
+	k.Cancel(id)
+	if got := k.NextEventAt(); got != 7*Second {
+		t.Errorf("NextEventAt after cancel = %v, want 7s", got)
+	}
+}
+
+func TestKernelScheduleAfter(t *testing.T) {
+	k := NewKernel()
+	var firedAt Time
+	k.ScheduleAt(2*Second, func() {
+		k.ScheduleAfter(500*Millisecond, func() { firedAt = k.Now() })
+	})
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if firedAt != 2500*Millisecond {
+		t.Errorf("fired at %v, want 2.5s", firedAt)
+	}
+}
+
+// Property: for any set of schedule times, events are delivered in
+// nondecreasing time order and the count matches.
+func TestKernelDeliveryOrderProperty(t *testing.T) {
+	f := func(times []uint32) bool {
+		k := NewKernel()
+		var fired []Time
+		for _, ti := range times {
+			k.ScheduleAt(Time(ti), func() { fired = append(fired, k.Now()) })
+		}
+		if err := k.Run(); err != nil {
+			return false
+		}
+		if len(fired) != len(times) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: two kernels given the same schedule produce identical
+// delivery sequences (determinism).
+func TestKernelDeterminismProperty(t *testing.T) {
+	run := func(seed int64) []Time {
+		rng := rand.New(rand.NewSource(seed))
+		k := NewKernel()
+		var fired []Time
+		for i := 0; i < 500; i++ {
+			k.ScheduleAt(Time(rng.Intn(100))*Millisecond, func() {
+				fired = append(fired, k.Now())
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return fired
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at event %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestKernelExecutedCount(t *testing.T) {
+	k := NewKernel()
+	for i := 0; i < 5; i++ {
+		k.ScheduleAt(Time(i), func() {})
+	}
+	id := k.ScheduleAt(10, func() {})
+	k.Cancel(id)
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if k.Executed() != 5 {
+		t.Errorf("Executed = %d, want 5 (canceled events do not count)", k.Executed())
+	}
+}
+
+func TestTickerPeriodicFiring(t *testing.T) {
+	k := NewKernel()
+	var fires []Time
+	tk := NewTicker(k, 100*Millisecond, PriorityNormal, func() {
+		fires = append(fires, k.Now())
+	})
+	tk.Start(Second)
+	if err := k.RunUntil(1300 * Millisecond); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	want := []Time{Second, 1100 * Millisecond, 1200 * Millisecond, 1300 * Millisecond}
+	if len(fires) != len(want) {
+		t.Fatalf("fired %d times (%v), want %d", len(fires), fires, len(want))
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Errorf("fire %d at %v, want %v", i, fires[i], want[i])
+		}
+	}
+}
+
+func TestTickerStop(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	var tk *Ticker
+	tk = NewTicker(k, 100*Millisecond, PriorityNormal, func() {
+		count++
+		if count == 2 {
+			tk.StopTicker()
+		}
+	})
+	tk.Start(0)
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if count != 2 {
+		t.Errorf("count = %d, want 2", count)
+	}
+	if tk.Running() {
+		t.Error("ticker still running after StopTicker")
+	}
+}
+
+func TestTickerRestartRephases(t *testing.T) {
+	k := NewKernel()
+	var fires []Time
+	tk := NewTicker(k, Second, PriorityNormal, func() { fires = append(fires, k.Now()) })
+	tk.Start(Second)
+	k.ScheduleAt(1500*Millisecond, func() { tk.Start(2200 * Millisecond) })
+	if err := k.RunUntil(3300 * Millisecond); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	want := []Time{Second, 2200 * Millisecond, 3200 * Millisecond}
+	if len(fires) != len(want) {
+		t.Fatalf("fires = %v, want %v", fires, want)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Errorf("fires = %v, want %v", fires, want)
+		}
+	}
+}
+
+func TestTickerZeroPeriodClamped(t *testing.T) {
+	tk := NewTicker(NewKernel(), 0, PriorityNormal, func() {})
+	if tk.Period() <= 0 {
+		t.Error("zero period not clamped to positive")
+	}
+}

@@ -1,0 +1,55 @@
+package des
+
+// Ticker schedules a handler at a fixed period, like OMNeT++ self-message
+// loops. It exists because almost every module in the stack (traffic
+// stepper, beaconing application, controller update, channel-switching
+// schedule) needs a periodic callback with a deterministic phase.
+type Ticker struct {
+	k       *Kernel
+	period  Time
+	prio    Priority
+	fn      Handler
+	next    EventID
+	running bool
+}
+
+// NewTicker creates a stopped ticker. period must be positive.
+func NewTicker(k *Kernel, period Time, prio Priority, fn Handler) *Ticker {
+	if period <= 0 {
+		period = Nanosecond
+	}
+	return &Ticker{k: k, period: period, prio: prio, fn: fn}
+}
+
+// Start arms the ticker so that fn first fires at the absolute time
+// first, then every period after that. Calling Start on a running ticker
+// re-phases it.
+func (t *Ticker) Start(first Time) {
+	t.StopTicker()
+	t.running = true
+	t.next = t.k.ScheduleAtPrio(first, t.prio, t.tick)
+}
+
+// StopTicker cancels the pending tick. The name avoids a collision with
+// the Stop of embedding types.
+func (t *Ticker) StopTicker() {
+	if t.running {
+		t.k.Cancel(t.next)
+		t.running = false
+	}
+}
+
+// Running reports whether the ticker is armed.
+func (t *Ticker) Running() bool { return t.running }
+
+// Period reports the tick period.
+func (t *Ticker) Period() Time { return t.period }
+
+func (t *Ticker) tick() {
+	if !t.running {
+		return
+	}
+	// Re-arm before running fn so fn may call StopTicker.
+	t.next = t.k.ScheduleAtPrio(t.k.Now().Add(t.period), t.prio, t.tick)
+	t.fn()
+}

@@ -1,0 +1,106 @@
+package des
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestFromSeconds(t *testing.T) {
+	tests := []struct {
+		name string
+		give float64
+		want Time
+	}{
+		{name: "zero", give: 0, want: 0},
+		{name: "one second", give: 1, want: Second},
+		{name: "beacon interval", give: 0.1, want: 100 * Millisecond},
+		{name: "attack start", give: 17.2, want: 17200 * Millisecond},
+		{name: "sub-nanosecond rounds", give: 0.4e-9, want: 0},
+		{name: "half nanosecond rounds up", give: 0.5e-9, want: 1},
+		{name: "negative", give: -2.5, want: -2500 * Millisecond},
+		{name: "sixty seconds", give: 60, want: Minute},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := FromSeconds(tt.give); got != tt.want {
+				t.Errorf("FromSeconds(%v) = %v, want %v", tt.give, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSecondsRoundTrip(t *testing.T) {
+	f := func(ns int64) bool {
+		// Constrain to +/- ~1 day: beyond ~2^52 ns the float64 detour
+		// loses sub-nanosecond precision (far beyond any sim horizon).
+		ns %= int64(1e14)
+		tm := Time(ns)
+		return FromSeconds(tm.Seconds()) == tm
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromDuration(t *testing.T) {
+	if got := FromDuration(1500 * time.Millisecond); got != 1500*Millisecond {
+		t.Errorf("FromDuration = %v, want 1.5s", got)
+	}
+	if got := Time(250 * Millisecond).Duration(); got != 250*time.Millisecond {
+		t.Errorf("Duration = %v, want 250ms", got)
+	}
+}
+
+func TestTimeAddSaturates(t *testing.T) {
+	tests := []struct {
+		name string
+		t    Time
+		d    Time
+		want Time
+	}{
+		{name: "normal add", t: Second, d: Second, want: 2 * Second},
+		{name: "saturate high", t: MaxTime - 1, d: 10, want: MaxTime},
+		{name: "exact max", t: MaxTime, d: 0, want: MaxTime},
+		{name: "negative", t: Second, d: -2 * Second, want: -Second},
+		{name: "saturate low", t: Time(math.MinInt64) + 1, d: -10, want: Time(math.MinInt64)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.t.Add(tt.d); got != tt.want {
+				t.Errorf("%v.Add(%v) = %v, want %v", tt.t, tt.d, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestTimeComparisons(t *testing.T) {
+	a, b := Second, 2*Second
+	if !a.Before(b) || b.Before(a) || a.Before(a) {
+		t.Error("Before misbehaves")
+	}
+	if !b.After(a) || a.After(b) || a.After(a) {
+		t.Error("After misbehaves")
+	}
+	if got := b.Sub(a); got != Second {
+		t.Errorf("Sub = %v, want 1s", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	tests := []struct {
+		give Time
+		want string
+	}{
+		{give: 0, want: "0s"},
+		{give: 17200 * Millisecond, want: "17.2s"},
+		{give: Minute, want: "60s"},
+		{give: MaxTime, want: "+inf"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(tt.give), got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSameSeedSameSequence(t *testing.T) {
+	a := New(7, "phy")
+	b := New(7, "phy")
+	for i := 0; i < 1000; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentNamesDiffer(t *testing.T) {
+	a := New(7, "phy")
+	b := New(7, "mac")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("streams with different names coincide on %d/100 draws", same)
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1, "phy")
+	b := New(2, "phy")
+	if a.Float64() == b.Float64() && a.Float64() == b.Float64() {
+		t.Error("different seeds produced identical draws")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7, "exp")
+	c1 := parent.Split("child")
+	// Re-derive: a fresh parent split the same way must agree.
+	parent2 := New(7, "exp")
+	c2 := parent2.Split("child")
+	for i := 0; i < 100; i++ {
+		if c1.Float64() != c2.Float64() {
+			t.Fatalf("split streams not reproducible at draw %d", i)
+		}
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := New(3, "u")
+	f := func(lo, hi float64) bool {
+		lo = math.Mod(math.Abs(lo), 1000)
+		hi = lo + 1 + math.Mod(math.Abs(hi), 1000)
+		v := s.Uniform(lo, hi)
+		return v >= lo && v < hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3, "f")
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestIntNRange(t *testing.T) {
+	s := New(3, "i")
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := s.IntN(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("IntN out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Errorf("IntN(7) only produced %d distinct values in 1000 draws", len(seen))
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	s := New(3, "b")
+	for i := 0; i < 100; i++ {
+		if s.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !s.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+		if s.Bernoulli(-0.5) {
+			t.Fatal("Bernoulli(<0) returned true")
+		}
+		if !s.Bernoulli(1.5) {
+			t.Fatal("Bernoulli(>1) returned false")
+		}
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	s := New(3, "bf")
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if math.Abs(p-0.3) > 0.01 {
+		t.Errorf("Bernoulli(0.3) frequency = %v", p)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(3, "n")
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := s.Normal(5, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-5) > 0.05 {
+		t.Errorf("Normal mean = %v, want ~5", mean)
+	}
+	if math.Abs(variance-4) > 0.15 {
+		t.Errorf("Normal variance = %v, want ~4", variance)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	s := New(3, "e")
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := s.Exponential(2.5)
+		if v < 0 {
+			t.Fatalf("Exponential returned negative %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-2.5) > 0.05 {
+		t.Errorf("Exponential mean = %v, want ~2.5", mean)
+	}
+}
+
+func TestRayleighPositive(t *testing.T) {
+	s := New(3, "r")
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := s.Rayleigh(1)
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("Rayleigh invalid sample %v", v)
+		}
+		sum += v
+	}
+	// Rayleigh mean = sigma*sqrt(pi/2) ~ 1.2533.
+	mean := sum / n
+	if math.Abs(mean-1.2533) > 0.02 {
+		t.Errorf("Rayleigh mean = %v, want ~1.2533", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(3, "p")
+	p := s.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("Perm invalid: %v", p)
+		}
+		seen[v] = true
+	}
+}

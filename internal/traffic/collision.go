@@ -1,0 +1,34 @@
+package traffic
+
+import (
+	"fmt"
+
+	"comfase/internal/sim/des"
+)
+
+// Collision describes a rear-end collision incident, following the
+// vocabulary of SUMO's collision output that the paper uses for its
+// severity analysis: the "collider" is the vehicle that drives into the
+// "victim" ahead of it.
+type Collision struct {
+	// Time is the simulation time at which the overlap was detected.
+	Time des.Time
+	// Collider is the ID of the rear vehicle that caused the collision.
+	Collider string
+	// Victim is the ID of the front vehicle that was struck.
+	Victim string
+	// Lane is the lane index where the collision happened.
+	Lane int
+	// Pos is the longitudinal position (m) of the collider's front
+	// bumper at impact.
+	Pos float64
+	// RelSpeed is the closing speed (m/s) at impact: collider speed
+	// minus victim speed.
+	RelSpeed float64
+}
+
+// String renders a SUMO-collision-log style one-liner.
+func (c Collision) String() string {
+	return fmt.Sprintf("t=%v collider=%s victim=%s lane=%d pos=%.2fm dv=%.2fm/s",
+		c.Time, c.Collider, c.Victim, c.Lane, c.Pos, c.RelSpeed)
+}

@@ -1,0 +1,207 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"comfase/internal/roadnet"
+	"comfase/internal/sim/des"
+	"comfase/internal/sim/rng"
+	"comfase/internal/vehicle"
+)
+
+func detKrauss(maxSpeed float64) *Krauss {
+	k := DefaultKrauss(maxSpeed, nil)
+	k.Sigma = 0
+	return k
+}
+
+func TestSafeSpeedProperties(t *testing.T) {
+	k := detKrauss(30)
+	// Zero gap: must stop.
+	if got := k.SafeSpeed(0, 20); got != 0 {
+		t.Errorf("SafeSpeed(0) = %v, want 0", got)
+	}
+	if got := k.SafeSpeed(-3, 20); got != 0 {
+		t.Errorf("SafeSpeed(<0) = %v, want 0", got)
+	}
+	// Monotone in gap and leader speed.
+	f := func(gapA, gapB, vl float64) bool {
+		gapA = math.Mod(math.Abs(gapA), 500)
+		gapB = math.Mod(math.Abs(gapB), 500)
+		vl = math.Mod(math.Abs(vl), 50)
+		lo, hi := math.Min(gapA, gapB), math.Max(gapA, gapB)
+		return k.SafeSpeed(lo, vl) <= k.SafeSpeed(hi, vl)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSafeSpeedStationaryLeader(t *testing.T) {
+	// With a stopped leader 50 m ahead and b=4.5, tau=1:
+	// v_safe = -4.5 + sqrt(4.5^2 + 2*4.5*50) = ~17.2 m/s.
+	k := detKrauss(30)
+	got := k.SafeSpeed(50, 0)
+	want := -4.5 + math.Sqrt(4.5*4.5+2*4.5*50)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("SafeSpeed(50, 0) = %v, want %v", got, want)
+	}
+}
+
+func TestDesiredSpeedCaps(t *testing.T) {
+	k := detKrauss(30)
+	// Free flow: accelerate by a*dt.
+	if got := k.DesiredSpeed(0.1, 20, 0, 0, false); math.Abs(got-20.26) > 1e-9 {
+		t.Errorf("free-flow desired = %v, want 20.26", got)
+	}
+	// Speed cap.
+	if got := k.DesiredSpeed(0.1, 29.9, 0, 0, false); got != 30 {
+		t.Errorf("capped desired = %v, want 30", got)
+	}
+	// Safe speed binds with a close leader.
+	if got := k.DesiredSpeed(0.1, 20, 1, 0, true); got >= 20 {
+		t.Errorf("desired = %v with 1 m gap, want strong slowdown", got)
+	}
+}
+
+func TestImperfectionOnlyReduces(t *testing.T) {
+	k := DefaultKrauss(30, rng.New(1, "krauss"))
+	det := detKrauss(30)
+	for i := 0; i < 1000; i++ {
+		v := k.DesiredSpeed(0.1, 20, 0, 0, false)
+		ideal := det.DesiredSpeed(0.1, 20, 0, 0, false)
+		if v > ideal+1e-12 {
+			t.Fatalf("imperfection increased speed: %v > %v", v, ideal)
+		}
+		if v < ideal-k.Sigma*k.Accel*0.1-1e-12 {
+			t.Fatalf("imperfection too strong: %v", v)
+		}
+	}
+}
+
+func TestAccelerateZeroDt(t *testing.T) {
+	if got := detKrauss(30).Accelerate(0, 20, 10, 20, true); got != 0 {
+		t.Errorf("Accelerate(dt=0) = %v", got)
+	}
+}
+
+// TestKraussFollowerIsCollisionFree drives a Krauss vehicle behind a
+// harshly braking leader: the defining property of the model is that the
+// follower never rear-ends.
+func TestKraussFollowerIsCollisionFree(t *testing.T) {
+	k := des.NewKernel()
+	net, err := roadnet.NewNetwork(roadnet.PaperHighway())
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	sim, err := NewSimulator(Config{Kernel: k, Network: net})
+	if err != nil {
+		t.Fatalf("NewSimulator: %v", err)
+	}
+	lead, err := sim.AddVehicle(vehicle.PaperCar("lead"), vehicle.State{Pos: 150, Speed: 25})
+	if err != nil {
+		t.Fatalf("AddVehicle: %v", err)
+	}
+	followSpec := vehicle.PaperCar("follower")
+	followSpec.ActuationLag = 0 // the Krauss model assumes direct control
+	follow, err := sim.AddVehicle(followSpec, vehicle.State{Pos: 100, Speed: 25})
+	if err != nil {
+		t.Fatalf("AddVehicle: %v", err)
+	}
+	tracker := SpeedTracker{
+		Maneuver: Braking{CruiseSpeed: 25, FinalSpeed: 0, BrakeAt: 10, Decel: 6},
+		Gain:     2, LagComp: 0.5,
+	}
+	driver := Driver{Model: detKrauss(35), Self: follow, Leader: lead}
+	dt := sim.StepLength().Seconds()
+	sim.OnPreStep(func(now des.Time) {
+		lead.Command(tracker.Accel(now.Seconds(), lead.State))
+		driver.Step(dt)
+	})
+	if err := sim.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := k.RunUntil(60 * des.Second); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if cs := sim.Collisions(); len(cs) != 0 {
+		t.Fatalf("Krauss follower collided: %v", cs)
+	}
+	if lead.State.Speed != 0 {
+		t.Errorf("leader speed = %v, want full stop", lead.State.Speed)
+	}
+	if follow.State.Speed > 0.01 {
+		t.Errorf("follower speed = %v, want stop behind leader", follow.State.Speed)
+	}
+	gap := lead.State.Rear(lead.Spec.Length) - follow.State.Pos
+	if gap <= 0 {
+		t.Errorf("final gap = %v, want positive", gap)
+	}
+}
+
+// TestKraussBehindEmergencyBrakingVehicle quantifies the
+// surrounding-traffic risk the paper highlights ("a faulty vehicle could
+// significantly influence the behaviour of surrounding vehicles"): a
+// conventional driver follows a vehicle that suddenly emergency-brakes
+// at 9 m/s^2 (the aftermath of an attack on the platoon ahead).
+//
+// Krauss is collision-free only while the leader brakes no harder than
+// the follower's assumed deceleration b. A comfortable driver (b = 4.5)
+// therefore crashes into the emergency-braking vehicle; an attentive
+// emergency-rated driver (b = 9) stops safely.
+func TestKraussBehindEmergencyBrakingVehicle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full scenario run in -short mode")
+	}
+	run := func(followerDecel float64) []Collision {
+		k := des.NewKernel()
+		net, err := roadnet.NewNetwork(roadnet.PaperHighway())
+		if err != nil {
+			t.Fatalf("NewNetwork: %v", err)
+		}
+		sim, err := NewSimulator(Config{Kernel: k, Network: net})
+		if err != nil {
+			t.Fatalf("NewSimulator: %v", err)
+		}
+		front, err := sim.AddVehicle(vehicle.PaperCar("front"), vehicle.State{Pos: 200, Speed: 27.78})
+		if err != nil {
+			t.Fatalf("AddVehicle: %v", err)
+		}
+		tracker := SpeedTracker{
+			Maneuver: Braking{CruiseSpeed: 27.78, FinalSpeed: 0, BrakeAt: 15, Decel: 9},
+			Gain:     5,
+		}
+		humanSpec := vehicle.PaperCar("human")
+		humanSpec.ActuationLag = 0 // Krauss assumes direct speed control
+		// The driver never brakes harder than their model's b.
+		humanSpec.MaxDecel = followerDecel
+		human, err := sim.AddVehicle(humanSpec, vehicle.State{Pos: 120, Speed: 27.78})
+		if err != nil {
+			t.Fatalf("AddVehicle: %v", err)
+		}
+		model := detKrauss(33)
+		model.Decel = followerDecel
+		driver := Driver{Model: model, Self: human, Leader: front}
+		dt := sim.StepLength().Seconds()
+		sim.OnPreStep(func(now des.Time) {
+			front.Command(tracker.Accel(now.Seconds(), front.State))
+			driver.Step(dt)
+		})
+		if err := sim.Start(); err != nil {
+			t.Fatalf("Start: %v", err)
+		}
+		if err := k.RunUntil(40 * des.Second); err != nil {
+			t.Fatalf("RunUntil: %v", err)
+		}
+		return sim.Collisions()
+	}
+
+	if cs := run(9); len(cs) != 0 {
+		t.Errorf("emergency-rated driver (b=9) crashed: %v", cs)
+	}
+	if cs := run(4.5); len(cs) == 0 {
+		t.Error("comfortable driver (b=4.5) survived an emergency stop it cannot match")
+	}
+}

@@ -1,0 +1,116 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"comfase/internal/vehicle"
+)
+
+func TestConstantSpeed(t *testing.T) {
+	m := ConstantSpeed{Speed: 25}
+	for _, tt := range []float64{0, 1, 17.2, 60} {
+		if m.TargetSpeed(tt) != 25 {
+			t.Errorf("TargetSpeed(%v) = %v", tt, m.TargetSpeed(tt))
+		}
+		if m.FeedforwardAccel(tt) != 0 {
+			t.Errorf("FeedforwardAccel(%v) = %v", tt, m.FeedforwardAccel(tt))
+		}
+	}
+}
+
+func TestSinusoidalProfile(t *testing.T) {
+	m := Sinusoidal{Base: 27.78, Amplitude: 1.2, Frequency: 0.2, Phase: 1.05}
+	// Period is 5 s: profile repeats.
+	f := func(tt float64) bool {
+		tt = math.Mod(math.Abs(tt), 1000)
+		return math.Abs(m.TargetSpeed(tt)-m.TargetSpeed(tt+5)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Speed minimum where acceleration crosses zero upward:
+	// t = Phase - 1/(4f) = 1.05 - 1.25 = -0.2 (+ k*5) -> 19.8 for k=4.
+	tMin := 19.8
+	if got := m.TargetSpeed(tMin); math.Abs(got-(27.78-1.2)) > 1e-9 {
+		t.Errorf("speed at minimum = %v, want %v", got, 27.78-1.2)
+	}
+	if got := m.FeedforwardAccel(tMin); math.Abs(got) > 1e-9 {
+		t.Errorf("accel at speed minimum = %v, want 0", got)
+	}
+}
+
+func TestSinusoidalPeakAccel(t *testing.T) {
+	m := Sinusoidal{Base: 27.78, Amplitude: 1.2, Frequency: 0.2}
+	want := 2 * math.Pi * 0.2 * 1.2
+	if got := m.PeakAccel(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("PeakAccel = %v, want %v", got, want)
+	}
+	// Feedforward never exceeds the peak.
+	for tt := 0.0; tt < 10; tt += 0.01 {
+		if a := math.Abs(m.FeedforwardAccel(tt)); a > want+1e-12 {
+			t.Fatalf("feedforward %v exceeds peak %v at t=%v", a, want, tt)
+		}
+	}
+}
+
+func TestSinusoidalAccelIsSpeedDerivative(t *testing.T) {
+	m := Sinusoidal{Base: 30, Amplitude: 2, Frequency: 0.2, Phase: 0.7}
+	const h = 1e-6
+	for tt := 0.0; tt < 6; tt += 0.37 {
+		num := (m.TargetSpeed(tt+h) - m.TargetSpeed(tt-h)) / (2 * h)
+		if math.Abs(num-m.FeedforwardAccel(tt)) > 1e-5 {
+			t.Fatalf("accel not derivative of speed at t=%v: %v vs %v",
+				tt, num, m.FeedforwardAccel(tt))
+		}
+	}
+}
+
+func TestBrakingManeuver(t *testing.T) {
+	m := Braking{CruiseSpeed: 30, FinalSpeed: 10, BrakeAt: 5, Decel: 4}
+	tests := []struct {
+		name      string
+		t         float64
+		wantSpeed float64
+		wantAccel float64
+	}{
+		{name: "before braking", t: 2, wantSpeed: 30, wantAccel: 0},
+		{name: "just after brake start", t: 6, wantSpeed: 26, wantAccel: -4},
+		{name: "mid braking", t: 9, wantSpeed: 14, wantAccel: -4},
+		{name: "after reaching final", t: 12, wantSpeed: 10, wantAccel: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := m.TargetSpeed(tt.t); math.Abs(got-tt.wantSpeed) > 1e-9 {
+				t.Errorf("TargetSpeed(%v) = %v, want %v", tt.t, got, tt.wantSpeed)
+			}
+			if got := m.FeedforwardAccel(tt.t); math.Abs(got-tt.wantAccel) > 1e-9 {
+				t.Errorf("FeedforwardAccel(%v) = %v, want %v", tt.t, got, tt.wantAccel)
+			}
+		})
+	}
+}
+
+func TestBrakingZeroDecelIsCruise(t *testing.T) {
+	m := Braking{CruiseSpeed: 30, FinalSpeed: 10, BrakeAt: 5}
+	if m.TargetSpeed(100) != 30 || m.FeedforwardAccel(100) != 0 {
+		t.Error("zero-decel braking maneuver should behave as constant cruise")
+	}
+}
+
+func TestSpeedTrackerCombinesTerms(t *testing.T) {
+	tr := SpeedTracker{Maneuver: ConstantSpeed{Speed: 30}, Gain: 2}
+	got := tr.Accel(0, vehicle.State{Speed: 28})
+	if math.Abs(got-4) > 1e-12 { // 0 feedforward + 2*(30-28)
+		t.Errorf("Accel = %v, want 4", got)
+	}
+}
+
+func TestSpeedTrackerDefaultGain(t *testing.T) {
+	tr := SpeedTracker{Maneuver: ConstantSpeed{Speed: 30}}
+	got := tr.Accel(0, vehicle.State{Speed: 29})
+	if got <= 0 {
+		t.Errorf("Accel = %v, want positive with default gain", got)
+	}
+}

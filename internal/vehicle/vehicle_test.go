@@ -1,0 +1,228 @@
+package vehicle
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpecValidate(t *testing.T) {
+	valid := PaperCar("v")
+	tests := []struct {
+		name    string
+		mutate  func(*Spec)
+		wantErr error
+	}{
+		{name: "paper car valid", mutate: func(*Spec) {}, wantErr: nil},
+		{name: "zero length", mutate: func(s *Spec) { s.Length = 0 }, wantErr: ErrBadLength},
+		{name: "zero max speed", mutate: func(s *Spec) { s.MaxSpeed = 0 }, wantErr: ErrBadMaxSpeed},
+		{name: "zero accel", mutate: func(s *Spec) { s.MaxAccel = 0 }, wantErr: ErrBadAccel},
+		{name: "zero decel", mutate: func(s *Spec) { s.MaxDecel = 0 }, wantErr: ErrBadDecel},
+		{name: "negative lag", mutate: func(s *Spec) { s.ActuationLag = -1 }, wantErr: ErrBadLag},
+		{name: "zero lag ok", mutate: func(s *Spec) { s.ActuationLag = 0 }, wantErr: nil},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := valid
+			tt.mutate(&s)
+			if err := s.Validate(); !errors.Is(err, tt.wantErr) {
+				t.Errorf("Validate = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestPaperCarParameters(t *testing.T) {
+	s := PaperCar("vehicle.0")
+	if s.Length != 4 || s.MaxSpeed != 50 || s.MaxAccel != 2.5 || s.MaxDecel != 9 {
+		t.Errorf("PaperCar = %+v does not match §IV-A1", s)
+	}
+}
+
+func TestNewRejectsInvalidSpec(t *testing.T) {
+	if _, err := New(Spec{ID: "bad"}, State{}); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+func ideal(id string) Spec {
+	s := PaperCar(id)
+	s.ActuationLag = 0 // ideal actuation simplifies closed-form checks
+	return s
+}
+
+func TestStepConstantSpeed(t *testing.T) {
+	v, err := New(ideal("v"), State{Pos: 100, Speed: 20})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for i := 0; i < 100; i++ {
+		v.Step(0.01)
+	}
+	if !almost(v.State.Pos, 120, 1e-9) {
+		t.Errorf("Pos = %v, want 120", v.State.Pos)
+	}
+	if v.State.Speed != 20 {
+		t.Errorf("Speed = %v, want 20", v.State.Speed)
+	}
+}
+
+func TestStepAcceleration(t *testing.T) {
+	v, _ := New(ideal("v"), State{Speed: 10})
+	v.Command(2)
+	for i := 0; i < 100; i++ { // 1 second
+		v.Step(0.01)
+	}
+	if !almost(v.State.Speed, 12, 1e-9) {
+		t.Errorf("Speed = %v, want 12", v.State.Speed)
+	}
+}
+
+func TestStepClampsToEnvelope(t *testing.T) {
+	v, _ := New(ideal("v"), State{Speed: 10})
+	v.Command(100) // way beyond 2.5 m/s^2
+	v.Step(0.01)
+	if !almost(v.State.Accel, 2.5, 1e-9) {
+		t.Errorf("Accel = %v, want clamp to 2.5", v.State.Accel)
+	}
+	v.Command(-100) // beyond 9 m/s^2 braking
+	v.Step(0.01)
+	if !almost(v.State.Accel, -9, 1e-9) {
+		t.Errorf("Accel = %v, want clamp to -9", v.State.Accel)
+	}
+}
+
+func TestStepSpeedNeverNegative(t *testing.T) {
+	v, _ := New(ideal("v"), State{Speed: 0.5})
+	v.Command(-9)
+	for i := 0; i < 200; i++ {
+		v.Step(0.01)
+		if v.State.Speed < 0 {
+			t.Fatalf("speed went negative: %v", v.State.Speed)
+		}
+	}
+	if v.State.Speed != 0 {
+		t.Errorf("Speed = %v, want full stop", v.State.Speed)
+	}
+	if v.State.Accel != 0 {
+		t.Errorf("Accel = %v at standstill, want 0", v.State.Accel)
+	}
+}
+
+func TestStepSpeedCapped(t *testing.T) {
+	v, _ := New(ideal("v"), State{Speed: 49.9})
+	v.Command(2.5)
+	for i := 0; i < 1000; i++ {
+		v.Step(0.01)
+	}
+	if v.State.Speed != 50 {
+		t.Errorf("Speed = %v, want cap at MaxSpeed", v.State.Speed)
+	}
+}
+
+func TestActuationLagFirstOrder(t *testing.T) {
+	s := PaperCar("v") // lag 0.5 s
+	v, _ := New(s, State{Speed: 20})
+	v.Command(2)
+	// After exactly one time constant the realised acceleration should be
+	// ~63.2% of the command.
+	for i := 0; i < 50; i++ { // 0.5 s at 10 ms
+		v.Step(0.01)
+	}
+	want := 2 * (1 - math.Exp(-1))
+	if !almost(v.State.Accel, want, 1e-6) {
+		t.Errorf("Accel after tau = %v, want %v", v.State.Accel, want)
+	}
+}
+
+func TestActuationLagStepInvariantToDt(t *testing.T) {
+	// The exact exponential discretisation makes the response independent
+	// of the step size.
+	run := func(dt float64, n int) float64 {
+		v, _ := New(PaperCar("v"), State{Speed: 20})
+		v.Command(2)
+		for i := 0; i < n; i++ {
+			v.Step(dt)
+		}
+		return v.State.Accel
+	}
+	coarse := run(0.1, 10)
+	fine := run(0.01, 100)
+	if !almost(coarse, fine, 1e-9) {
+		t.Errorf("lag response depends on dt: %v vs %v", coarse, fine)
+	}
+}
+
+func TestCommandNaNSanitised(t *testing.T) {
+	v, _ := New(ideal("v"), State{Speed: 10})
+	v.Command(math.NaN())
+	if v.Commanded() != 0 {
+		t.Errorf("NaN command stored as %v", v.Commanded())
+	}
+}
+
+func TestHalt(t *testing.T) {
+	v, _ := New(ideal("v"), State{Pos: 50, Speed: 30})
+	v.Halt()
+	if !v.Halted() {
+		t.Fatal("Halted = false after Halt")
+	}
+	v.Command(2.5)
+	v.Step(0.01)
+	if v.State.Pos != 50 || v.State.Speed != 0 {
+		t.Errorf("halted vehicle moved: %+v", v.State)
+	}
+}
+
+func TestStepZeroDtNoop(t *testing.T) {
+	v, _ := New(ideal("v"), State{Pos: 10, Speed: 5})
+	v.Step(0)
+	v.Step(-1)
+	if v.State.Pos != 10 || v.State.Speed != 5 {
+		t.Errorf("zero/negative dt changed state: %+v", v.State)
+	}
+}
+
+func TestRear(t *testing.T) {
+	st := State{Pos: 104}
+	if got := st.Rear(4); got != 100 {
+		t.Errorf("Rear = %v, want 100", got)
+	}
+}
+
+// Property: regardless of the command sequence, the physical envelope
+// holds: 0 <= speed <= MaxSpeed and -MaxDecel <= accel <= MaxAccel, and
+// position is nondecreasing.
+func TestEnvelopeInvariantProperty(t *testing.T) {
+	f := func(cmds []float64) bool {
+		v, err := New(PaperCar("v"), State{Speed: 25})
+		if err != nil {
+			return false
+		}
+		prevPos := v.State.Pos
+		for _, c := range cmds {
+			v.Command(c)
+			for i := 0; i < 10; i++ {
+				v.Step(0.01)
+			}
+			s := v.State
+			if s.Speed < 0 || s.Speed > v.Spec.MaxSpeed {
+				return false
+			}
+			if s.Accel < -v.Spec.MaxDecel-1e-9 || s.Accel > v.Spec.MaxAccel+1e-9 {
+				return false
+			}
+			if s.Pos < prevPos {
+				return false
+			}
+			prevPos = s.Pos
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }

@@ -1,0 +1,154 @@
+// Package wave1609 implements the IEEE 1609.4 multi-channel operation
+// layer of the Veins substitute: the division of time into synchronised
+// CCH/SCH intervals with guard periods, and the transmit-window queries
+// the MAC uses to defer frames that do not fit the remaining channel
+// time. The paper's communication model (Fig. 1) stacks exactly this
+// layer above the 802.11p MAC.
+package wave1609
+
+import (
+	"errors"
+
+	"comfase/internal/sim/des"
+)
+
+// AccessMode selects how the radio uses the control channel.
+type AccessMode int
+
+const (
+	// AccessContinuous keeps the radio on the CCH permanently. This is
+	// Plexe's default for platooning beacons and the mode the paper's
+	// experiments run in.
+	AccessContinuous AccessMode = iota + 1
+	// AccessAlternating switches between CCH and SCH every interval as
+	// per IEEE 1609.4 synchronised channel switching.
+	AccessAlternating
+)
+
+// String implements fmt.Stringer.
+func (m AccessMode) String() string {
+	switch m {
+	case AccessContinuous:
+		return "continuous"
+	case AccessAlternating:
+		return "alternating"
+	default:
+		return "unknown"
+	}
+}
+
+// Standard IEEE 1609.4 timing.
+const (
+	// DefaultSyncInterval is the CCH+SCH period (100 ms).
+	DefaultSyncInterval = 100 * des.Millisecond
+	// DefaultCCHInterval is the control-channel half (50 ms).
+	DefaultCCHInterval = 50 * des.Millisecond
+	// DefaultGuardInterval is the guard time at the start of each
+	// channel interval during which no transmissions may start (4 ms).
+	DefaultGuardInterval = 4 * des.Millisecond
+)
+
+// Schedule answers "may I start a CCH transmission now, and if not, when
+// next?" for a given access mode.
+type Schedule struct {
+	// Mode is the channel access mode.
+	Mode AccessMode
+	// SyncInterval is the full CCH+SCH period.
+	SyncInterval des.Time
+	// CCHInterval is the CCH portion at the start of each sync interval.
+	CCHInterval des.Time
+	// GuardInterval is the no-transmit guard at the start of the CCH
+	// interval.
+	GuardInterval des.Time
+}
+
+// NewSchedule returns a schedule with standard 1609.4 timing.
+func NewSchedule(mode AccessMode) Schedule {
+	return Schedule{
+		Mode:          mode,
+		SyncInterval:  DefaultSyncInterval,
+		CCHInterval:   DefaultCCHInterval,
+		GuardInterval: DefaultGuardInterval,
+	}
+}
+
+// Validate reports the first configuration problem, or nil.
+func (s Schedule) Validate() error {
+	if s.Mode != AccessContinuous && s.Mode != AccessAlternating {
+		return errors.New("wave1609: invalid access mode")
+	}
+	if s.Mode == AccessContinuous {
+		return nil
+	}
+	switch {
+	case s.SyncInterval <= 0:
+		return errors.New("wave1609: sync interval must be positive")
+	case s.CCHInterval <= 0 || s.CCHInterval > s.SyncInterval:
+		return errors.New("wave1609: CCH interval must be in (0, sync]")
+	case s.GuardInterval < 0 || s.GuardInterval >= s.CCHInterval:
+		return errors.New("wave1609: guard must be in [0, CCH)")
+	}
+	return nil
+}
+
+// phase returns the offset of now within the sync interval.
+func (s Schedule) phase(now des.Time) des.Time {
+	p := now % s.SyncInterval
+	if p < 0 {
+		p += s.SyncInterval
+	}
+	return p
+}
+
+// CanTransmit reports whether a CCH transmission of the given airtime may
+// START at time now and complete within the current CCH window. In
+// continuous mode this is always true.
+func (s Schedule) CanTransmit(now, airtime des.Time) bool {
+	if s.Mode == AccessContinuous {
+		return true
+	}
+	p := s.phase(now)
+	if p < s.GuardInterval || p >= s.CCHInterval {
+		return false
+	}
+	return p.Add(airtime) <= s.CCHInterval
+}
+
+// NextTxOpportunity returns the earliest time >= now at which a CCH
+// transmission of the given airtime may start. In continuous mode it
+// returns now. If the frame cannot fit any CCH window at all (airtime
+// longer than the usable window) it returns des.MaxTime.
+func (s Schedule) NextTxOpportunity(now, airtime des.Time) des.Time {
+	if s.Mode == AccessContinuous {
+		return now
+	}
+	usable := s.CCHInterval - s.GuardInterval
+	if airtime > usable {
+		return des.MaxTime
+	}
+	for i := 0; i < 3; i++ {
+		p := s.phase(now)
+		windowStart := now - p + s.GuardInterval
+		latestStart := now - p + s.CCHInterval - airtime
+		switch {
+		case p < s.GuardInterval:
+			return windowStart
+		case now <= latestStart:
+			return now
+		default:
+			// Roll to the next sync interval's guard end.
+			now = now - p + s.SyncInterval + s.GuardInterval
+			return now
+		}
+	}
+	return des.MaxTime
+}
+
+// InCCH reports whether the radio is tuned to the control channel at time
+// now (guard intervals count as CCH for listening purposes).
+func (s Schedule) InCCH(now des.Time) bool {
+	if s.Mode == AccessContinuous {
+		return true
+	}
+	return s.phase(now) < s.CCHInterval
+}

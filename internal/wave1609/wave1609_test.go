@@ -1,0 +1,142 @@
+package wave1609
+
+import (
+	"testing"
+	"testing/quick"
+
+	"comfase/internal/sim/des"
+)
+
+func TestAccessModeString(t *testing.T) {
+	if AccessContinuous.String() != "continuous" ||
+		AccessAlternating.String() != "alternating" ||
+		AccessMode(0).String() != "unknown" {
+		t.Error("AccessMode.String wrong")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := NewSchedule(AccessContinuous).Validate(); err != nil {
+		t.Errorf("continuous default invalid: %v", err)
+	}
+	if err := NewSchedule(AccessAlternating).Validate(); err != nil {
+		t.Errorf("alternating default invalid: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Schedule)
+	}{
+		{name: "bad mode", mutate: func(s *Schedule) { s.Mode = 0 }},
+		{name: "zero sync", mutate: func(s *Schedule) { s.SyncInterval = 0 }},
+		{name: "cch > sync", mutate: func(s *Schedule) { s.CCHInterval = s.SyncInterval + 1 }},
+		{name: "guard >= cch", mutate: func(s *Schedule) { s.GuardInterval = s.CCHInterval }},
+		{name: "negative guard", mutate: func(s *Schedule) { s.GuardInterval = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := NewSchedule(AccessAlternating)
+			tt.mutate(&s)
+			if err := s.Validate(); err == nil {
+				t.Error("invalid schedule accepted")
+			}
+		})
+	}
+}
+
+func TestContinuousAlwaysTransmits(t *testing.T) {
+	s := NewSchedule(AccessContinuous)
+	f := func(now uint32, airtime uint16) bool {
+		n := des.Time(now)
+		return s.CanTransmit(n, des.Time(airtime)) &&
+			s.NextTxOpportunity(n, des.Time(airtime)) == n &&
+			s.InCCH(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlternatingWindows(t *testing.T) {
+	s := NewSchedule(AccessAlternating)
+	air := 100 * des.Microsecond
+	tests := []struct {
+		name string
+		now  des.Time
+		want bool
+	}{
+		{name: "in guard", now: 2 * des.Millisecond, want: false},
+		{name: "just after guard", now: 4 * des.Millisecond, want: true},
+		{name: "mid CCH", now: 25 * des.Millisecond, want: true},
+		{name: "frame would cross CCH end", now: 50*des.Millisecond - 50*des.Microsecond, want: false},
+		{name: "in SCH", now: 75 * des.Millisecond, want: false},
+		{name: "next interval guard", now: 101 * des.Millisecond, want: false},
+		{name: "next interval CCH", now: 110 * des.Millisecond, want: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := s.CanTransmit(tt.now, air); got != tt.want {
+				t.Errorf("CanTransmit(%v) = %v, want %v", tt.now, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestNextTxOpportunity(t *testing.T) {
+	s := NewSchedule(AccessAlternating)
+	air := 100 * des.Microsecond
+	tests := []struct {
+		name string
+		now  des.Time
+		want des.Time
+	}{
+		{name: "in guard waits for guard end", now: des.Millisecond, want: 4 * des.Millisecond},
+		{name: "in window transmits now", now: 20 * des.Millisecond, want: 20 * des.Millisecond},
+		{name: "in SCH waits for next CCH", now: 70 * des.Millisecond, want: 104 * des.Millisecond},
+		{name: "frame does not fit window tail", now: 50*des.Millisecond - 10*des.Microsecond, want: 104 * des.Millisecond},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := s.NextTxOpportunity(tt.now, air); got != tt.want {
+				t.Errorf("NextTxOpportunity(%v) = %v, want %v", tt.now, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestNextTxOpportunityOversizedFrame(t *testing.T) {
+	s := NewSchedule(AccessAlternating)
+	if got := s.NextTxOpportunity(0, 60*des.Millisecond); got != des.MaxTime {
+		t.Errorf("oversized frame opportunity = %v, want MaxTime", got)
+	}
+}
+
+// Property: an opportunity returned by NextTxOpportunity is always a time
+// at which CanTransmit holds.
+func TestOpportunityIsTransmittableProperty(t *testing.T) {
+	s := NewSchedule(AccessAlternating)
+	f := func(now uint32, airUs uint16) bool {
+		n := des.Time(now) * des.Microsecond
+		air := des.Time(airUs%2000) * des.Microsecond
+		opp := s.NextTxOpportunity(n, air)
+		if opp == des.MaxTime {
+			return true
+		}
+		return opp >= n && s.CanTransmit(opp, air)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInCCH(t *testing.T) {
+	s := NewSchedule(AccessAlternating)
+	if !s.InCCH(10 * des.Millisecond) {
+		t.Error("10 ms should be CCH")
+	}
+	if s.InCCH(60 * des.Millisecond) {
+		t.Error("60 ms should be SCH")
+	}
+	if !s.InCCH(des.Millisecond) {
+		t.Error("guard should still count as tuned-to-CCH")
+	}
+}
