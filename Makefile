@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: check build vet test race bench
+
+# Tier-1 verification gate: build + vet + race-enabled tests. The
+# campaign runner executes experiments on a worker pool, so the race
+# detector is part of the default gate, not an optional extra.
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

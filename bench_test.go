@@ -11,6 +11,8 @@
 package comfase
 
 import (
+	"context"
+	"runtime"
 	"testing"
 
 	"comfase/internal/classify"
@@ -18,6 +20,7 @@ import (
 	"comfase/internal/figures"
 	"comfase/internal/phy"
 	"comfase/internal/platoon"
+	"comfase/internal/runner"
 	"comfase/internal/safety"
 	"comfase/internal/scenario"
 	"comfase/internal/sim/des"
@@ -411,3 +414,46 @@ func BenchmarkGoldenCSVExport(b *testing.B) {
 type discard struct{}
 
 func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// BenchmarkCampaignParallel tracks the campaign hot path end-to-end
+// through the production runner (streaming, grid-order release): the
+// same 24-experiment grid executed sequentially and on all cores. The
+// workers=1/GOMAXPROCS pair exposes the parallel speedup trajectory;
+// the custom metric pins the outcome shape so a perf change that breaks
+// determinism is caught here too.
+func BenchmarkCampaignParallel(b *testing.B) {
+	grid := core.CampaignSetup{
+		Attack:    core.AttackDelay,
+		Targets:   []string{"vehicle.2"},
+		Values:    []float64{0.4, 2.0},
+		Starts:    []des.Time{17 * des.Second, 19 * des.Second, 21 * des.Second},
+		Durations: []des.Time{2 * des.Second, 5 * des.Second, 10 * des.Second, 30 * des.Second},
+	}
+	for _, w := range []struct {
+		name    string
+		workers int
+	}{
+		{name: "workers=1", workers: 1},
+		{name: "workers=GOMAXPROCS", workers: runtime.GOMAXPROCS(0)},
+	} {
+		w := w
+		b.Run(w.name, func(b *testing.B) {
+			eng := newEngine(b, core.EngineConfig{})
+			b.ResetTimer()
+			var counts classify.Counts
+			for i := 0; i < b.N; i++ {
+				r, err := runner.New(eng, runner.Options{Workers: w.workers})
+				if err != nil {
+					b.Fatalf("runner.New: %v", err)
+				}
+				res, err := r.Run(context.Background(), grid)
+				if err != nil {
+					b.Fatalf("Run: %v", err)
+				}
+				counts = res.Counts
+			}
+			b.ReportMetric(float64(counts.Severe), "severe")
+			b.ReportMetric(float64(counts.Total()), "experiments")
+		})
+	}
+}

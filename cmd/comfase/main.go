@@ -5,6 +5,13 @@
 //
 //	comfase golden [-seed N] [-csv golden.csv]
 //	comfase campaign -config experiment.json [-out report.txt] [-v]
+//	         [-workers N] [-shard i/n] [-results FILE] [-resume] [-jsonl FILE]
+//	comfase merge -out merged.csv shard1.csv shard2.csv ...
+//
+// Campaigns stream per-experiment results to -results as they complete,
+// honor SIGINT by flushing partial results and exiting cleanly, resume
+// an interrupted run with -resume, and split the grid across processes
+// with -shard (merge the per-shard files with `comfase merge`).
 //
 // The config format is documented in internal/config; an empty scenario/
 // comm section reproduces the paper's setup (§IV-A). Example:
@@ -15,31 +22,40 @@
 //	    "valuesS":     {"range": {"from": 0.2, "to": 3.0, "step": 0.2}},
 //	    "startTimesS": {"range": {"from": 17, "to": 21.8, "step": 0.2}},
 //	    "durationsS":  {"range": {"from": 1, "to": 30, "step": 1}}
-//	  }
+//	  },
+//	  "runtime": {"workers": 8, "resultsFile": "delay.csv"}
 //	}
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
 
 	"comfase/internal/analysis"
 	"comfase/internal/config"
 	"comfase/internal/core"
+	"comfase/internal/runner"
 	"comfase/internal/scenario"
 	"comfase/internal/trace"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "comfase:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if len(args) == 0 {
 		return usageError()
 	}
@@ -47,7 +63,9 @@ func run(args []string, stdout io.Writer) error {
 	case "golden":
 		return runGolden(args[1:], stdout)
 	case "campaign":
-		return runCampaign(args[1:], stdout)
+		return runCampaign(ctx, args[1:], stdout)
+	case "merge":
+		return runMerge(args[1:], stdout)
 	case "-h", "--help", "help":
 		printUsage(stdout)
 		return nil
@@ -57,7 +75,7 @@ func run(args []string, stdout io.Writer) error {
 }
 
 func usageError() error {
-	return fmt.Errorf("usage: comfase <golden|campaign> [flags]; see comfase help")
+	return fmt.Errorf("usage: comfase <golden|campaign|merge> [flags]; see comfase help")
 }
 
 func printUsage(w io.Writer) {
@@ -67,7 +85,14 @@ Subcommands:
   golden    run the attack-free reference simulation of the paper scenario
             flags: -seed N, -csv FILE (write the Fig. 4 time series)
   campaign  run an attack-injection campaign from a JSON config
-            flags: -config FILE (required), -out FILE, -v (progress)
+            flags: -config FILE (required), -out FILE, -v (progress),
+                   -workers N (0 = all cores), -shard i/n (grid slice),
+                   -results FILE (stream per-experiment CSV rows; resume source),
+                   -resume (skip experiments already in -results),
+                   -jsonl FILE (stream JSON-lines results)
+            SIGINT flushes partial results to -results and exits cleanly.
+  merge     merge per-shard result CSVs into one file ordered by expNr
+            flags: -out FILE (required), then the shard CSV paths
 `)
 }
 
@@ -113,13 +138,17 @@ func writeCSV(log *trace.FullLog, path string) error {
 	return f.Close()
 }
 
-func runCampaign(args []string, stdout io.Writer) error {
+func runCampaign(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("campaign", flag.ContinueOnError)
 	cfgPath := fs.String("config", "", "JSON experiment configuration (required)")
 	outPath := fs.String("out", "", "write the report to this file instead of stdout")
 	verbose := fs.Bool("v", false, "print campaign progress")
 	workers := fs.Int("workers", 1, "parallel experiment workers (0 = all cores)")
-	csvPath := fs.String("csv", "", "write per-experiment results as CSV")
+	resultsPath := fs.String("results", "", "stream per-experiment results to this CSV (resume source)")
+	csvPath := fs.String("csv", "", "alias of -results (kept for compatibility)")
+	jsonlPath := fs.String("jsonl", "", "stream per-experiment results to this JSON-lines file")
+	shardSpec := fs.String("shard", "", `grid slice "i/n" this process executes (merge files with: comfase merge)`)
+	resume := fs.Bool("resume", false, "skip experiments already recorded in the results file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -136,40 +165,89 @@ func runCampaign(args []string, stdout io.Writer) error {
 		return err
 	}
 
+	// Flags override config-file runtime settings.
+	opts := runner.Options{Workers: parsed.Runtime.Workers, Shard: parsed.Runtime.Shard}
+	explicit := map[string]bool{}
+	fs.Visit(func(fl *flag.Flag) { explicit[fl.Name] = true })
+	if explicit["workers"] || opts.Workers == 0 {
+		opts.Workers = *workers
+	}
+	if opts.Workers == 0 {
+		opts.Workers = -1 // all cores (pool maps <= 0 to GOMAXPROCS)
+	}
+	if *shardSpec != "" {
+		if opts.Shard, err = runner.ParseShard(*shardSpec); err != nil {
+			return err
+		}
+	}
+	results := parsed.Runtime.ResultsFile
+	switch {
+	case *resultsPath != "" && *csvPath != "" && *resultsPath != *csvPath:
+		return fmt.Errorf("campaign: -results and -csv disagree (%q vs %q)", *resultsPath, *csvPath)
+	case *resultsPath != "":
+		results = *resultsPath
+	case *csvPath != "":
+		results = *csvPath
+	}
+	if *resume && results == "" {
+		return fmt.Errorf("campaign: -resume needs a results file (-results)")
+	}
+
+	var sinks []runner.Sink
+	if *resume {
+		if opts.Resume, err = runner.ReadResultsFile(results); err != nil {
+			return err
+		}
+	}
+	if results != "" {
+		sink, closeSink, err := openResultsSink(results, len(opts.Resume) > 0)
+		if err != nil {
+			return err
+		}
+		defer closeSink()
+		sinks = append(sinks, sink)
+	}
+	if *jsonlPath != "" {
+		jf, err := os.Create(*jsonlPath)
+		if err != nil {
+			return err
+		}
+		defer jf.Close()
+		sinks = append(sinks, runner.NewJSONSink(jf))
+	}
+
+	// Track completion for the interrupt message; chain the verbose
+	// printer behind it.
+	var lastDone, lastTotal atomic.Int64
+	opts.Progress = func(done, total int) {
+		lastDone.Store(int64(done))
+		lastTotal.Store(int64(total))
+		if *verbose && (done%500 == 0 || done == total) {
+			fmt.Fprintf(stdout, "  %d/%d experiments\n", done, total)
+		}
+	}
+
 	eng, err := core.NewEngine(parsed.Engine)
 	if err != nil {
 		return err
 	}
-	var progress core.Progress
-	if *verbose {
-		progress = func(done, total int) {
-			if done%500 == 0 || done == total {
-				fmt.Fprintf(stdout, "  %d/%d experiments\n", done, total)
-			}
-		}
-	}
-	var res *core.CampaignResult
-	if *workers == 1 {
-		res, err = eng.RunCampaign(parsed.Campaign, progress)
-	} else {
-		res, err = eng.RunCampaignParallel(parsed.Campaign, *workers, progress)
-	}
+	r, err := runner.New(eng, opts, sinks...)
 	if err != nil {
 		return err
 	}
-
-	if *csvPath != "" {
-		cf, err := os.Create(*csvPath)
-		if err != nil {
-			return err
+	res, err := r.Run(ctx, parsed.Campaign)
+	if err != nil {
+		if errors.Is(err, context.Canceled) && ctx.Err() != nil {
+			// SIGINT/SIGTERM: partial results are already flushed; tell
+			// the operator how to pick the campaign back up.
+			fmt.Fprintf(stdout, "campaign interrupted: %d/%d experiments completed\n",
+				lastDone.Load(), lastTotal.Load())
+			if results != "" {
+				fmt.Fprintf(stdout, "partial results flushed to %s; continue with -resume\n", results)
+			}
+			return nil
 		}
-		if err := analysis.ExperimentsCSV(cf, res.Experiments); err != nil {
-			cf.Close()
-			return err
-		}
-		if err := cf.Close(); err != nil {
-			return err
-		}
+		return err
 	}
 
 	out := stdout
@@ -181,7 +259,55 @@ func runCampaign(args []string, stdout io.Writer) error {
 		defer of.Close()
 		out = of
 	}
+	if opts.Shard.Enabled() {
+		fmt.Fprintf(out, "shard %s: %d of the grid's %d experiments (merge shard files with: comfase merge)\n\n",
+			opts.Shard, len(res.Experiments), parsed.Campaign.NumExperiments())
+	}
 	return writeCampaignReport(out, res)
+}
+
+// openResultsSink opens the streaming CSV results file. A resume run
+// with prior rows appends; anything else starts fresh with a header.
+func openResultsSink(path string, appendTo bool) (runner.Sink, func() error, error) {
+	if appendTo {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, err
+		}
+		return runner.NewCSVAppendSink(f), f.Close, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return runner.NewCSVSink(f), f.Close, nil
+}
+
+func runMerge(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("merge", flag.ContinueOnError)
+	outPath := fs.String("out", "", "merged CSV output path (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *outPath == "" {
+		return fmt.Errorf("merge: -out is required")
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("merge: no input result files")
+	}
+	f, err := os.Create(*outPath)
+	if err != nil {
+		return err
+	}
+	if err := runner.MergeResultFiles(f, fs.Args()...); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "merged %d result files into %s\n", fs.NArg(), *outPath)
+	return nil
 }
 
 func writeCampaignReport(w io.Writer, res *core.CampaignResult) error {

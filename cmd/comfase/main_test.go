@@ -1,25 +1,30 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 )
 
+func bg() context.Context { return context.Background() }
+
 func TestRunUsage(t *testing.T) {
-	if err := run(nil, os.Stdout); err == nil {
+	if err := run(bg(), nil, os.Stdout); err == nil {
 		t.Error("no args accepted")
 	}
-	if err := run([]string{"frobnicate"}, os.Stdout); err == nil {
+	if err := run(bg(), []string{"frobnicate"}, os.Stdout); err == nil {
 		t.Error("unknown subcommand accepted")
 	}
 	var sb strings.Builder
-	if err := run([]string{"help"}, &sb); err != nil {
+	if err := run(bg(), []string{"help"}, &sb); err != nil {
 		t.Errorf("help: %v", err)
 	}
-	if !strings.Contains(sb.String(), "golden") || !strings.Contains(sb.String(), "campaign") {
-		t.Errorf("usage output incomplete: %q", sb.String())
+	for _, want := range []string{"golden", "campaign", "merge", "-shard", "-resume"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("usage output missing %q: %q", want, sb.String())
+		}
 	}
 }
 
@@ -27,7 +32,7 @@ func TestRunGoldenWithCSV(t *testing.T) {
 	dir := t.TempDir()
 	csvPath := filepath.Join(dir, "golden.csv")
 	var sb strings.Builder
-	if err := run([]string{"golden", "-csv", csvPath}, &sb); err != nil {
+	if err := run(bg(), []string{"golden", "-csv", csvPath}, &sb); err != nil {
 		t.Fatalf("golden: %v", err)
 	}
 	if !strings.Contains(sb.String(), "max deceleration") {
@@ -43,6 +48,24 @@ func TestRunGoldenWithCSV(t *testing.T) {
 	if lines := strings.Count(string(data), "\n"); lines < 20000 {
 		t.Errorf("csv has %d lines, want ~24001 (6000 samples x 4 vehicles)", lines)
 	}
+}
+
+// writeGridConfig writes a small 4-experiment campaign config.
+func writeGridConfig(t *testing.T, dir string) string {
+	t.Helper()
+	cfgPath := filepath.Join(dir, "exp.json")
+	cfg := `{
+	  "campaign": {
+	    "attack": "delay",
+	    "valuesS": {"values": [0.4, 2.0]},
+	    "startTimesS": {"values": [18]},
+	    "durationsS": {"values": [2, 10]}
+	  }
+	}`
+	if err := os.WriteFile(cfgPath, []byte(cfg), 0o644); err != nil {
+		t.Fatalf("write config: %v", err)
+	}
+	return cfgPath
 }
 
 func TestRunCampaignFromConfig(t *testing.T) {
@@ -61,7 +84,7 @@ func TestRunCampaignFromConfig(t *testing.T) {
 	}
 	outPath := filepath.Join(dir, "report.txt")
 	var sb strings.Builder
-	if err := run([]string{"campaign", "-config", cfgPath, "-out", outPath}, &sb); err != nil {
+	if err := run(bg(), []string{"campaign", "-config", cfgPath, "-out", outPath}, &sb); err != nil {
 		t.Fatalf("campaign: %v", err)
 	}
 	report, err := os.ReadFile(outPath)
@@ -76,10 +99,10 @@ func TestRunCampaignFromConfig(t *testing.T) {
 }
 
 func TestRunCampaignErrors(t *testing.T) {
-	if err := run([]string{"campaign"}, os.Stdout); err == nil {
+	if err := run(bg(), []string{"campaign"}, os.Stdout); err == nil {
 		t.Error("missing -config accepted")
 	}
-	if err := run([]string{"campaign", "-config", "/nonexistent.json"}, os.Stdout); err == nil {
+	if err := run(bg(), []string{"campaign", "-config", "/nonexistent.json"}, os.Stdout); err == nil {
 		t.Error("missing file accepted")
 	}
 	dir := t.TempDir()
@@ -87,7 +110,123 @@ func TestRunCampaignErrors(t *testing.T) {
 	if err := os.WriteFile(bad, []byte(`{"campaign": {}}`), 0o644); err != nil {
 		t.Fatalf("write: %v", err)
 	}
-	if err := run([]string{"campaign", "-config", bad}, os.Stdout); err == nil {
+	if err := run(bg(), []string{"campaign", "-config", bad}, os.Stdout); err == nil {
 		t.Error("empty campaign accepted")
+	}
+	cfg := writeGridConfig(t, dir)
+	if err := run(bg(), []string{"campaign", "-config", cfg, "-resume"}, os.Stdout); err == nil {
+		t.Error("-resume without -results accepted")
+	}
+	if err := run(bg(), []string{"campaign", "-config", cfg, "-shard", "9/2"}, os.Stdout); err == nil {
+		t.Error("out-of-range shard accepted")
+	}
+	if err := run(bg(), []string{"campaign", "-config", cfg,
+		"-results", "a.csv", "-csv", "b.csv"}, os.Stdout); err == nil {
+		t.Error("conflicting -results/-csv accepted")
+	}
+}
+
+// TestRunCampaignShardedMergeMatchesSequential drives the full
+// multi-process workflow through the CLI: two shard runs into separate
+// result files, merged, compared byte-for-byte against one sequential
+// run of the whole grid.
+func TestRunCampaignShardedMergeMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs experiments in -short mode")
+	}
+	dir := t.TempDir()
+	cfg := writeGridConfig(t, dir)
+
+	seqCSV := filepath.Join(dir, "seq.csv")
+	if err := run(bg(), []string{"campaign", "-config", cfg, "-results", seqCSV}, os.Stdout); err != nil {
+		t.Fatalf("sequential campaign: %v", err)
+	}
+	var shardFiles []string
+	for _, shard := range []string{"1/2", "2/2"} {
+		path := filepath.Join(dir, "shard"+shard[:1]+".csv")
+		shardFiles = append(shardFiles, path)
+		var sb strings.Builder
+		if err := run(bg(), []string{"campaign", "-config", cfg,
+			"-shard", shard, "-workers", "2", "-results", path}, &sb); err != nil {
+			t.Fatalf("shard %s: %v", shard, err)
+		}
+		if !strings.Contains(sb.String(), "shard "+shard) {
+			t.Errorf("shard %s report missing shard note: %q", shard, sb.String())
+		}
+	}
+	merged := filepath.Join(dir, "merged.csv")
+	if err := run(bg(), append([]string{"merge", "-out", merged}, shardFiles...), os.Stdout); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	want, err := os.ReadFile(seqCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(want) != string(got) {
+		t.Errorf("merged shards differ from sequential run:\nseq:\n%s\nmerged:\n%s", want, got)
+	}
+}
+
+// TestRunCampaignInterruptAndResume cancels the context mid-campaign
+// (the SIGINT path), checks the partial results survive and the exit is
+// clean, then resumes to completion and compares against an
+// uninterrupted run.
+func TestRunCampaignInterruptAndResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs experiments in -short mode")
+	}
+	dir := t.TempDir()
+	cfg := writeGridConfig(t, dir)
+
+	ref := filepath.Join(dir, "ref.csv")
+	if err := run(bg(), []string{"campaign", "-config", cfg, "-results", ref}, os.Stdout); err != nil {
+		t.Fatalf("reference campaign: %v", err)
+	}
+
+	// Cancel the context up front: the runner aborts before completing
+	// the grid, flushes whatever finished, and run() exits cleanly.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	partial := filepath.Join(dir, "run.csv")
+	var sb strings.Builder
+	if err := run(ctx, []string{"campaign", "-config", cfg, "-results", partial}, &sb); err != nil {
+		t.Fatalf("interrupted campaign returned error: %v", err)
+	}
+	if !strings.Contains(sb.String(), "interrupted") || !strings.Contains(sb.String(), "-resume") {
+		t.Errorf("interrupt message missing: %q", sb.String())
+	}
+
+	var sb2 strings.Builder
+	if err := run(bg(), []string{"campaign", "-config", cfg,
+		"-results", partial, "-resume"}, &sb2); err != nil {
+		t.Fatalf("resumed campaign: %v", err)
+	}
+	if !strings.Contains(sb2.String(), "4 experiments") {
+		t.Errorf("resumed report incomplete: %q", sb2.String())
+	}
+	want, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(partial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(want) != string(got) {
+		t.Errorf("resumed results differ from uninterrupted run:\nref:\n%s\ngot:\n%s", want, got)
+	}
+}
+
+func TestRunMergeErrors(t *testing.T) {
+	if err := run(bg(), []string{"merge"}, os.Stdout); err == nil {
+		t.Error("merge without -out accepted")
+	}
+	dir := t.TempDir()
+	if err := run(bg(), []string{"merge", "-out", filepath.Join(dir, "m.csv")}, os.Stdout); err == nil {
+		t.Error("merge without inputs accepted")
 	}
 }

@@ -74,34 +74,46 @@ func WriteDecelHistogram(w io.Writer, bins []DecelBin) error {
 	return nil
 }
 
+// ExperimentCSVHeader returns the column names of the per-experiment CSV
+// schema shared by ExperimentsCSV and the streaming runner.CSVSink.
+func ExperimentCSVHeader() []string {
+	return []string{
+		"expNr", "attack", "value", "start_s", "duration_s",
+		"outcome", "max_decel_mps2", "max_speed_dev_mps",
+		"collisions", "collider",
+	}
+}
+
+// ExperimentCSVRecord encodes one experiment as a CSV record matching
+// ExperimentCSVHeader. The encoding is deterministic, so result files
+// written row-by-row by a streaming sink are byte-identical to a batch
+// ExperimentsCSV export of the same experiments in the same order.
+func ExperimentCSVRecord(e core.ExperimentResult) []string {
+	return []string{
+		strconv.Itoa(e.Spec.Nr),
+		e.Spec.Kind.String(),
+		strconv.FormatFloat(e.Spec.Value, 'g', -1, 64),
+		strconv.FormatFloat(e.Spec.Start.Seconds(), 'f', 3, 64),
+		strconv.FormatFloat(e.Spec.Duration.Seconds(), 'f', 3, 64),
+		e.Outcome.String(),
+		strconv.FormatFloat(e.MaxDecel, 'f', 4, 64),
+		strconv.FormatFloat(e.MaxSpeedDev, 'f', 4, 64),
+		strconv.Itoa(len(e.Collisions)),
+		e.Collider,
+	}
+}
+
 // ExperimentsCSV exports one row per experiment — the raw
 // AttackCampaignLog view for downstream analysis pipelines:
 // expNr,attack,value,start_s,duration_s,outcome,max_decel,max_speed_dev,
 // collisions,collider.
 func ExperimentsCSV(w io.Writer, exps []core.ExperimentResult) error {
 	cw := csv.NewWriter(w)
-	header := []string{
-		"expNr", "attack", "value", "start_s", "duration_s",
-		"outcome", "max_decel_mps2", "max_speed_dev_mps",
-		"collisions", "collider",
-	}
-	if err := cw.Write(header); err != nil {
+	if err := cw.Write(ExperimentCSVHeader()); err != nil {
 		return err
 	}
 	for _, e := range exps {
-		rec := []string{
-			strconv.Itoa(e.Spec.Nr),
-			e.Spec.Kind.String(),
-			strconv.FormatFloat(e.Spec.Value, 'g', -1, 64),
-			strconv.FormatFloat(e.Spec.Start.Seconds(), 'f', 3, 64),
-			strconv.FormatFloat(e.Spec.Duration.Seconds(), 'f', 3, 64),
-			e.Outcome.String(),
-			strconv.FormatFloat(e.MaxDecel, 'f', 4, 64),
-			strconv.FormatFloat(e.MaxSpeedDev, 'f', 4, 64),
-			strconv.Itoa(len(e.Collisions)),
-			e.Collider,
-		}
-		if err := cw.Write(rec); err != nil {
+		if err := cw.Write(ExperimentCSVRecord(e)); err != nil {
 			return err
 		}
 	}

@@ -47,6 +47,24 @@ func (o Outcome) String() string {
 // Valid reports whether o is a defined category.
 func (o Outcome) Valid() bool { return o >= NonEffective && o <= Severe }
 
+// ParseOutcome inverts String: it maps a category name back to its
+// Outcome. Campaign runners use it to reload classified results from
+// persisted CSV rows when resuming an interrupted campaign.
+func ParseOutcome(s string) (Outcome, error) {
+	switch s {
+	case "non-effective":
+		return NonEffective, nil
+	case "negligible":
+		return Negligible, nil
+	case "benign":
+		return Benign, nil
+	case "severe":
+		return Severe, nil
+	default:
+		return 0, fmt.Errorf("classify: unknown outcome %q", s)
+	}
+}
+
 // Thresholds are the classificationParameters of Algorithm 1 line 18.
 type Thresholds struct {
 	// SpeedDevEpsilon is the per-sample speed deviation below which the

@@ -15,6 +15,7 @@ import (
 	"comfase/internal/core"
 	"comfase/internal/phy"
 	"comfase/internal/platoon"
+	"comfase/internal/runner"
 	"comfase/internal/safety"
 	"comfase/internal/scenario"
 	"comfase/internal/sim/des"
@@ -309,19 +310,12 @@ type CampaignConfig struct {
 
 // Build expands the vectors into a CampaignSetup.
 func (c CampaignConfig) Build() (core.CampaignSetup, error) {
-	var kind core.AttackKind
-	switch c.Attack {
-	case "", "delay":
-		kind = core.AttackDelay
-	case "dos":
-		kind = core.AttackDoS
-	case "packet-loss":
-		kind = core.AttackPacketLoss
-	case "replay":
-		kind = core.AttackReplay
-	case "jamming":
-		kind = core.AttackJamming
-	default:
+	name := c.Attack
+	if name == "" {
+		name = "delay"
+	}
+	kind, err := core.ParseAttackKind(name)
+	if err != nil {
 		return core.CampaignSetup{}, fmt.Errorf("config: unknown attack %q", c.Attack)
 	}
 	targets := c.Targets
@@ -350,6 +344,47 @@ func (c CampaignConfig) Build() (core.CampaignSetup, error) {
 	return setup, setup.Validate()
 }
 
+// RuntimeConfig configures the campaign runtime (internal/runner): how
+// the grid is executed rather than what it contains. Command-line flags
+// override these settings.
+type RuntimeConfig struct {
+	// Workers is the number of parallel experiment workers (0 = one, the
+	// sequential paper setup; negative = all cores).
+	Workers int `json:"workers,omitempty"`
+	// Shard is the "i/n" grid slice this process executes (empty = the
+	// whole grid). N processes with shards 1/n..n/n produce disjoint
+	// result files that `comfase merge` recombines.
+	Shard string `json:"shard,omitempty"`
+	// ResultsFile streams per-experiment CSV rows to this path as results
+	// complete; it is also the file -resume reads back.
+	ResultsFile string `json:"resultsFile,omitempty"`
+	// CancelCheckEvents is the DES-kernel cancellation poll granularity
+	// (0 = the des package default).
+	CancelCheckEvents uint64 `json:"cancelCheckEvents,omitempty"`
+}
+
+// Build validates the runtime settings.
+func (r RuntimeConfig) Build() (RuntimeSettings, error) {
+	var out RuntimeSettings
+	out.Workers = r.Workers
+	out.ResultsFile = r.ResultsFile
+	if r.Shard != "" {
+		sh, err := runner.ParseShard(r.Shard)
+		if err != nil {
+			return RuntimeSettings{}, err
+		}
+		out.Shard = sh
+	}
+	return out, nil
+}
+
+// RuntimeSettings is the validated campaign-runtime configuration.
+type RuntimeSettings struct {
+	Workers     int
+	Shard       runner.Shard
+	ResultsFile string
+}
+
 // File is a complete experiment description.
 type File struct {
 	// Seed drives all randomness (default 1).
@@ -359,6 +394,7 @@ type File struct {
 	Scenario   ScenarioConfig `json:"scenario,omitempty"`
 	Comm       CommConfig     `json:"comm,omitempty"`
 	Campaign   CampaignConfig `json:"campaign,omitempty"`
+	Runtime    RuntimeConfig  `json:"runtime,omitempty"`
 }
 
 // Parsed is the fully built experiment configuration.
@@ -366,6 +402,7 @@ type Parsed struct {
 	Seed     uint64
 	Engine   core.EngineConfig
 	Campaign core.CampaignSetup
+	Runtime  RuntimeSettings
 }
 
 // ControllerFactory maps a controller name to a factory.
@@ -420,14 +457,20 @@ func BuildFile(f File) (*Parsed, error) {
 	if err != nil {
 		return nil, err
 	}
+	rt, err := f.Runtime.Build()
+	if err != nil {
+		return nil, err
+	}
 	return &Parsed{
 		Seed: seed,
 		Engine: core.EngineConfig{
-			Scenario:    ts,
-			Comm:        cm,
-			Controllers: factory,
-			Seed:        seed,
+			Scenario:          ts,
+			Comm:              cm,
+			Controllers:       factory,
+			Seed:              seed,
+			CancelCheckEvents: f.Runtime.CancelCheckEvents,
 		},
 		Campaign: setup,
+		Runtime:  rt,
 	}, nil
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"comfase/internal/core"
+	"comfase/internal/runner"
 	"comfase/internal/sim/des"
 )
 
@@ -279,5 +280,54 @@ func TestCommConfigFading(t *testing.T) {
 	}
 	if _, err := (CommConfig{Fading: "rician"}).Build(); err == nil {
 		t.Error("unknown fading accepted")
+	}
+}
+
+func TestRuntimeConfigBuild(t *testing.T) {
+	doc := `{
+	  "campaign": {
+	    "attack": "delay",
+	    "valuesS": {"values": [2.0]},
+	    "startTimesS": {"values": [18]},
+	    "durationsS": {"values": [10]}
+	  },
+	  "runtime": {
+	    "workers": 4,
+	    "shard": "2/4",
+	    "resultsFile": "out.csv",
+	    "cancelCheckEvents": 1024
+	  }
+	}`
+	p, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if p.Runtime.Workers != 4 {
+		t.Errorf("workers = %d, want 4", p.Runtime.Workers)
+	}
+	if p.Runtime.Shard != (runner.Shard{Index: 2, Count: 4}) {
+		t.Errorf("shard = %v, want 2/4", p.Runtime.Shard)
+	}
+	if p.Runtime.ResultsFile != "out.csv" {
+		t.Errorf("resultsFile = %q", p.Runtime.ResultsFile)
+	}
+	if p.Engine.CancelCheckEvents != 1024 {
+		t.Errorf("cancelCheckEvents = %d, want 1024", p.Engine.CancelCheckEvents)
+	}
+}
+
+func TestRuntimeConfigDefaultsAndErrors(t *testing.T) {
+	rt, err := (RuntimeConfig{}).Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if rt.Shard.Enabled() || rt.Workers != 0 || rt.ResultsFile != "" {
+		t.Errorf("zero runtime config built %+v, want disabled defaults", rt)
+	}
+	if _, err := (RuntimeConfig{Shard: "5/4"}).Build(); err == nil {
+		t.Error("out-of-range shard accepted")
+	}
+	if _, err := (RuntimeConfig{Shard: "nope"}).Build(); err == nil {
+		t.Error("malformed shard accepted")
 	}
 }

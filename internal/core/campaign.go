@@ -42,6 +42,26 @@ func (k AttackKind) String() string {
 // Valid reports whether k names a shipped model.
 func (k AttackKind) Valid() bool { return k >= AttackDelay && k <= AttackJamming }
 
+// ParseAttackKind inverts String: it maps an attack name back to its
+// AttackKind. Both the JSON config layer and the campaign-resume path
+// round-trip attack kinds through this pair.
+func ParseAttackKind(s string) (AttackKind, error) {
+	switch s {
+	case "delay":
+		return AttackDelay, nil
+	case "dos":
+		return AttackDoS, nil
+	case "packet-loss":
+		return AttackPacketLoss, nil
+	case "replay":
+		return AttackReplay, nil
+	case "jamming":
+		return AttackJamming, nil
+	default:
+		return 0, fmt.Errorf("core: unknown attack kind %q", s)
+	}
+}
+
 // ModelFactory builds a custom attack/fault model for one experiment.
 // The paper stresses that "fault and attack models are implemented in
 // separate scripts, facilitating addition of new models" (§V); a factory

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -26,6 +27,11 @@ type EngineConfig struct {
 	// Thresholds override the classification parameters; zero value
 	// means "derive from the golden run per §IV-B".
 	Thresholds *classify.Thresholds
+	// CancelCheckEvents is the cooperative-cancellation poll granularity
+	// of the DES kernel: when a Ctx variant runs with a cancelable
+	// context, the kernel checks it every this many events. Zero selects
+	// des.DefaultInterruptEvery.
+	CancelCheckEvents uint64
 }
 
 // Engine is the ComFASE engine: it owns a validated configuration and
@@ -116,10 +122,17 @@ func (e *Engine) Config() EngineConfig { return e.cfg }
 // resulting log is cached and reused by subsequent experiments. Calling
 // it again re-runs and replaces the cache.
 func (e *Engine) GoldenRun() (*trace.FullLog, GoldenResult, error) {
+	return e.GoldenRunCtx(context.Background())
+}
+
+// GoldenRunCtx is GoldenRun with cooperative cancellation: a canceled ctx
+// aborts the simulation within CancelCheckEvents kernel events.
+func (e *Engine) GoldenRunCtx(ctx context.Context) (*trace.FullLog, GoldenResult, error) {
 	sim, err := scenario.Build(e.cfg.Scenario, e.cfg.Comm, e.cfg.Seed, e.cfg.Controllers)
 	if err != nil {
 		return nil, GoldenResult{}, err
 	}
+	sim.AttachContext(ctx, e.cfg.CancelCheckEvents)
 	log := trace.NewFullLog(sim.VehicleIDs())
 	sim.AddRecorder(log)
 	if err := sim.Start(); err != nil {
@@ -148,12 +161,26 @@ func (e *Engine) GoldenRun() (*trace.FullLog, GoldenResult, error) {
 }
 
 // ensureGolden lazily executes the golden run.
-func (e *Engine) ensureGolden() error {
+func (e *Engine) ensureGolden(ctx context.Context) error {
 	if e.golden != nil {
 		return nil
 	}
-	_, _, err := e.GoldenRun()
+	_, _, err := e.GoldenRunCtx(ctx)
 	return err
+}
+
+// EnsureGolden executes the golden run unless one is already cached. It
+// is the priming step campaign runners call before spawning workers (the
+// cached log is shared read-only by every experiment).
+func (e *Engine) EnsureGolden(ctx context.Context) error { return e.ensureGolden(ctx) }
+
+// Golden returns the cached golden-run summary; ok is false before the
+// golden run has executed.
+func (e *Engine) Golden() (res GoldenResult, ok bool) {
+	if e.goldenRes == nil {
+		return GoldenResult{}, false
+	}
+	return *e.goldenRes, true
 }
 
 // Thresholds returns the classification parameters in use (valid after
@@ -165,7 +192,15 @@ func (e *Engine) Thresholds() classify.Thresholds { return e.thresholds }
 // CommModelEditor step), run to attackEndTime, remove the model, run to
 // totalSimTime, then classify against the golden run (Step-4).
 func (e *Engine) RunExperiment(spec ExperimentSpec) (ExperimentResult, error) {
-	res, _, err := e.runExperiment(spec, false)
+	res, _, err := e.runExperiment(context.Background(), spec, false)
+	return res, err
+}
+
+// RunExperimentCtx is RunExperiment with cooperative cancellation: a
+// canceled ctx aborts the simulation within CancelCheckEvents kernel
+// events and returns an error wrapping ctx.Err().
+func (e *Engine) RunExperimentCtx(ctx context.Context, spec ExperimentSpec) (ExperimentResult, error) {
+	res, _, err := e.runExperiment(ctx, spec, false)
 	return res, err
 }
 
@@ -173,11 +208,14 @@ func (e *Engine) RunExperiment(spec ExperimentSpec) (ExperimentResult, error) {
 // series of the attacked run — the raw material for single-experiment
 // case studies (trajectory plots, gap evolution).
 func (e *Engine) RunExperimentWithLog(spec ExperimentSpec) (ExperimentResult, *trace.FullLog, error) {
-	return e.runExperiment(spec, true)
+	return e.runExperiment(context.Background(), spec, true)
 }
 
-func (e *Engine) runExperiment(spec ExperimentSpec, withLog bool) (ExperimentResult, *trace.FullLog, error) {
-	if err := e.ensureGolden(); err != nil {
+func (e *Engine) runExperiment(ctx context.Context, spec ExperimentSpec, withLog bool) (ExperimentResult, *trace.FullLog, error) {
+	if err := e.ensureGolden(ctx); err != nil {
+		return ExperimentResult{}, nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return ExperimentResult{}, nil, err
 	}
 	horizon := e.cfg.Scenario.TotalSimTime
@@ -189,6 +227,7 @@ func (e *Engine) runExperiment(spec ExperimentSpec, withLog bool) (ExperimentRes
 	if err != nil {
 		return ExperimentResult{}, nil, err
 	}
+	sim.AttachContext(ctx, e.cfg.CancelCheckEvents)
 	summary := trace.NewSummary(len(sim.Members), e.golden)
 	sim.AddRecorder(summary)
 	var full *trace.FullLog
@@ -278,10 +317,18 @@ func removeAttack(sim *scenario.Simulation, model AttackModel) error {
 // RunCampaign executes Step-3 and Step-4 for the whole grid. progress may
 // be nil.
 func (e *Engine) RunCampaign(setup CampaignSetup, progress Progress) (*CampaignResult, error) {
+	return e.RunCampaignCtx(context.Background(), setup, progress)
+}
+
+// RunCampaignCtx is RunCampaign with cooperative cancellation: a canceled
+// ctx aborts the in-flight experiment and returns its error. Completed
+// results are discarded — campaigns that must survive interruption run
+// through internal/runner, which streams partial results to sinks.
+func (e *Engine) RunCampaignCtx(ctx context.Context, setup CampaignSetup, progress Progress) (*CampaignResult, error) {
 	if err := setup.Validate(); err != nil {
 		return nil, err
 	}
-	if err := e.ensureGolden(); err != nil {
+	if err := e.ensureGolden(ctx); err != nil {
 		return nil, err
 	}
 	specs := setup.Experiments()
@@ -292,7 +339,7 @@ func (e *Engine) RunCampaign(setup CampaignSetup, progress Progress) (*CampaignR
 		Experiments: make([]ExperimentResult, 0, len(specs)),
 	}
 	for i, spec := range specs {
-		res, err := e.RunExperiment(spec)
+		res, err := e.RunExperimentCtx(ctx, spec)
 		if err != nil {
 			return nil, fmt.Errorf("experiment %v: %w", spec, err)
 		}

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+
+	"comfase/internal/runner/pool"
 )
 
 // RunCampaignParallel executes the campaign grid on the given number of
@@ -14,15 +17,26 @@ import (
 // authors ran it on an 8-core Ryzen).
 //
 // workers <= 0 selects GOMAXPROCS. progress may be nil; when set it is
-// invoked from worker goroutines under a lock, in completion (not grid)
-// order.
+// invoked from worker goroutines under a lock with a monotonically
+// increasing done count, in completion (not grid) order.
 func (e *Engine) RunCampaignParallel(setup CampaignSetup, workers int, progress Progress) (*CampaignResult, error) {
+	return e.RunCampaignParallelCtx(context.Background(), setup, workers, progress)
+}
+
+// RunCampaignParallelCtx is RunCampaignParallel with cooperative
+// cancellation and fail-fast error handling: after the first experiment
+// error (or a ctx cancel) workers stop pulling jobs instead of draining
+// the grid, and in-flight simulations abort within CancelCheckEvents
+// kernel events. Completed results are discarded on error — campaigns
+// that must survive interruption run through internal/runner, which
+// streams partial results to sinks.
+func (e *Engine) RunCampaignParallelCtx(ctx context.Context, setup CampaignSetup, workers int, progress Progress) (*CampaignResult, error) {
 	if err := setup.Validate(); err != nil {
 		return nil, err
 	}
 	// Prime the golden run before spawning workers: the cached log is
 	// shared read-only by every experiment.
-	if err := e.ensureGolden(); err != nil {
+	if err := e.ensureGolden(ctx); err != nil {
 		return nil, err
 	}
 	if workers <= 0 {
@@ -33,49 +47,33 @@ func (e *Engine) RunCampaignParallel(setup CampaignSetup, workers int, progress 
 		workers = len(specs)
 	}
 	if workers <= 1 {
-		return e.RunCampaign(setup, progress)
+		return e.RunCampaignCtx(ctx, setup, progress)
 	}
 
 	results := make([]ExperimentResult, len(specs))
-	jobs := make(chan int)
-
 	var (
-		mu       sync.Mutex
-		firstErr error
-		done     int
+		mu   sync.Mutex
+		done int
 	)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range jobs {
-				res, err := e.RunExperiment(specs[idx])
-				mu.Lock()
-				if err != nil {
-					if firstErr == nil {
-						firstErr = fmt.Errorf("experiment %v: %w", specs[idx], err)
-					}
-					mu.Unlock()
-					continue
-				}
-				results[idx] = res
-				done++
-				if progress != nil {
-					progress(done, len(specs))
-				}
-				mu.Unlock()
-			}
-		}()
-	}
-	for idx := range specs {
-		jobs <- idx
-	}
-	close(jobs)
-	wg.Wait()
-
-	if firstErr != nil {
-		return nil, firstErr
+	err := pool.Run(ctx, len(specs), workers, func(ctx context.Context, idx int) error {
+		res, err := e.RunExperimentCtx(ctx, specs[idx])
+		if err != nil {
+			return fmt.Errorf("experiment %v: %w", specs[idx], err)
+		}
+		mu.Lock()
+		results[idx] = res
+		done++
+		// Invoking the callback under the lock guarantees the done counts
+		// it observes are monotonically increasing; callbacks should
+		// therefore be fast.
+		if progress != nil {
+			progress(done, len(specs))
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	out := &CampaignResult{
 		Setup:       setup,

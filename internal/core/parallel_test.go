@@ -1,6 +1,10 @@
 package core
 
 import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -81,5 +85,89 @@ func TestParallelSingleWorkerFallsBack(t *testing.T) {
 	}
 	if res.Counts.Total() != 1 {
 		t.Errorf("total = %d", res.Counts.Total())
+	}
+}
+
+// TestParallelFailFast pins the early-abort regression: after the first
+// experiment error, remaining queued jobs must NOT be executed to
+// completion (the old implementation drained the whole grid).
+func TestParallelFailFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs experiments in -short mode")
+	}
+	var started atomic.Int64
+	setup := smallGrid() // 12 experiments
+	setup.Factory = func(spec ExperimentSpec, horizon des.Time, seed uint64) (AttackModel, error) {
+		if started.Add(1) == 1 {
+			return nil, errors.New("injected model failure")
+		}
+		return NewDelayAttack(des.FromSeconds(spec.Value), spec.Targets...)
+	}
+	_, err := paperEngine(t).RunCampaignParallel(setup, 2, nil)
+	if err == nil {
+		t.Fatal("campaign with failing experiment succeeded")
+	}
+	if !strings.Contains(err.Error(), "injected model failure") {
+		t.Fatalf("error = %v, want the injected failure", err)
+	}
+	// Fail-fast bound: the failing job, one in-flight job per worker and
+	// a small dispatch race window — far below the 12-point grid.
+	if got := started.Load(); got > 6 {
+		t.Errorf("%d experiments started after first error, want <= 6 (grid 12)", got)
+	}
+}
+
+// TestParallelProgressMonotonic guarantees the Progress callback sees
+// strictly increasing done counts (completion order, not grid order).
+func TestParallelProgressMonotonic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("12 experiments in -short mode")
+	}
+	var mu sync.Mutex
+	var dones []int
+	_, err := paperEngine(t).RunCampaignParallel(smallGrid(), 4, func(done, total int) {
+		mu.Lock()
+		dones = append(dones, done)
+		mu.Unlock()
+		if total != 12 {
+			t.Errorf("total = %d, want 12", total)
+		}
+	})
+	if err != nil {
+		t.Fatalf("RunCampaignParallel: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(dones) != 12 {
+		t.Fatalf("progress called %d times, want 12", len(dones))
+	}
+	for i, d := range dones {
+		if d != i+1 {
+			t.Fatalf("progress done sequence %v not monotonically increasing", dones)
+		}
+	}
+}
+
+// TestParallelCtxCancelAborts verifies cancellation stops the campaign
+// promptly and surfaces the context error.
+func TestParallelCtxCancelAborts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs experiments in -short mode")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	setup := smallGrid()
+	setup.Factory = func(spec ExperimentSpec, horizon des.Time, seed uint64) (AttackModel, error) {
+		if started.Add(1) == 1 {
+			cancel()
+		}
+		return NewDelayAttack(des.FromSeconds(spec.Value), spec.Targets...)
+	}
+	_, err := paperEngine(t).RunCampaignParallelCtx(ctx, setup, 2, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCampaignParallelCtx = %v, want context.Canceled", err)
+	}
+	if got := started.Load(); got > 6 {
+		t.Errorf("%d experiments started after cancel, want <= 6", got)
 	}
 }

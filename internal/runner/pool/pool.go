@@ -1,0 +1,87 @@
+// Package pool implements the fail-fast worker pool shared by the
+// campaign execution paths (core.RunCampaignParallel and runner.Runner):
+// a fixed set of goroutines drains an index stream, and the first error —
+// or a context cancellation — stops dispatch immediately instead of
+// draining the remaining jobs. In-flight jobs observe the cancellation
+// through the ctx handed to them (the DES kernel polls it cooperatively),
+// so even long simulations abort promptly.
+package pool
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Run executes fn(ctx, i) for every index in [0, n) on the given number
+// of worker goroutines (workers <= 0 selects GOMAXPROCS). The first
+// non-nil error cancels the ctx passed to the remaining jobs and stops
+// dispatch; Run returns that first error after all workers have exited.
+// If the parent ctx is canceled before all jobs complete, Run returns the
+// ctx error. fn may be called concurrently and must be safe for that.
+func Run(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				if ctx.Err() != nil {
+					return
+				}
+				if err := fn(ctx, idx); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+
+dispatch:
+	for i := 0; i < n; i++ {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	if err != nil {
+		return err
+	}
+	// Distinguish "parent canceled" from "our own deferred cancel": the
+	// parent's error is the only way ctx can be done here without a job
+	// error having been recorded.
+	return ctx.Err()
+}

@@ -1,0 +1,96 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunExecutesAllIndices(t *testing.T) {
+	const n = 100
+	var mu sync.Mutex
+	seen := make(map[int]int, n)
+	err := Run(context.Background(), n, 7, func(_ context.Context, i int) error {
+		mu.Lock()
+		seen[i]++
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(seen) != n {
+		t.Fatalf("executed %d distinct indices, want %d", len(seen), n)
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Errorf("index %d executed %d times", i, c)
+		}
+	}
+}
+
+func TestRunZeroJobs(t *testing.T) {
+	if err := Run(context.Background(), 0, 4, func(context.Context, int) error {
+		t.Error("fn called for empty job set")
+		return nil
+	}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestRunFailFastStopsDispatch(t *testing.T) {
+	const n = 1000
+	boom := errors.New("boom")
+	var started atomic.Int64
+	err := Run(context.Background(), n, 2, func(_ context.Context, i int) error {
+		started.Add(1)
+		if i == 0 {
+			return boom
+		}
+		// Slow jobs give the dispatcher time to observe the cancel; a
+		// non-fail-fast pool would still start all 1000.
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Run = %v, want %v", err, boom)
+	}
+	// At most: the failing job, one job per worker in flight, and a
+	// couple dispatched into the unbuffered channel race window.
+	if got := started.Load(); got > 8 {
+		t.Errorf("%d jobs started after early failure, want <= 8", got)
+	}
+}
+
+func TestRunHonorsParentCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	err := Run(ctx, 1000, 2, func(ctx context.Context, i int) error {
+		if started.Add(1) == 1 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run = %v, want context.Canceled", err)
+	}
+	if got := started.Load(); got > 8 {
+		t.Errorf("%d jobs started after cancel, want <= 8", got)
+	}
+}
+
+func TestRunReportsFirstErrorOnly(t *testing.T) {
+	first := errors.New("first")
+	err := Run(context.Background(), 4, 1, func(_ context.Context, i int) error {
+		if i == 0 {
+			return first
+		}
+		return errors.New("later")
+	})
+	if !errors.Is(err, first) {
+		t.Fatalf("Run = %v, want %v", err, first)
+	}
+}

@@ -1,0 +1,247 @@
+// Package runner is the campaign runtime of the ComFASE reproduction:
+// it executes an attack-injection grid (Algorithm 1, Step-3/4) the way a
+// production system has to — streaming, cancellable, shardable and
+// resumable — while preserving the repo's core invariant that the same
+// (config, seed) pair produces bit-for-bit identical results no matter
+// how the work is scheduled.
+//
+//   - Streaming: classified results flow through pluggable Sinks (CSV
+//     row-per-result, JSON lines, in-memory aggregate) as experiments
+//     complete, released in deterministic grid order regardless of
+//     worker completion order.
+//   - Cancellable: the context threads down to the DES kernel, which
+//     polls it every few thousand events, so even a mid-simulation abort
+//     is prompt; sinks are flushed before Run returns, so partial
+//     results survive.
+//   - Shardable: Shard i/n deterministically partitions the grid so n
+//     independent processes produce disjoint result files that
+//     MergeResultFiles recombines into the byte-identical sequential
+//     output.
+//   - Resumable: Resume(ReadResults(file)) skips grid points a previous
+//     (interrupted) run already completed and appends exactly the
+//     missing rows.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"comfase/internal/core"
+	"comfase/internal/runner/pool"
+)
+
+// Shard selects a deterministic 1-based slice i/n of the campaign grid:
+// the grid points whose expNr ≡ Index-1 (mod Count). Round-robin
+// assignment balances the load even when severity (and therefore cost)
+// clusters in one region of the grid. The zero value disables sharding.
+type Shard struct {
+	// Index is 1-based: 1 <= Index <= Count.
+	Index int
+	// Count is the total number of shards.
+	Count int
+}
+
+// ParseShard parses the CLI form "i/n" (e.g. "2/4").
+func ParseShard(s string) (Shard, error) {
+	var sh Shard
+	if _, err := fmt.Sscanf(s, "%d/%d", &sh.Index, &sh.Count); err != nil {
+		return Shard{}, fmt.Errorf("runner: shard %q is not of the form i/n", s)
+	}
+	if err := sh.Validate(); err != nil {
+		return Shard{}, err
+	}
+	return sh, nil
+}
+
+// Validate reports whether the shard designator is well-formed.
+func (s Shard) Validate() error {
+	if s.Count == 0 && s.Index == 0 {
+		return nil // disabled
+	}
+	if s.Count < 1 || s.Index < 1 || s.Index > s.Count {
+		return fmt.Errorf("runner: invalid shard %d/%d (want 1 <= i <= n)", s.Index, s.Count)
+	}
+	return nil
+}
+
+// Enabled reports whether the shard restricts the grid.
+func (s Shard) Enabled() bool { return s.Count > 0 }
+
+// Contains reports whether the grid point with the given expNr belongs
+// to this shard.
+func (s Shard) Contains(nr int) bool {
+	if !s.Enabled() {
+		return true
+	}
+	return nr%s.Count == s.Index-1
+}
+
+// String renders the CLI form.
+func (s Shard) String() string {
+	if !s.Enabled() {
+		return "1/1"
+	}
+	return fmt.Sprintf("%d/%d", s.Index, s.Count)
+}
+
+// Options configure a Runner.
+type Options struct {
+	// Workers is the number of concurrent experiment goroutines
+	// (<= 0 selects GOMAXPROCS).
+	Workers int
+	// Shard restricts execution to a deterministic grid slice; the zero
+	// value runs the whole grid.
+	Shard Shard
+	// Progress, when set, receives (done, total) after every completed
+	// experiment. done is monotonically increasing and counts resumed
+	// grid points; total is the shard's grid size. Invocation order is
+	// completion order, not grid order, and the callback runs under the
+	// runner's lock — keep it fast.
+	Progress core.Progress
+	// Resume maps expNr -> already-classified result from a previous
+	// interrupted run (see ReadResults). Those grid points are not
+	// re-executed and not re-emitted to sinks; they do appear in the
+	// returned CampaignResult.
+	Resume map[int]core.ExperimentResult
+}
+
+// Runner executes campaign grids against a core.Engine.
+type Runner struct {
+	eng   *core.Engine
+	opts  Options
+	sinks []Sink
+}
+
+// New validates the options and returns a Runner streaming to the given
+// sinks (none is fine: the returned CampaignResult still aggregates
+// everything).
+func New(eng *core.Engine, opts Options, sinks ...Sink) (*Runner, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("runner: nil engine")
+	}
+	if err := opts.Shard.Validate(); err != nil {
+		return nil, err
+	}
+	return &Runner{eng: eng, opts: opts, sinks: sinks}, nil
+}
+
+// slot tracks one shard grid point through the run.
+type slot struct {
+	res     core.ExperimentResult
+	done    bool // result available (computed or resumed)
+	resumed bool // loaded from a previous run; not re-emitted to sinks
+}
+
+// Run executes the (sharded) campaign grid. Newly computed results are
+// released to the sinks in grid order as soon as the contiguous prefix
+// they belong to completes; on any error — including ctx cancellation —
+// sinks are flushed before Run returns, so everything emitted so far is
+// durable and a later Resume run can pick up from it.
+//
+// The returned CampaignResult covers this shard's grid points in grid
+// order (resumed ones included) and is bit-for-bit identical for
+// sequential, parallel and resumed executions of the same (config,
+// seed) grid.
+func (r *Runner) Run(ctx context.Context, setup core.CampaignSetup) (*core.CampaignResult, error) {
+	if err := setup.Validate(); err != nil {
+		return nil, err
+	}
+	// Prime the golden run before spawning workers: the cached log is
+	// shared read-only by every experiment.
+	if err := r.eng.EnsureGolden(ctx); err != nil {
+		return nil, err
+	}
+
+	var specs []core.ExperimentSpec
+	for _, spec := range setup.Experiments() {
+		if r.opts.Shard.Contains(spec.Nr) {
+			specs = append(specs, spec)
+		}
+	}
+	total := len(specs)
+
+	slots := make([]slot, total)
+	var todo []int // indices into specs still to execute
+	for i, spec := range specs {
+		if res, ok := r.opts.Resume[spec.Nr]; ok {
+			slots[i] = slot{res: res, done: true, resumed: true}
+		} else {
+			todo = append(todo, i)
+		}
+	}
+
+	var (
+		mu   sync.Mutex
+		next int // emission frontier: slots[0:next] released to sinks
+		done = total - len(todo)
+	)
+	// release emits the contiguous completed prefix to the sinks; the
+	// caller holds mu.
+	release := func() error {
+		for next < total && slots[next].done {
+			if !slots[next].resumed {
+				for _, s := range r.sinks {
+					if err := s.Put(slots[next].res); err != nil {
+						return fmt.Errorf("runner: sink: %w", err)
+					}
+				}
+			}
+			next++
+		}
+		return nil
+	}
+
+	mu.Lock()
+	err := release() // resumed prefix advances the frontier immediately
+	if err == nil && done > 0 && r.opts.Progress != nil {
+		r.opts.Progress(done, total)
+	}
+	mu.Unlock()
+
+	if err == nil {
+		err = pool.Run(ctx, len(todo), r.opts.Workers, func(ctx context.Context, i int) error {
+			idx := todo[i]
+			res, runErr := r.eng.RunExperimentCtx(ctx, specs[idx])
+			if runErr != nil {
+				return fmt.Errorf("experiment %v: %w", specs[idx], runErr)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			slots[idx] = slot{res: res, done: true}
+			done++
+			if relErr := release(); relErr != nil {
+				return relErr
+			}
+			if r.opts.Progress != nil {
+				r.opts.Progress(done, total)
+			}
+			return nil
+		})
+	}
+
+	// Flush sinks even on abort: partial results must be durable for the
+	// resume path. The first flush error is reported only when the run
+	// itself succeeded.
+	for _, s := range r.sinks {
+		if ferr := s.Flush(); ferr != nil && err == nil {
+			err = fmt.Errorf("runner: sink flush: %w", ferr)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	golden, _ := r.eng.Golden()
+	out := &core.CampaignResult{
+		Setup:       setup,
+		Golden:      golden,
+		Thresholds:  r.eng.Thresholds(),
+		Experiments: make([]core.ExperimentResult, total),
+	}
+	for i := range slots {
+		out.Experiments[i] = slots[i].res
+		out.Counts.Add(slots[i].res.Outcome)
+	}
+	return out, nil
+}

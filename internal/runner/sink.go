@@ -1,0 +1,131 @@
+package runner
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+
+	"comfase/internal/analysis"
+	"comfase/internal/classify"
+	"comfase/internal/core"
+)
+
+// Sink consumes classified experiment results as they are released by a
+// Runner. Results arrive in deterministic grid order (the Runner reorders
+// worker completions), one call at a time from a single goroutine, so
+// sinks need not be safe for concurrent use. A non-nil error from Put or
+// Flush aborts the campaign fail-fast.
+type Sink interface {
+	// Put receives the next result in grid order.
+	Put(res core.ExperimentResult) error
+	// Flush forces buffered rows out. The Runner calls it after the last
+	// result and — crucially — on abort, so partial results survive a
+	// cancellation. It does not close underlying files; the opener does.
+	Flush() error
+}
+
+// CSVSink streams one CSV row per result in the analysis.ExperimentsCSV
+// schema, flushing after every row so an interrupted campaign leaves a
+// complete, parseable prefix on disk — the file Resume reads back.
+type CSVSink struct {
+	cw          *csv.Writer
+	writeHeader bool
+}
+
+// NewCSVSink returns a sink that writes a header before the first row.
+func NewCSVSink(w io.Writer) *CSVSink {
+	return &CSVSink{cw: csv.NewWriter(w), writeHeader: true}
+}
+
+// NewCSVAppendSink returns a sink that writes rows only — the resume path
+// appending to a result file that already carries a header.
+func NewCSVAppendSink(w io.Writer) *CSVSink {
+	return &CSVSink{cw: csv.NewWriter(w)}
+}
+
+// Put implements Sink.
+func (s *CSVSink) Put(res core.ExperimentResult) error {
+	if s.writeHeader {
+		if err := s.cw.Write(analysis.ExperimentCSVHeader()); err != nil {
+			return err
+		}
+		s.writeHeader = false
+	}
+	if err := s.cw.Write(analysis.ExperimentCSVRecord(res)); err != nil {
+		return err
+	}
+	s.cw.Flush()
+	return s.cw.Error()
+}
+
+// Flush implements Sink.
+func (s *CSVSink) Flush() error {
+	s.cw.Flush()
+	return s.cw.Error()
+}
+
+// jsonRow is the flat JSON-lines encoding of one result. ExperimentSpec
+// itself is not marshalable (it can carry a ModelFactory func), so the
+// sink projects the same fields the CSV schema persists.
+type jsonRow struct {
+	Nr          int     `json:"expNr"`
+	Attack      string  `json:"attack"`
+	Value       float64 `json:"value"`
+	StartS      float64 `json:"startS"`
+	DurationS   float64 `json:"durationS"`
+	Outcome     string  `json:"outcome"`
+	MaxDecel    float64 `json:"maxDecelMps2"`
+	MaxSpeedDev float64 `json:"maxSpeedDevMps"`
+	Collisions  int     `json:"collisions"`
+	Collider    string  `json:"collider,omitempty"`
+}
+
+// JSONSink streams one JSON object per line per result.
+type JSONSink struct {
+	enc *json.Encoder
+}
+
+// NewJSONSink returns a JSON-lines sink writing to w.
+func NewJSONSink(w io.Writer) *JSONSink {
+	return &JSONSink{enc: json.NewEncoder(w)}
+}
+
+// Put implements Sink.
+func (s *JSONSink) Put(res core.ExperimentResult) error {
+	return s.enc.Encode(jsonRow{
+		Nr:          res.Spec.Nr,
+		Attack:      res.Spec.Kind.String(),
+		Value:       res.Spec.Value,
+		StartS:      res.Spec.Start.Seconds(),
+		DurationS:   res.Spec.Duration.Seconds(),
+		Outcome:     res.Outcome.String(),
+		MaxDecel:    res.MaxDecel,
+		MaxSpeedDev: res.MaxSpeedDev,
+		Collisions:  len(res.Collisions),
+		Collider:    res.Collider,
+	})
+}
+
+// Flush implements Sink. The encoder writes through on every Put, so
+// there is nothing to flush.
+func (s *JSONSink) Flush() error { return nil }
+
+// MemorySink aggregates results in memory — the in-process equivalent of
+// the CSV file for library callers that want streaming progress plus a
+// final in-memory campaign summary.
+type MemorySink struct {
+	// Experiments holds the received results in arrival (grid) order.
+	Experiments []core.ExperimentResult
+	// Counts tallies the received outcome classes.
+	Counts classify.Counts
+}
+
+// Put implements Sink.
+func (s *MemorySink) Put(res core.ExperimentResult) error {
+	s.Experiments = append(s.Experiments, res)
+	s.Counts.Add(res.Outcome)
+	return nil
+}
+
+// Flush implements Sink.
+func (s *MemorySink) Flush() error { return nil }

@@ -6,6 +6,7 @@
 package scenario
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strconv"
@@ -352,6 +353,24 @@ func kinOf(v *vehicle.Vehicle) platoon.KinState {
 
 // AddRecorder attaches a trace recorder; call before Start.
 func (s *Simulation) AddRecorder(r trace.Recorder) { s.recs = append(s.recs, r) }
+
+// AttachContext makes RunUntil honor ctx: once ctx is canceled the kernel
+// aborts within `every` events (0 selects des.DefaultInterruptEvery) and
+// RunUntil returns an error wrapping ctx.Err(). A context that can never
+// be canceled (context.Background, context.TODO) removes the check, so
+// the hot loop pays nothing for the plumbing.
+func (s *Simulation) AttachContext(ctx context.Context, every uint64) {
+	if ctx == nil || ctx.Done() == nil {
+		s.Kernel.SetInterruptCheck(0, nil)
+		return
+	}
+	s.Kernel.SetInterruptCheck(every, func() error {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("scenario: simulation canceled at %v: %w", s.Kernel.Now(), err)
+		}
+		return nil
+	})
+}
 
 // Scenario returns the Step-1 traffic configuration.
 func (s *Simulation) Scenario() TrafficScenario { return s.scenario }

@@ -320,3 +320,58 @@ func TestTickerZeroPeriodClamped(t *testing.T) {
 		t.Error("zero period not clamped to positive")
 	}
 }
+
+func TestKernelInterruptCheckAborts(t *testing.T) {
+	k := NewKernel()
+	var fired int
+	var reschedule func()
+	reschedule = func() {
+		fired++
+		k.ScheduleAfter(Millisecond, reschedule)
+	}
+	k.ScheduleAfter(Millisecond, reschedule)
+
+	errStop := errors.New("interrupted")
+	polls := 0
+	k.SetInterruptCheck(8, func() error {
+		polls++
+		if polls >= 3 {
+			return errStop
+		}
+		return nil
+	})
+	err := k.RunUntil(Second)
+	if !errors.Is(err, errStop) {
+		t.Fatalf("RunUntil = %v, want %v", err, errStop)
+	}
+	// Three polls at granularity 8 means exactly 24 events executed.
+	if fired != 24 {
+		t.Errorf("fired = %d, want 24 (3 polls x every 8)", fired)
+	}
+	if k.Now() >= Second {
+		t.Errorf("clock advanced to %v despite interrupt", k.Now())
+	}
+	// The run is resumable: clearing the check lets it complete.
+	k.SetInterruptCheck(0, nil)
+	if err := k.RunUntil(Second); err != nil {
+		t.Fatalf("resumed RunUntil: %v", err)
+	}
+	if k.Now() != Second {
+		t.Errorf("clock = %v, want %v", k.Now(), Second)
+	}
+}
+
+func TestKernelInterruptCheckZeroEveryDefaults(t *testing.T) {
+	k := NewKernel()
+	for i := 0; i < DefaultInterruptEvery+10; i++ {
+		k.ScheduleAt(Time(i)*Microsecond, func() {})
+	}
+	polls := 0
+	k.SetInterruptCheck(0, func() error { polls++; return nil })
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if polls != 1 {
+		t.Errorf("polls = %d, want 1 (default granularity %d)", polls, DefaultInterruptEvery)
+	}
+}

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Tier-1 verification gate (same as `make check`): build + vet +
+# race-enabled tests. The campaign runner executes experiments on a
+# worker pool, so -race is part of the gate, not an optional extra.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+echo "==> go vet ./..."
+go vet ./...
+echo "==> go test -race ./..."
+go test -race ./...
+echo "OK"
