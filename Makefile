@@ -1,11 +1,13 @@
 GO ?= go
 
-.PHONY: check build vet test race bench
+.PHONY: check build vet test race bench bench-sanity
 
-# Tier-1 verification gate: build + vet + race-enabled tests. The
-# campaign runner executes experiments on a worker pool, so the race
-# detector is part of the default gate, not an optional extra.
-check: build vet race
+# Tier-1 verification gate: build + vet + race-enabled tests + a one-shot
+# benchmark sanity pass. The campaign runner executes experiments on a
+# worker pool, so the race detector is part of the default gate, not an
+# optional extra; the bench sanity run keeps the perf harness compiling
+# and executable without paying for a full measurement.
+check: build vet race bench-sanity
 
 build:
 	$(GO) build ./...
@@ -19,5 +21,13 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Full perf measurement: repeated runs of the regression trio, a dated
+# bench/BENCH_<date>.{txt,json} artifact, and a comparison against the
+# committed bench/BENCH_baseline.* (benchstat when installed, the bundled
+# scripts/benchjson.go comparator otherwise).
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	scripts/bench.sh
+
+# Smoke-run every benchmark exactly once so the suite cannot rot.
+bench-sanity:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

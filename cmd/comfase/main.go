@@ -35,6 +35,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"sync/atomic"
 	"syscall"
 
@@ -83,13 +85,15 @@ func printUsage(w io.Writer) {
 
 Subcommands:
   golden    run the attack-free reference simulation of the paper scenario
-            flags: -seed N, -csv FILE (write the Fig. 4 time series)
+            flags: -seed N, -csv FILE (write the Fig. 4 time series),
+                   -cpuprofile FILE, -memprofile FILE (pprof output)
   campaign  run an attack-injection campaign from a JSON config
             flags: -config FILE (required), -out FILE, -v (progress),
                    -workers N (0 = all cores), -shard i/n (grid slice),
                    -results FILE (stream per-experiment CSV rows; resume source),
                    -resume (skip experiments already in -results),
-                   -jsonl FILE (stream JSON-lines results)
+                   -jsonl FILE (stream JSON-lines results),
+                   -cpuprofile FILE, -memprofile FILE (pprof output)
             SIGINT flushes partial results to -results and exits cleanly.
   merge     merge per-shard result CSVs into one file ordered by expNr
             flags: -out FILE (required), then the shard CSV paths
@@ -100,9 +104,20 @@ func runGolden(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("golden", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 1, "random seed")
 	csvPath := fs.String("csv", "", "write the golden-run time series as CSV")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil {
+			fmt.Fprintln(os.Stderr, "comfase: profile:", perr)
+		}
+	}()
 	eng, err := core.NewEngine(core.EngineConfig{
 		Scenario: scenario.PaperScenario(),
 		Comm:     scenario.PaperCommModel(),
@@ -124,6 +139,44 @@ func runGolden(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "time series written to %s\n", *csvPath)
 	}
 	return nil
+}
+
+// startProfiles starts CPU profiling to cpuPath and arranges a heap
+// profile written to memPath when the returned stop function runs.
+// Either path may be empty; stop is always safe to call once.
+func startProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			runtime.GC() // capture retained heap, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+		return nil
+	}, nil
 }
 
 func writeCSV(log *trace.FullLog, path string) error {
@@ -149,12 +202,23 @@ func runCampaign(ctx context.Context, args []string, stdout io.Writer) error {
 	jsonlPath := fs.String("jsonl", "", "stream per-experiment results to this JSON-lines file")
 	shardSpec := fs.String("shard", "", `grid slice "i/n" this process executes (merge files with: comfase merge)`)
 	resume := fs.Bool("resume", false, "skip experiments already recorded in the results file")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *cfgPath == "" {
 		return fmt.Errorf("campaign: -config is required")
 	}
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil {
+			fmt.Fprintln(os.Stderr, "comfase: profile:", perr)
+		}
+	}()
 	f, err := os.Open(*cfgPath)
 	if err != nil {
 		return err

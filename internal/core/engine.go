@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"comfase/internal/classify"
 	"comfase/internal/nic"
@@ -41,6 +42,25 @@ type Engine struct {
 	golden     *trace.FullLog
 	goldenRes  *GoldenResult
 	thresholds classify.Thresholds
+
+	// pool recycles per-worker simulation workspaces: each experiment
+	// checks one out, rebuilds the retained components in place and
+	// returns it. Campaign workers therefore run thousands of experiments
+	// with a near-constant allocation footprint. sync.Pool keeps at most
+	// roughly one unit per P under steady concurrent load.
+	pool sync.Pool
+}
+
+// workUnit is one pooled simulation workspace plus the reusable summary
+// recorder that goes with it.
+type workUnit struct {
+	ws      *scenario.Workspace
+	summary *trace.Summary
+}
+
+// acquireUnit checks a workspace unit out of the pool.
+func (e *Engine) acquireUnit() *workUnit {
+	return e.pool.Get().(*workUnit)
 }
 
 // GoldenResult summarises the attack-free reference run (Step-2).
@@ -112,7 +132,11 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 			return nil, err
 		}
 	}
-	return &Engine{cfg: cfg}, nil
+	e := &Engine{cfg: cfg}
+	e.pool.New = func() any {
+		return &workUnit{ws: scenario.NewWorkspace(), summary: new(trace.Summary)}
+	}
+	return e, nil
 }
 
 // Config returns the engine configuration.
@@ -128,10 +152,13 @@ func (e *Engine) GoldenRun() (*trace.FullLog, GoldenResult, error) {
 // GoldenRunCtx is GoldenRun with cooperative cancellation: a canceled ctx
 // aborts the simulation within CancelCheckEvents kernel events.
 func (e *Engine) GoldenRunCtx(ctx context.Context) (*trace.FullLog, GoldenResult, error) {
-	sim, err := scenario.Build(e.cfg.Scenario, e.cfg.Comm, e.cfg.Seed, e.cfg.Controllers)
+	u := e.acquireUnit()
+	sim, err := u.ws.Build(e.cfg.Scenario, e.cfg.Comm, e.cfg.Seed, e.cfg.Controllers)
 	if err != nil {
+		// A failed build may leave the workspace half-reset; drop the unit.
 		return nil, GoldenResult{}, err
 	}
+	defer e.pool.Put(u)
 	sim.AttachContext(ctx, e.cfg.CancelCheckEvents)
 	log := trace.NewFullLog(sim.VehicleIDs())
 	sim.AddRecorder(log)
@@ -223,12 +250,16 @@ func (e *Engine) runExperiment(ctx context.Context, spec ExperimentSpec, withLog
 	if err != nil {
 		return ExperimentResult{}, nil, err
 	}
-	sim, err := scenario.Build(e.cfg.Scenario, e.cfg.Comm, e.cfg.Seed, e.cfg.Controllers)
+	u := e.acquireUnit()
+	sim, err := u.ws.Build(e.cfg.Scenario, e.cfg.Comm, e.cfg.Seed, e.cfg.Controllers)
 	if err != nil {
+		// A failed build may leave the workspace half-reset; drop the unit.
 		return ExperimentResult{}, nil, err
 	}
+	defer e.pool.Put(u)
 	sim.AttachContext(ctx, e.cfg.CancelCheckEvents)
-	summary := trace.NewSummary(len(sim.Members), e.golden)
+	summary := u.summary
+	summary.Reset(len(sim.Members), e.golden)
 	sim.AddRecorder(summary)
 	var full *trace.FullLog
 	if withLog {
@@ -273,7 +304,9 @@ func (e *Engine) runExperiment(ctx context.Context, spec ExperimentSpec, withLog
 	res := ExperimentResult{
 		Spec:               spec,
 		MaxDecel:           summary.MaxDecelOverall(),
-		MaxDecelPerVehicle: summary.MaxDecel,
+		// The summary's backing array is recycled with the workspace, so
+		// the result must own a copy.
+		MaxDecelPerVehicle: summary.CopyMaxDecel(),
 		MaxSpeedDev:        summary.MaxSpeedDev,
 		Collisions:         collisions,
 		Collider:           collider,

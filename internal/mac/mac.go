@@ -171,40 +171,62 @@ type EDCA struct {
 	// deferStart is when the current AIFS+backoff deferral began.
 	deferStart des.Time
 
+	// txStartFn is the bound txStart method, created once so every kick
+	// does not allocate a fresh method value.
+	txStartFn des.Handler
+
 	stats Stats
 }
 
 // New builds an EDCA entity.
 func New(cfg Config) (*EDCA, error) {
+	m := &EDCA{}
+	m.txStartFn = m.txStart
+	if err := m.Reset(cfg); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Reset reinitialises the entity in place for a new configuration,
+// reusing the per-AC queue storage. It restores exactly the state New
+// leaves behind — empty queues, no backoff, idle medium, zeroed counters
+// — which is what lets a pooled radio replay a fresh run bit-for-bit.
+func (m *EDCA) Reset(cfg Config) error {
 	switch {
 	case cfg.Kernel == nil:
-		return nil, errors.New("mac: Config.Kernel is required")
+		return errors.New("mac: Config.Kernel is required")
 	case cfg.RNG == nil:
-		return nil, errors.New("mac: Config.RNG is required")
+		return errors.New("mac: Config.RNG is required")
 	case cfg.Airtime == nil:
-		return nil, errors.New("mac: Config.Airtime is required")
+		return errors.New("mac: Config.Airtime is required")
 	case cfg.Transmit == nil:
-		return nil, errors.New("mac: Config.Transmit is required")
+		return errors.New("mac: Config.Transmit is required")
 	}
 	if err := cfg.Schedule.Validate(); err != nil {
-		return nil, err
+		return err
 	}
 	maxQ := cfg.MaxQueue
 	if maxQ <= 0 {
 		maxQ = 32
 	}
-	m := &EDCA{
-		k:        cfg.Kernel,
-		rng:      cfg.RNG,
-		sched:    cfg.Schedule,
-		airtime:  cfg.Airtime,
-		transmit: cfg.Transmit,
-		maxQueue: maxQ,
-	}
+	m.k = cfg.Kernel
+	m.rng = cfg.RNG
+	m.sched = cfg.Schedule
+	m.airtime = cfg.Airtime
+	m.transmit = cfg.Transmit
+	m.maxQueue = maxQ
 	for i := range m.acs {
+		m.acs[i].queue = m.acs[i].queue[:0]
 		m.acs[i].backoff = -1
 	}
-	return m, nil
+	m.busy = false
+	m.transmitting = false
+	m.attempt = 0
+	m.deferAC = 0
+	m.deferStart = 0
+	m.stats = Stats{}
+	return nil
 }
 
 // Stats returns a snapshot of the MAC counters.
@@ -347,7 +369,7 @@ func (m *EDCA) kick() {
 	}
 	m.deferAC = ac
 	m.deferStart = m.k.Now()
-	m.attempt = m.k.ScheduleAt(start, m.txStart)
+	m.attempt = m.k.ScheduleAt(start, m.txStartFn)
 }
 
 // txStart fires when AIFS+backoff completed with an idle medium.

@@ -77,16 +77,14 @@ func (j *Jammer) emit() {
 	for _, dst := range a.radios {
 		dist := srcPos.Dist(dst.pos())
 		rxPower := j.powerDBm - a.cfg.PathLoss.LossDB(dist, a.cfg.FreqHz)
-		rec := &reception{
-			noise:    true,
-			sentAt:   now,
-			start:    now.Add(a.cfg.Delay.Delay(dist)),
-			powerDBm: rxPower,
-		}
+		rec := a.acquireReception(dst)
+		rec.noise = true
+		rec.sentAt = now
+		rec.start = now.Add(a.cfg.Delay.Delay(dist))
 		rec.end = rec.start.Add(j.burst)
-		dst := dst
-		a.k.ScheduleAt(rec.start, func() { dst.beginReception(rec) })
-		a.k.ScheduleAt(rec.end, func() { dst.endReception(rec) })
+		rec.powerDBm = rxPower
+		a.k.ScheduleAt(rec.start, rec.beginFn)
+		a.k.ScheduleAt(rec.end, rec.endFn)
 	}
 	a.stats.NoiseBursts++
 }

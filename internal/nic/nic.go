@@ -116,33 +116,76 @@ type Air struct {
 
 	radios []*Radio
 	byID   map[string]*Radio
+	// spare holds radios detached by Reset, recycled by AddRadio so a
+	// reused medium rebuilds its node set without reallocating radio/MAC
+	// state.
+	spare []*Radio
 
 	interceptor Interceptor
 	deciderRNG  *rng.Source
 	seed        uint64
+
+	// airtimeFn is the bound airtime method, created once and shared by
+	// every MAC so per-radio wiring does not allocate method values.
+	airtimeFn func(int) des.Time
+	// recFree is the reception freelist: finished receptions are recycled
+	// here with their two scheduling closures intact, so steady-state
+	// frame delivery allocates nothing.
+	recFree []*reception
 
 	stats Stats
 }
 
 // NewAir builds an empty medium.
 func NewAir(cfg Config) (*Air, error) {
+	a := &Air{byID: make(map[string]*Radio, 8)}
+	a.airtimeFn = a.airtime
+	if err := a.Reset(cfg); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Reset reinitialises the medium for a new experiment: configuration
+// replaced, interceptor removed, stats zeroed, decider stream rewound,
+// and all registered radios detached into a spare pool that AddRadio
+// recycles. A reset-and-rebuilt medium replays a freshly constructed one
+// bit-for-bit; only the allocations are saved.
+func (a *Air) Reset(cfg Config) error {
 	if cfg.Kernel == nil {
-		return nil, errors.New("nic: Config.Kernel is required")
+		return errors.New("nic: Config.Kernel is required")
 	}
 	if err := cfg.Channel.Validate(); err != nil {
-		return nil, err
+		return err
 	}
 	if err := cfg.Schedule.Validate(); err != nil {
-		return nil, err
+		return err
 	}
-	return &Air{
-		k:          cfg.Kernel,
-		cfg:        cfg.Channel,
-		sched:      cfg.Schedule,
-		byID:       make(map[string]*Radio, 8),
-		deciderRNG: rng.New(cfg.Seed, "nic.decider"),
-		seed:       cfg.Seed,
-	}, nil
+	a.k = cfg.Kernel
+	a.cfg = cfg.Channel
+	a.sched = cfg.Schedule
+	a.seed = cfg.Seed
+	a.interceptor = nil
+	a.stats = Stats{}
+	if a.deciderRNG == nil {
+		a.deciderRNG = rng.New(cfg.Seed, "nic.decider")
+	} else {
+		a.deciderRNG.Reseed(cfg.Seed, "nic.decider")
+	}
+	for _, r := range a.radios {
+		// Drop references into the previous experiment's object graph so
+		// the pool does not pin it in memory.
+		for i := range r.active {
+			r.active[i] = nil
+		}
+		r.active = r.active[:0]
+		r.pos = nil
+		r.handler = nil
+		a.spare = append(a.spare, r)
+	}
+	a.radios = a.radios[:0]
+	clear(a.byID)
+	return nil
 }
 
 // SetInterceptor installs (or, with nil, removes) the attack model. This
@@ -169,7 +212,9 @@ func (a *Air) Radio(id string) (*Radio, error) {
 }
 
 // AddRadio registers a node on the medium. pos must report the node's
-// antenna position; handler receives decoded frames.
+// antenna position; handler receives decoded frames. Radios detached by
+// a prior Reset are recycled: their MAC entity is reset in place and
+// their backoff stream rewound, reproducing a fresh radio exactly.
 func (a *Air) AddRadio(id string, pos func() geo.Vec, handler RxHandler) (*Radio, error) {
 	if id == "" {
 		return nil, errors.New("nic: radio ID must be non-empty")
@@ -180,32 +225,86 @@ func (a *Air) AddRadio(id string, pos func() geo.Vec, handler RxHandler) (*Radio
 	if _, dup := a.byID[id]; dup {
 		return nil, fmt.Errorf("nic: duplicate radio %q", id)
 	}
+	if n := len(a.spare); n > 0 {
+		r := a.spare[n-1]
+		a.spare = a.spare[:n-1]
+		r.id = id
+		r.pos = pos
+		r.handler = handler
+		r.txStart = 0
+		r.txEnd = 0
+		r.busy = 0
+		r.macRNG.Reseed(a.seed, "nic.mac."+id)
+		if err := r.mac.Reset(r.macConfig()); err != nil {
+			return nil, err
+		}
+		a.radios = append(a.radios, r)
+		a.byID[id] = r
+		return r, nil
+	}
 	r := &Radio{
 		id:      id,
 		air:     a,
 		pos:     pos,
 		handler: handler,
+		macRNG:  rng.New(a.seed, "nic.mac."+id),
 	}
-	m, err := mac.New(mac.Config{
-		Kernel:   a.k,
-		RNG:      rng.New(a.seed, "nic.mac."+id),
-		Schedule: a.sched,
-		Airtime:  a.airtime,
-		Transmit: func(f mac.Frame) { a.transmit(r, f) },
-	})
+	m, err := mac.New(r.macConfig())
 	if err != nil {
 		return nil, err
 	}
 	r.mac = m
+	r.txDoneFn = m.TxDone
 	a.radios = append(a.radios, r)
 	a.byID[id] = r
 	return r, nil
 }
 
+// macConfig assembles the MAC wiring for this radio. The transmit hook
+// captures only the radio, whose identity is stable across pool reuse.
+func (r *Radio) macConfig() mac.Config {
+	a := r.air
+	return mac.Config{
+		Kernel:   a.k,
+		RNG:      r.macRNG,
+		Schedule: a.sched,
+		Airtime:  a.airtimeFn,
+		Transmit: r.transmitFrame,
+	}
+}
+
+// transmitFrame adapts Air.transmit to the MAC's Transmit hook.
+func (r *Radio) transmitFrame(f mac.Frame) { r.air.transmit(r, f) }
+
 // airtime converts PSDU bits to on-air time via the configured MCS.
 func (a *Air) airtime(bits int) des.Time {
 	us := a.cfg.MCS.FrameAirtimeUs(bits)
 	return des.FromSeconds(us / 1e6)
+}
+
+// acquireReception takes a reception from the freelist (or allocates one
+// with its scheduling closures) and binds it to a receiver. All payload
+// fields are zeroed; the caller fills them in.
+func (a *Air) acquireReception(dst *Radio) *reception {
+	if n := len(a.recFree); n > 0 {
+		rec := a.recFree[n-1]
+		a.recFree = a.recFree[:n-1]
+		*rec = reception{beginFn: rec.beginFn, endFn: rec.endFn, dst: dst}
+		return rec
+	}
+	rec := &reception{dst: dst}
+	rec.beginFn = func() { rec.dst.beginReception(rec) }
+	rec.endFn = func() { rec.dst.air.finishReception(rec) }
+	return rec
+}
+
+// finishReception completes a reception at its receiver and recycles it.
+func (a *Air) finishReception(rec *reception) {
+	rec.dst.endReception(rec)
+	rec.frame = mac.Frame{}
+	rec.payload = nil
+	rec.dst = nil
+	a.recFree = append(a.recFree, rec)
 }
 
 // transmit fans a started transmission out to every other radio.
@@ -215,7 +314,7 @@ func (a *Air) transmit(src *Radio, f mac.Frame) {
 	a.stats.FramesSent++
 	src.txStart = now
 	src.txEnd = now.Add(dur)
-	a.k.ScheduleAt(src.txEnd, src.mac.TxDone)
+	a.k.ScheduleAt(src.txEnd, src.txDoneFn)
 
 	srcPos := src.pos()
 	for _, dst := range a.radios {
@@ -243,21 +342,23 @@ func (a *Air) transmit(src *Radio, f mac.Frame) {
 		if a.cfg.Fading != nil {
 			rxPower += a.cfg.Fading.GainDB(dist)
 		}
-		rec := &reception{
-			frame:    f,
-			payload:  payload,
-			sentAt:   now,
-			start:    now.Add(delay),
-			powerDBm: rxPower,
-			delay:    delay,
-		}
+		rec := a.acquireReception(dst)
+		rec.frame = f
+		rec.payload = payload
+		rec.sentAt = now
+		rec.start = now.Add(delay)
 		rec.end = rec.start.Add(dur)
-		a.k.ScheduleAt(rec.start, func() { dst.beginReception(rec) })
-		a.k.ScheduleAt(rec.end, func() { dst.endReception(rec) })
+		rec.powerDBm = rxPower
+		rec.delay = delay
+		a.k.ScheduleAt(rec.start, rec.beginFn)
+		a.k.ScheduleAt(rec.end, rec.endFn)
 	}
 }
 
-// reception is one frame arriving at one radio.
+// reception is one frame arriving at one radio. Receptions are pooled on
+// the Air: acquireReception recycles finished entries together with the
+// two pre-bound scheduling closures, so the per-link delivery path is
+// allocation-free in steady state.
 type reception struct {
 	frame    mac.Frame
 	payload  any
@@ -275,6 +376,12 @@ type reception struct {
 	// noise marks pure interference (jamming bursts): it contributes to
 	// carrier sense and SINR but is never decoded.
 	noise bool
+
+	// dst is the receiving radio; beginFn/endFn are the kernel handlers
+	// created once per pooled entry.
+	dst     *Radio
+	beginFn des.Handler
+	endFn   des.Handler
 }
 
 // Radio is one node's network interface on the Air.
@@ -284,6 +391,10 @@ type Radio struct {
 	pos     func() geo.Vec
 	handler RxHandler
 	mac     *mac.EDCA
+	macRNG  *rng.Source
+	// txDoneFn is the bound mac.TxDone method, created once so transmit
+	// completions do not allocate method values.
+	txDoneFn des.Handler
 
 	active  []*reception
 	txStart des.Time
@@ -333,7 +444,10 @@ func (r *Radio) beginReception(rec *reception) {
 func (r *Radio) endReception(rec *reception) {
 	for i, other := range r.active {
 		if other == rec {
-			r.active = append(r.active[:i], r.active[i+1:]...)
+			n := len(r.active) - 1
+			copy(r.active[i:], r.active[i+1:])
+			r.active[n] = nil
+			r.active = r.active[:n]
 			break
 		}
 	}

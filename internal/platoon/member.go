@@ -108,6 +108,12 @@ type Member struct {
 	tracker *traffic.SpeedTracker
 	radar   func() (gap, relSpeed float64, ok bool)
 	aeb     *safety.AEB
+	laneY   func(lane int) float64
+
+	// posFn and rxFn are the radio wiring callbacks, created once so a
+	// pooled member re-registers its radio without allocating closures.
+	posFn func() geo.Vec
+	rxFn  nic.RxHandler
 	// aebActivations counts control steps on which the AEB overrode the
 	// controller.
 	aebActivations uint64
@@ -125,59 +131,75 @@ type Member struct {
 // NewMember attaches a platooning application to a vehicle and registers
 // its radio on the medium.
 func NewMember(cfg MemberConfig) (*Member, error) {
-	switch {
-	case cfg.Kernel == nil:
-		return nil, errors.New("platoon: Kernel is required")
-	case cfg.Vehicle == nil:
-		return nil, errors.New("platoon: Vehicle is required")
-	case cfg.Air == nil:
-		return nil, errors.New("platoon: Air is required")
-	case cfg.Index < 0:
-		return nil, errors.New("platoon: negative index")
+	m := &Member{}
+	m.posFn = func() geo.Vec {
+		return geo.Vec{X: m.veh.State.Pos, Y: m.laneY(m.veh.State.Lane)}
 	}
-	if err := cfg.Params.Validate(); err != nil {
+	m.rxFn = m.handleRx
+	m.beacons = des.NewTicker(nil, des.Millisecond, des.PriorityNormal, m.sendBeacon)
+	if err := m.Reset(cfg); err != nil {
 		return nil, err
 	}
+	return m, nil
+}
+
+// Reset reinitialises the member in place for a new experiment: caches
+// and counters are zeroed, the radio is re-registered on the (reset)
+// medium, and the beacon ticker is re-targeted. A pooled, reset member
+// behaves exactly like one freshly built by NewMember.
+func (m *Member) Reset(cfg MemberConfig) error {
+	switch {
+	case cfg.Kernel == nil:
+		return errors.New("platoon: Kernel is required")
+	case cfg.Vehicle == nil:
+		return errors.New("platoon: Vehicle is required")
+	case cfg.Air == nil:
+		return errors.New("platoon: Air is required")
+	case cfg.Index < 0:
+		return errors.New("platoon: negative index")
+	}
+	if err := cfg.Params.Validate(); err != nil {
+		return err
+	}
 	if cfg.Index == 0 && cfg.Leader == nil {
-		return nil, errors.New("platoon: leader requires a maneuver tracker")
+		return errors.New("platoon: leader requires a maneuver tracker")
 	}
 	if cfg.Index > 0 && cfg.Controller == nil {
-		return nil, errors.New("platoon: follower requires a controller")
+		return errors.New("platoon: follower requires a controller")
 	}
 	if cfg.AEB != nil {
 		if err := cfg.AEB.Validate(); err != nil {
-			return nil, err
+			return err
 		}
 		if cfg.Index > 0 && cfg.Radar == nil {
-			return nil, errors.New("platoon: AEB requires a radar")
+			return errors.New("platoon: AEB requires a radar")
 		}
 	}
 	laneY := cfg.LaneY
 	if laneY == nil {
 		laneY = func(lane int) float64 { return (float64(lane) + 0.5) * 3.2 }
 	}
-	m := &Member{
-		k:       cfg.Kernel,
-		veh:     cfg.Vehicle,
-		params:  cfg.Params,
-		index:   cfg.Index,
-		ctrl:    cfg.Controller,
-		tracker: cfg.Leader,
-		radar:   cfg.Radar,
-		aeb:     cfg.AEB,
-	}
-	radio, err := cfg.Air.AddRadio(cfg.Vehicle.Spec.ID,
-		func() geo.Vec {
-			return geo.Vec{X: m.veh.State.Pos, Y: laneY(m.veh.State.Lane)}
-		},
-		m.handleRx)
+	m.k = cfg.Kernel
+	m.veh = cfg.Vehicle
+	m.params = cfg.Params
+	m.index = cfg.Index
+	m.ctrl = cfg.Controller
+	m.tracker = cfg.Leader
+	m.radar = cfg.Radar
+	m.aeb = cfg.AEB
+	m.laneY = laneY
+	m.aebActivations = 0
+	m.leaderCache = KinState{}
+	m.predCache = KinState{}
+	m.beaconSeq = 0
+	m.rxCount = 0
+	radio, err := cfg.Air.AddRadio(cfg.Vehicle.Spec.ID, m.posFn, m.rxFn)
 	if err != nil {
-		return nil, fmt.Errorf("platoon: add radio: %w", err)
+		return fmt.Errorf("platoon: add radio: %w", err)
 	}
 	m.radio = radio
-	m.beacons = des.NewTicker(cfg.Kernel, cfg.Params.BeaconInterval,
-		des.PriorityNormal, m.sendBeacon)
-	return m, nil
+	m.beacons.Rebind(cfg.Kernel, cfg.Params.BeaconInterval)
+	return nil
 }
 
 // ID returns the member's vehicle ID.

@@ -188,6 +188,41 @@ type Simulation struct {
 	comm     CommModel
 	recs     []trace.Recorder
 	started  bool
+
+	// dt is the control period in seconds (cached for preStep).
+	dt float64
+	// states is the retained per-step sample buffer handed to recorders;
+	// reusing it keeps the post-step observer allocation-free.
+	states []trace.VehicleSample
+}
+
+// preStep issues every member's control command; registered as the
+// traffic pre-step hook.
+func (s *Simulation) preStep(now des.Time) {
+	for _, m := range s.Members {
+		m.ControlStep(now, s.dt)
+	}
+}
+
+// postStep samples all vehicles into the retained buffer and feeds the
+// recorders; registered as the traffic post-step hook. Recorders must not
+// retain the slice across calls (trace.FullLog copies; trace.Summary
+// reduces in place).
+func (s *Simulation) postStep(now des.Time) {
+	if len(s.recs) == 0 {
+		return
+	}
+	if cap(s.states) < len(s.Members) {
+		s.states = make([]trace.VehicleSample, len(s.Members))
+	}
+	s.states = s.states[:len(s.Members)]
+	for i, m := range s.Members {
+		st := m.Vehicle().State
+		s.states[i] = trace.VehicleSample{Pos: st.Pos, Speed: st.Speed, Accel: st.Accel}
+	}
+	for _, r := range s.recs {
+		r.OnSample(now, s.states)
+	}
 }
 
 // VehicleID returns the conventional ID of the 1-based paper vehicle
@@ -196,149 +231,11 @@ func VehicleID(n int) string { return "vehicle." + strconv.Itoa(n) }
 
 // Build assembles a Simulation from Step-1 configuration. seed drives all
 // stochastic components; identical (config, seed) pairs reproduce
-// identical runs.
+// identical runs. Callers running many experiments should reuse a
+// Workspace instead, which retains the simulation components across
+// builds.
 func Build(ts TrafficScenario, cm CommModel, seed uint64, factory ControllerFactory) (*Simulation, error) {
-	if err := ts.Validate(); err != nil {
-		return nil, err
-	}
-	if err := cm.Validate(); err != nil {
-		return nil, err
-	}
-	if factory == nil {
-		factory = DefaultControllers()
-	}
-
-	k := des.NewKernel()
-	net, err := roadnet.NewNetwork(ts.Road)
-	if err != nil {
-		return nil, err
-	}
-	sim, err := traffic.NewSimulator(traffic.Config{
-		Kernel:     k,
-		Network:    net,
-		StepLength: ts.StepLength,
-	})
-	if err != nil {
-		return nil, err
-	}
-	air, err := nic.NewAir(nic.Config{
-		Kernel:   k,
-		Channel:  cm.Channel,
-		Schedule: cm.Schedule,
-		Seed:     seed,
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	s := &Simulation{
-		Kernel:   k,
-		Network:  net,
-		Traffic:  sim,
-		Air:      air,
-		scenario: ts,
-		comm:     cm,
-	}
-
-	params := platoon.Params{
-		ID:             "platoon.0",
-		Spacing:        5,
-		BeaconInterval: cm.BeaconInterval,
-		PayloadBits:    cm.PacketBits,
-		AC:             cm.AC,
-	}
-	tracker := &traffic.SpeedTracker{
-		Maneuver: ts.Maneuver,
-		Gain:     ts.TrackerGain,
-		LagComp:  ts.TrackerLagComp,
-	}
-
-	v0 := ts.Maneuver.TargetSpeed(0)
-	a0 := ts.Maneuver.FeedforwardAccel(0)
-	lane, err := net.Lane(ts.Road.ID, ts.Lane)
-	if err != nil {
-		return nil, err
-	}
-
-	for i := 0; i < ts.NrVehicles; i++ {
-		spec := ts.VehicleTemplate
-		spec.ID = VehicleID(i + 1)
-		gapStride := params.Spacing + spec.Length
-		st := vehicle.State{
-			Pos:   ts.LeaderStartPos - float64(i)*gapStride,
-			Speed: v0,
-			Accel: a0,
-			Lane:  ts.Lane,
-		}
-		veh, err := sim.AddVehicle(spec, st)
-		if err != nil {
-			return nil, err
-		}
-		var ctrl platoon.Controller
-		var radar func() (float64, float64, bool)
-		if i > 0 {
-			ctrl = factory(i)
-			if ctrl == nil {
-				return nil, fmt.Errorf("scenario: controller factory returned nil for index %d", i)
-			}
-			// Radar measures ground truth against the predecessor, like
-			// Plexe's SUMO-backed radar sensor.
-			pred := sim.Vehicles()[i-1]
-			self := veh
-			radar = func() (float64, float64, bool) {
-				gap := pred.State.Rear(pred.Spec.Length) - self.State.Pos
-				return gap, self.State.Speed - pred.State.Speed, true
-			}
-		}
-		member, err := platoon.NewMember(platoon.MemberConfig{
-			Kernel:     k,
-			Vehicle:    veh,
-			Air:        air,
-			Params:     params,
-			Index:      i,
-			Controller: ctrl,
-			Leader:     tracker,
-			LaneY:      func(int) float64 { return lane.CenterY },
-			Radar:      radar,
-			AEB:        ts.AEB,
-		})
-		if err != nil {
-			return nil, err
-		}
-		s.Members = append(s.Members, member)
-	}
-
-	// Seed follower caches with ground truth at t=0: the platoon is
-	// already formed when the experiment window opens.
-	leaderVeh := s.Members[0].Vehicle()
-	for i := 1; i < len(s.Members); i++ {
-		predVeh := s.Members[i-1].Vehicle()
-		s.Members[i].Seed(
-			kinOf(leaderVeh),
-			kinOf(predVeh),
-		)
-	}
-
-	dt := sim.StepLength().Seconds()
-	sim.OnPreStep(func(now des.Time) {
-		for _, m := range s.Members {
-			m.ControlStep(now, dt)
-		}
-	})
-	sim.OnPostStep(func(now des.Time) {
-		if len(s.recs) == 0 {
-			return
-		}
-		states := make([]trace.VehicleSample, len(s.Members))
-		for i, m := range s.Members {
-			st := m.Vehicle().State
-			states[i] = trace.VehicleSample{Pos: st.Pos, Speed: st.Speed, Accel: st.Accel}
-		}
-		for _, r := range s.recs {
-			r.OnSample(now, states)
-		}
-	})
-	return s, nil
+	return NewWorkspace().Build(ts, cm, seed, factory)
 }
 
 func kinOf(v *vehicle.Vehicle) platoon.KinState {

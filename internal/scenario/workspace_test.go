@@ -1,0 +1,104 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+
+	"comfase/internal/sim/des"
+	"comfase/internal/trace"
+)
+
+// runCSV builds and runs a simulation to its horizon and returns the full
+// trace as CSV bytes.
+func runCSV(t *testing.T, sim *Simulation) []byte {
+	t.Helper()
+	log := trace.NewFullLog(sim.VehicleIDs())
+	sim.AddRecorder(log)
+	if err := sim.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := sim.RunUntil(sim.TotalSimTime()); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := log.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestWorkspaceReuseReplaysFreshBuild pins the determinism contract of
+// Workspace: a build from a reused workspace must replay a build from a
+// fresh workspace byte-for-byte, even after the workspace ran unrelated
+// experiments in between.
+func TestWorkspaceReuseReplaysFreshBuild(t *testing.T) {
+	ts := PaperScenario()
+	ts.TotalSimTime = 5 * des.Second
+	cm := PaperCommModel()
+	const seed = 42
+
+	fresh, err := Build(ts, cm, seed, nil)
+	if err != nil {
+		t.Fatalf("fresh Build: %v", err)
+	}
+	want := runCSV(t, fresh)
+
+	w := NewWorkspace()
+
+	// Pollute the workspace with a different experiment first: other
+	// seed, fewer vehicles, different horizon.
+	other := ts
+	other.NrVehicles = 2
+	other.TotalSimTime = 2 * des.Second
+	polluted, err := w.Build(other, cm, seed+1, nil)
+	if err != nil {
+		t.Fatalf("polluting Build: %v", err)
+	}
+	_ = runCSV(t, polluted)
+
+	for i := 0; i < 3; i++ {
+		sim, err := w.Build(ts, cm, seed, nil)
+		if err != nil {
+			t.Fatalf("reused Build %d: %v", i, err)
+		}
+		got := runCSV(t, sim)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("reused workspace build %d diverged from fresh build (%d vs %d bytes)",
+				i, len(got), len(want))
+		}
+	}
+}
+
+// TestWorkspaceVehicleCountChanges exercises the member/vehicle pools
+// across builds with growing and shrinking platoons.
+func TestWorkspaceVehicleCountChanges(t *testing.T) {
+	ts := PaperScenario()
+	ts.TotalSimTime = des.Second
+	cm := PaperCommModel()
+	w := NewWorkspace()
+	for _, n := range []int{4, 2, 6, 1, 4} {
+		cfg := ts
+		cfg.NrVehicles = n
+		sim, err := w.Build(cfg, cm, 7, nil)
+		if err != nil {
+			t.Fatalf("Build with %d vehicles: %v", n, err)
+		}
+		if got := len(sim.Members); got != n {
+			t.Fatalf("got %d members, want %d", got, n)
+		}
+		if got := len(sim.Traffic.Vehicles()); got != n {
+			t.Fatalf("got %d vehicles, want %d", got, n)
+		}
+		for i, m := range sim.Members {
+			if want := VehicleID(i + 1); m.ID() != want {
+				t.Fatalf("member %d has ID %q, want %q", i, m.ID(), want)
+			}
+		}
+		if err := sim.Start(); err != nil {
+			t.Fatalf("Start: %v", err)
+		}
+		if err := sim.RunUntil(cfg.TotalSimTime); err != nil {
+			t.Fatalf("RunUntil: %v", err)
+		}
+	}
+}

@@ -3,23 +3,28 @@ package des
 import "testing"
 
 // FuzzKernelSchedule feeds the kernel arbitrary interleavings of
-// schedule/cancel/run-until operations encoded as a byte program and
-// checks the core invariants: no panics, a monotone clock, and an
-// executed-count that never exceeds the number of scheduled events.
+// schedule/cancel/run-until/reset operations encoded as a byte program
+// and checks the core invariants: no panics, a clock that is monotone
+// between resets, an executed-count that never exceeds the number of
+// scheduled events, and stale pre-reset IDs that never cancel post-reset
+// events.
 func FuzzKernelSchedule(f *testing.F) {
 	f.Add([]byte{0, 10, 1, 0, 2, 20})
 	f.Add([]byte{0, 1, 0, 1, 0, 1, 2, 255})
 	f.Add([]byte{2, 0, 0, 5, 1, 9})
+	f.Add([]byte{0, 10, 3, 0, 0, 10, 1, 0, 2, 20})
+	f.Add([]byte{0, 7, 0, 7, 3, 1, 3, 2, 0, 7, 2, 9})
 	f.Fuzz(func(t *testing.T, program []byte) {
 		if len(program) > 256 {
 			program = program[:256]
 		}
 		k := NewKernel()
-		var ids []EventID
-		scheduled := 0
+		var ids []EventID   // IDs issued since the last reset
+		var stale []EventID // IDs invalidated by a reset
+		scheduled := 0      // events scheduled since the last reset
 		lastNow := k.Now()
 		for i := 0; i+1 < len(program); i += 2 {
-			op, arg := program[i]%3, Time(program[i+1])*Millisecond
+			op, arg := program[i]%4, Time(program[i+1])*Millisecond
 			switch op {
 			case 0: // schedule
 				ids = append(ids, k.ScheduleAt(arg, func() {}))
@@ -32,11 +37,28 @@ func FuzzKernelSchedule(f *testing.F) {
 				if err := k.RunUntil(k.Now().Add(arg)); err != nil {
 					t.Fatalf("RunUntil: %v", err)
 				}
+			case 3: // reset
+				k.Reset()
+				if k.Now() != 0 || k.Pending() != 0 || k.Executed() != 0 {
+					t.Fatalf("Reset left state: now=%v pending=%d executed=%d",
+						k.Now(), k.Pending(), k.Executed())
+				}
+				stale = append(stale, ids...)
+				ids = ids[:0]
+				scheduled = 0
+				lastNow = 0
 			}
 			if k.Now() < lastNow {
 				t.Fatalf("clock went backwards: %v -> %v", lastNow, k.Now())
 			}
 			lastNow = k.Now()
+		}
+		// Stale IDs from before any reset must be dead, no matter how the
+		// slots were recycled since.
+		for _, id := range stale {
+			if k.Cancel(id) {
+				t.Fatalf("stale pre-reset ID %v canceled a live event", id)
+			}
 		}
 		if err := k.Run(); err != nil {
 			t.Fatalf("Run: %v", err)

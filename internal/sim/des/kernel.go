@@ -1,7 +1,6 @@
 package des
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 )
@@ -27,7 +26,23 @@ const (
 
 // EventID identifies a scheduled event for cancellation. The zero value
 // is never a valid ID.
+//
+// An ID packs the event's slab slot (upper 32 bits, biased by one) and
+// the slot's generation counter (lower 32 bits). Cancel validates both,
+// so a stale ID — the event fired, was canceled, or the kernel was Reset
+// — can never affect the slot's current occupant. This replaces the old
+// id->event map: schedule and cancel do no map traffic at all.
 type EventID uint64
+
+// makeEventID packs a slot index and generation into an EventID.
+func makeEventID(slot int32, gen uint32) EventID {
+	return EventID(uint64(slot)+1)<<32 | EventID(gen)
+}
+
+// split unpacks the ID. slot is -1 for the zero (invalid) ID.
+func (id EventID) split() (slot int64, gen uint32) {
+	return int64(id>>32) - 1, uint32(id)
+}
 
 // ErrStopped is returned by Run/RunUntil when the kernel was stopped via
 // Stop before the time limit or queue exhaustion was reached.
@@ -40,69 +55,36 @@ var ErrStopped = errors.New("des: kernel stopped")
 // per-event cost of the hot loop at a single integer increment.
 const DefaultInterruptEvery = 4096
 
-// event is a queue entry. Cancellation is implemented by flagging: the
-// entry stays in the heap and is discarded when popped.
+// event is a slab slot. Cancellation is implemented by flagging: the
+// entry stays in the heap and is recycled when popped. A slot is free
+// (on the freelist), pending (in the heap) or canceled (in the heap,
+// flagged); gen increments every time the slot is recycled, invalidating
+// all previously issued IDs for it.
 type event struct {
 	at       Time
 	prio     Priority
 	seq      uint64 // insertion order, tie-break within (at, prio)
-	id       EventID
-	fn       Handler
+	gen      uint32
 	canceled bool
-	index    int // heap index, maintained by eventQueue
-}
-
-// eventQueue is a binary min-heap of events ordered by (at, prio, seq).
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	a, b := q[i], q[j]
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	if a.prio != b.prio {
-		return a.prio < b.prio
-	}
-	return a.seq < b.seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	ev, ok := x.(*event)
-	if !ok {
-		return
-	}
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
+	fn       Handler
 }
 
 // Kernel is a single-threaded discrete-event scheduler. The zero value is
-// not usable; create kernels with NewKernel. Kernels are not safe for
-// concurrent use — all scheduling must happen from event handlers or from
-// the goroutine driving Run/RunUntil, exactly as in OMNeT++.
+// ready to use, but create kernels with NewKernel for symmetry with the
+// rest of the stack. Kernels are not safe for concurrent use — all
+// scheduling must happen from event handlers or from the goroutine
+// driving Run/RunUntil, exactly as in OMNeT++.
+//
+// Event storage is a slab with a freelist: steady-state scheduling
+// performs zero heap allocations (pinned by TestKernelScheduleZeroAllocs)
+// because popped slots are recycled in place and the binary heap orders
+// int32 slot indices, never boxed values.
 type Kernel struct {
 	now     Time
-	queue   eventQueue
+	slab    []event // slot storage; grows on demand, never shrinks
+	free    []int32 // recycled slot indices (LIFO)
+	heap    []int32 // min-heap of slots ordered by (at, prio, seq)
 	nextSeq uint64
-	nextID  EventID
-	byID    map[EventID]*event
 	stopped bool
 	// executed counts delivered (non-canceled) events, exposed for
 	// statistics and benchmarks.
@@ -118,11 +100,28 @@ type Kernel struct {
 }
 
 // NewKernel returns an empty kernel with the clock at t=0.
-func NewKernel() *Kernel {
-	return &Kernel{
-		byID:   make(map[EventID]*event, 64),
-		nextID: 1,
+func NewKernel() *Kernel { return &Kernel{} }
+
+// Reset returns the kernel to its initial state — clock at t=0, no
+// pending events, counters cleared, interrupt check removed — without
+// releasing the slab, freelist or heap storage. A Reset kernel behaves
+// exactly like a fresh NewKernel (same seq numbering, hence the same
+// deterministic tie-breaking), which is what lets campaign workers reuse
+// one kernel across thousands of experiments. Event IDs issued before the
+// Reset are invalidated: every live slot's generation is bumped, so a
+// stale Cancel can never hit a post-Reset event.
+func (k *Kernel) Reset() {
+	for _, slot := range k.heap {
+		k.release(slot)
 	}
+	k.heap = k.heap[:0]
+	k.now = 0
+	k.nextSeq = 0
+	k.executed = 0
+	k.stopped = false
+	k.interrupt = nil
+	k.checkEvery = 0
+	k.sinceCheck = 0
 }
 
 // Now reports the current simulation time. During an event handler this
@@ -134,7 +133,87 @@ func (k *Kernel) Executed() uint64 { return k.executed }
 
 // Pending reports how many events are queued, including canceled entries
 // that have not been popped yet.
-func (k *Kernel) Pending() int { return len(k.queue) }
+func (k *Kernel) Pending() int { return len(k.heap) }
+
+// less orders the heap by (at, prio, seq).
+func (k *Kernel) less(a, b int32) bool {
+	ea, eb := &k.slab[a], &k.slab[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	if ea.prio != eb.prio {
+		return ea.prio < eb.prio
+	}
+	return ea.seq < eb.seq
+}
+
+// heapPush inserts a slot into the heap.
+func (k *Kernel) heapPush(slot int32) {
+	k.heap = append(k.heap, slot)
+	i := len(k.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !k.less(k.heap[i], k.heap[parent]) {
+			break
+		}
+		k.heap[i], k.heap[parent] = k.heap[parent], k.heap[i]
+		i = parent
+	}
+}
+
+// heapPop removes and returns the root slot. The heap must be non-empty.
+func (k *Kernel) heapPop() int32 {
+	h := k.heap
+	root := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	k.heap = h[:n]
+	k.siftDown(0)
+	return root
+}
+
+// siftDown restores the heap property from index i downward.
+func (k *Kernel) siftDown(i int) {
+	h := k.heap
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		min := l
+		if r := l + 1; r < n && k.less(h[r], h[l]) {
+			min = r
+		}
+		if !k.less(h[min], h[i]) {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+}
+
+// alloc takes a slot from the freelist or grows the slab.
+func (k *Kernel) alloc() int32 {
+	if n := len(k.free); n > 0 {
+		slot := k.free[n-1]
+		k.free = k.free[:n-1]
+		return slot
+	}
+	k.slab = append(k.slab, event{})
+	return int32(len(k.slab) - 1)
+}
+
+// release recycles a popped slot: the handler reference is dropped so the
+// slab does not retain closures, and the generation bump invalidates all
+// outstanding IDs for the slot.
+func (k *Kernel) release(slot int32) {
+	ev := &k.slab[slot]
+	ev.fn = nil
+	ev.canceled = false
+	ev.gen++
+	k.free = append(k.free, slot)
+}
 
 // ScheduleAt schedules fn to run at the absolute time at with normal
 // priority. Scheduling in the past is clamped to Now: the event fires at
@@ -148,18 +227,15 @@ func (k *Kernel) ScheduleAtPrio(at Time, prio Priority, fn Handler) EventID {
 	if at < k.now {
 		at = k.now
 	}
-	ev := &event{
-		at:   at,
-		prio: prio,
-		seq:  k.nextSeq,
-		id:   k.nextID,
-		fn:   fn,
-	}
+	slot := k.alloc()
+	ev := &k.slab[slot]
+	ev.at = at
+	ev.prio = prio
+	ev.seq = k.nextSeq
+	ev.fn = fn
 	k.nextSeq++
-	k.nextID++
-	heap.Push(&k.queue, ev)
-	k.byID[ev.id] = ev
-	return ev.id
+	k.heapPush(slot)
+	return makeEventID(slot, ev.gen)
 }
 
 // ScheduleAfter schedules fn to run after the given delay relative to the
@@ -174,14 +250,18 @@ func (k *Kernel) ScheduleAfterPrio(delay Time, prio Priority, fn Handler) EventI
 }
 
 // Cancel removes a pending event. It reports whether the event was still
-// pending (false if it already fired, was canceled, or never existed).
+// pending (false if it already fired, was canceled, never existed, or
+// predates a Reset).
 func (k *Kernel) Cancel(id EventID) bool {
-	ev, ok := k.byID[id]
-	if !ok || ev.canceled {
+	slot, gen := id.split()
+	if slot < 0 || slot >= int64(len(k.slab)) {
+		return false
+	}
+	ev := &k.slab[slot]
+	if ev.gen != gen || ev.canceled || ev.fn == nil {
 		return false
 	}
 	ev.canceled = true
-	delete(k.byID, id)
 	return true
 }
 
@@ -227,20 +307,21 @@ func (k *Kernel) pollInterrupt() error {
 }
 
 // step pops and executes the next event. It reports false when the queue
-// is exhausted.
+// is exhausted. The slot is recycled before the handler runs, so a
+// handler that schedules immediately reuses it (with a fresh generation).
 func (k *Kernel) step() bool {
-	for len(k.queue) > 0 {
-		ev, ok := heap.Pop(&k.queue).(*event)
-		if !ok {
-			return false
-		}
+	for len(k.heap) > 0 {
+		slot := k.heapPop()
+		ev := &k.slab[slot]
 		if ev.canceled {
+			k.release(slot)
 			continue
 		}
-		delete(k.byID, ev.id)
+		fn := ev.fn
 		k.now = ev.at
 		k.executed++
-		ev.fn()
+		k.release(slot)
+		fn()
 		return true
 	}
 	return false
@@ -275,8 +356,8 @@ func (k *Kernel) RunUntil(limit Time) error {
 	}
 	k.stopped = false
 	for !k.stopped {
-		ev := k.peek()
-		if ev == nil || ev.at > limit {
+		at, ok := k.peek()
+		if !ok || at > limit {
 			k.now = limit
 			return nil
 		}
@@ -288,25 +369,25 @@ func (k *Kernel) RunUntil(limit Time) error {
 	return ErrStopped
 }
 
-// peek returns the next live event without removing it, discarding
-// canceled entries along the way.
-func (k *Kernel) peek() *event {
-	for len(k.queue) > 0 {
-		ev := k.queue[0]
+// peek reports the time stamp of the next live event, discarding canceled
+// entries along the way. ok is false when the queue is empty.
+func (k *Kernel) peek() (at Time, ok bool) {
+	for len(k.heap) > 0 {
+		ev := &k.slab[k.heap[0]]
 		if !ev.canceled {
-			return ev
+			return ev.at, true
 		}
-		heap.Pop(&k.queue)
+		k.release(k.heapPop())
 	}
-	return nil
+	return 0, false
 }
 
 // NextEventAt reports the time stamp of the next live event, or MaxTime
 // when the queue is empty.
 func (k *Kernel) NextEventAt() Time {
-	ev := k.peek()
-	if ev == nil {
+	at, ok := k.peek()
+	if !ok {
 		return MaxTime
 	}
-	return ev.at
+	return at
 }

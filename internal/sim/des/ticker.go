@@ -11,6 +11,9 @@ type Ticker struct {
 	fn      Handler
 	next    EventID
 	running bool
+	// tickFn is the bound tick method, created once so re-arming does not
+	// allocate a fresh method value on every tick.
+	tickFn Handler
 }
 
 // NewTicker creates a stopped ticker. period must be positive.
@@ -18,7 +21,9 @@ func NewTicker(k *Kernel, period Time, prio Priority, fn Handler) *Ticker {
 	if period <= 0 {
 		period = Nanosecond
 	}
-	return &Ticker{k: k, period: period, prio: prio, fn: fn}
+	t := &Ticker{k: k, period: period, prio: prio, fn: fn}
+	t.tickFn = t.tick
+	return t
 }
 
 // Start arms the ticker so that fn first fires at the absolute time
@@ -27,7 +32,20 @@ func NewTicker(k *Kernel, period Time, prio Priority, fn Handler) *Ticker {
 func (t *Ticker) Start(first Time) {
 	t.StopTicker()
 	t.running = true
-	t.next = t.k.ScheduleAtPrio(first, t.prio, t.tick)
+	t.next = t.k.ScheduleAtPrio(first, t.prio, t.tickFn)
+}
+
+// Rebind stops the ticker and re-targets it at a kernel and period,
+// reusing the ticker object (and its bound tick handler) across
+// experiment-workspace resets. period must be positive.
+func (t *Ticker) Rebind(k *Kernel, period Time) {
+	t.StopTicker()
+	if period <= 0 {
+		period = Nanosecond
+	}
+	t.k = k
+	t.period = period
+	t.next = 0
 }
 
 // StopTicker cancels the pending tick. The name avoids a collision with
@@ -50,6 +68,6 @@ func (t *Ticker) tick() {
 		return
 	}
 	// Re-arm before running fn so fn may call StopTicker.
-	t.next = t.k.ScheduleAtPrio(t.k.Now().Add(t.period), t.prio, t.tick)
+	t.next = t.k.ScheduleAtPrio(t.k.Now().Add(t.period), t.prio, t.tickFn)
 	t.fn()
 }

@@ -15,22 +15,37 @@ import (
 // Source is a deterministic random stream. It wraps the stdlib PCG
 // generator with the handful of distributions the simulator needs.
 type Source struct {
-	r *rand.Rand
+	r   *rand.Rand
+	pcg *rand.PCG
+}
+
+// streamState hashes a stream name to the second PCG seed word.
+func streamState(name string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	return h.Sum64()
 }
 
 // New returns a stream derived from a campaign seed and a stream name.
 // The same (seed, name) pair always yields the same sequence; distinct
 // names yield statistically independent sequences.
 func New(seed uint64, name string) *Source {
-	h := fnv.New64a()
-	_, _ = h.Write([]byte(name))
-	return &Source{r: rand.New(rand.NewPCG(seed, h.Sum64()))}
+	return NewFromState(seed, streamState(name))
 }
 
 // NewFromState returns a stream from two raw 64-bit state words. It is
 // used by Split for hierarchical stream derivation.
 func NewFromState(a, b uint64) *Source {
-	return &Source{r: rand.New(rand.NewPCG(a, b))}
+	pcg := rand.NewPCG(a, b)
+	return &Source{r: rand.New(pcg), pcg: pcg}
+}
+
+// Reseed rewinds the stream to the state New(seed, name) would start
+// from, reusing the generator allocation. It is the reset hook for
+// experiment-workspace reuse: a reseeded stream replays exactly the draw
+// sequence of a freshly constructed one.
+func (s *Source) Reseed(seed uint64, name string) {
+	s.pcg.Seed(seed, streamState(name))
 }
 
 // Split derives an independent child stream identified by name.

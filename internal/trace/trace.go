@@ -188,6 +188,35 @@ func NewSummary(n int, ref *FullLog) *Summary {
 	return &Summary{ref: ref, MaxDecel: make([]float64, n)}
 }
 
+// Reset reinitialises the summary for a new run of n vehicles, reusing
+// the per-vehicle extrema slice. Campaign workers keep one Summary per
+// workspace and Reset it between experiments; callers that hand results
+// out must copy MaxDecel first (see CopyMaxDecel), since the backing
+// array is recycled.
+func (s *Summary) Reset(n int, ref *FullLog) {
+	if cap(s.MaxDecel) < n {
+		s.MaxDecel = make([]float64, n)
+	} else {
+		s.MaxDecel = s.MaxDecel[:n]
+		for i := range s.MaxDecel {
+			s.MaxDecel[i] = 0
+		}
+	}
+	s.ref = ref
+	s.idx = 0
+	s.MaxSpeedDev = 0
+	s.Samples = 0
+	s.Misaligned = false
+}
+
+// CopyMaxDecel returns a fresh copy of the per-vehicle deceleration
+// extrema, safe to retain after the summary is Reset for the next run.
+func (s *Summary) CopyMaxDecel() []float64 {
+	out := make([]float64, len(s.MaxDecel))
+	copy(out, s.MaxDecel)
+	return out
+}
+
 // OnSample implements Recorder.
 func (s *Summary) OnSample(t des.Time, states []VehicleSample) {
 	for v, st := range states {

@@ -8,7 +8,7 @@ package traffic
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"comfase/internal/roadnet"
 	"comfase/internal/sim/des"
@@ -40,6 +40,11 @@ type Simulator struct {
 
 	vehicles []*vehicle.Vehicle
 	byID     map[string]*vehicle.Vehicle
+	// spare holds vehicles detached by Reset, recycled by AddVehicle so a
+	// reused simulator repopulates without reallocating vehicle objects.
+	spare []*vehicle.Vehicle
+	// laneScratch is the retained sort buffer of detectCollisions.
+	laneScratch []*vehicle.Vehicle
 
 	pre  []StepHook
 	post []StepHook
@@ -67,30 +72,66 @@ type Config struct {
 
 // NewSimulator builds an empty traffic simulation.
 func NewSimulator(cfg Config) (*Simulator, error) {
+	s := &Simulator{
+		byID:     make(map[string]*vehicle.Vehicle, 8),
+		collided: make(map[string]bool, 8),
+	}
+	s.ticker = des.NewTicker(nil, des.Millisecond, des.PriorityLast, s.step)
+	if err := s.Reset(cfg); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Reset reinitialises the simulator in place for a new experiment:
+// vehicles are detached into a spare pool that AddVehicle recycles, all
+// hooks and collision state are cleared, and the stepping ticker is
+// re-targeted at the configured kernel. A reset simulator behaves exactly
+// like a freshly constructed one.
+func (s *Simulator) Reset(cfg Config) error {
 	if cfg.Kernel == nil {
-		return nil, errors.New("traffic: Config.Kernel is required")
+		return errors.New("traffic: Config.Kernel is required")
 	}
 	if cfg.Network == nil {
-		return nil, errors.New("traffic: Config.Network is required")
+		return errors.New("traffic: Config.Network is required")
 	}
 	step := cfg.StepLength
 	if step <= 0 {
 		step = 10 * des.Millisecond
 	}
-	s := &Simulator{
-		k:        cfg.Kernel,
-		net:      cfg.Network,
-		stepLen:  step,
-		dt:       step.Seconds(),
-		byID:     make(map[string]*vehicle.Vehicle, 8),
-		collided: make(map[string]bool, 8),
+	s.k = cfg.Kernel
+	s.net = cfg.Network
+	s.stepLen = step
+	s.dt = step.Seconds()
+	for i, v := range s.vehicles {
+		s.spare = append(s.spare, v)
+		s.vehicles[i] = nil
 	}
-	s.ticker = des.NewTicker(cfg.Kernel, step, des.PriorityLast, s.step)
-	return s, nil
+	s.vehicles = s.vehicles[:0]
+	clear(s.byID)
+	clear(s.collided)
+	// Hooks and listeners hold closures into the previous experiment's
+	// object graph; nil the slots so the retained arrays do not pin it.
+	for i := range s.pre {
+		s.pre[i] = nil
+	}
+	s.pre = s.pre[:0]
+	for i := range s.post {
+		s.post[i] = nil
+	}
+	s.post = s.post[:0]
+	for i := range s.onCollision {
+		s.onCollision[i] = nil
+	}
+	s.onCollision = s.onCollision[:0]
+	s.collisions = s.collisions[:0]
+	s.ticker.Rebind(cfg.Kernel, step)
+	s.started = false
+	return nil
 }
 
 // AddVehicle inserts a vehicle into the simulation. Vehicles must be
-// added before Start.
+// added before Start. Vehicles detached by a prior Reset are recycled.
 func (s *Simulator) AddVehicle(spec vehicle.Spec, st vehicle.State) (*vehicle.Vehicle, error) {
 	if s.started {
 		return nil, ErrStarted
@@ -98,9 +139,21 @@ func (s *Simulator) AddVehicle(spec vehicle.Spec, st vehicle.State) (*vehicle.Ve
 	if _, dup := s.byID[spec.ID]; dup {
 		return nil, fmt.Errorf("%w: %q", ErrDuplicateVehicle, spec.ID)
 	}
-	v, err := vehicle.New(spec, st)
-	if err != nil {
-		return nil, err
+	var v *vehicle.Vehicle
+	if n := len(s.spare); n > 0 {
+		v = s.spare[n-1]
+		s.spare[n-1] = nil
+		s.spare = s.spare[:n-1]
+		if err := v.Reset(spec, st); err != nil {
+			s.spare = append(s.spare, v)
+			return nil, err
+		}
+	} else {
+		var err error
+		v, err = vehicle.New(spec, st)
+		if err != nil {
+			return nil, err
+		}
 	}
 	s.vehicles = append(s.vehicles, v)
 	s.byID[spec.ID] = v
@@ -184,39 +237,52 @@ func (s *Simulator) step() {
 // (SUMO collision.action = "stop"), so trailing traffic may subsequently
 // pile into the wreck — the effect the paper observes on Vehicles 3/4.
 func (s *Simulator) detectCollisions(now des.Time) {
-	byLane := make(map[int][]*vehicle.Vehicle, 4)
-	for _, v := range s.vehicles {
-		byLane[v.State.Lane] = append(byLane[v.State.Lane], v)
+	if len(s.vehicles) < 2 {
+		return
 	}
-	for lane, vs := range byLane {
-		if len(vs) < 2 {
+	// Sort a retained scratch copy by (lane, position): no per-step map or
+	// closure allocations, and lanes are visited in a deterministic order
+	// (the old per-lane map iterated in random order, which could permute
+	// same-step collision reports across lanes).
+	s.laneScratch = append(s.laneScratch[:0], s.vehicles...)
+	slices.SortStableFunc(s.laneScratch, func(a, b *vehicle.Vehicle) int {
+		if a.State.Lane != b.State.Lane {
+			return a.State.Lane - b.State.Lane
+		}
+		switch {
+		case a.State.Pos < b.State.Pos:
+			return -1
+		case a.State.Pos > b.State.Pos:
+			return 1
+		}
+		return 0
+	})
+	for i := 0; i+1 < len(s.laneScratch); i++ {
+		rear, front := s.laneScratch[i], s.laneScratch[i+1]
+		if rear.State.Lane != front.State.Lane {
 			continue
 		}
-		sort.Slice(vs, func(i, j int) bool { return vs[i].State.Pos < vs[j].State.Pos })
-		for i := 0; i+1 < len(vs); i++ {
-			rear, front := vs[i], vs[i+1]
-			if rear.State.Pos < front.State.Rear(front.Spec.Length) {
-				continue // gap open
-			}
-			pair := rear.Spec.ID + "|" + front.Spec.ID
-			if s.collided[pair] {
-				continue
-			}
-			s.collided[pair] = true
-			c := Collision{
-				Time:     now,
-				Collider: rear.Spec.ID,
-				Victim:   front.Spec.ID,
-				Lane:     lane,
-				Pos:      rear.State.Pos,
-				RelSpeed: rear.State.Speed - front.State.Speed,
-			}
-			rear.Halt()
-			front.Halt()
-			s.collisions = append(s.collisions, c)
-			for _, f := range s.onCollision {
-				f(c)
-			}
+		if rear.State.Pos < front.State.Rear(front.Spec.Length) {
+			continue // gap open
+		}
+		pair := rear.Spec.ID + "|" + front.Spec.ID
+		if s.collided[pair] {
+			continue
+		}
+		s.collided[pair] = true
+		c := Collision{
+			Time:     now,
+			Collider: rear.Spec.ID,
+			Victim:   front.Spec.ID,
+			Lane:     rear.State.Lane,
+			Pos:      rear.State.Pos,
+			RelSpeed: rear.State.Speed - front.State.Speed,
+		}
+		rear.Halt()
+		front.Halt()
+		s.collisions = append(s.collisions, c)
+		for _, f := range s.onCollision {
+			f(c)
 		}
 	}
 }

@@ -117,6 +117,17 @@ func New(spec Spec, st State) (*Vehicle, error) {
 	return &Vehicle{Spec: spec, State: st}, nil
 }
 
+// Reset reinitialises the vehicle in place as if freshly constructed by
+// New(spec, st) — the reuse hook that lets the traffic simulator recycle
+// vehicle objects across experiments instead of reallocating them.
+func (v *Vehicle) Reset(spec Spec, st State) error {
+	if err := spec.Validate(); err != nil {
+		return fmt.Errorf("vehicle %q: %w", spec.ID, err)
+	}
+	*v = Vehicle{Spec: spec, State: st}
+	return nil
+}
+
 // Command sets the desired acceleration for subsequent steps. The value
 // is clamped to the vehicle's physical envelope at actuation time.
 func (v *Vehicle) Command(accel float64) {

@@ -1,0 +1,33 @@
+#!/bin/sh
+# Perf harness: run the hot-path benchmark suite, emit machine-readable
+# bench/BENCH_<date>.{txt,json}, and compare against the committed
+# baseline (bench/BENCH_baseline.*). Uses benchstat when installed and
+# falls back to the dependency-free scripts/benchjson.go comparator.
+#
+# Environment knobs:
+#   COUNT=10       -count repetitions per benchmark
+#   BENCH=regexp   benchmark selection (default: the regression trio)
+set -eu
+cd "$(dirname "$0")/.."
+
+COUNT="${COUNT:-10}"
+BENCH="${BENCH:-BenchmarkExperiment\$|BenchmarkKernelThroughput\$|BenchmarkFig4GoldenRun\$}"
+DATE="$(date +%Y-%m-%d)"
+mkdir -p bench
+TXT="bench/BENCH_${DATE}.txt"
+JSON="bench/BENCH_${DATE}.json"
+
+echo "==> go test -bench '$BENCH' -count $COUNT"
+go test -run '^$' -bench "$BENCH" -benchmem -count "$COUNT" . | tee "$TXT"
+
+echo "==> writing $JSON"
+go run scripts/benchjson.go -in "$TXT" -out "$JSON"
+
+if [ -f bench/BENCH_baseline.json ]; then
+    echo "==> comparison vs bench/BENCH_baseline"
+    if command -v benchstat >/dev/null 2>&1 && [ -f bench/BENCH_baseline.txt ]; then
+        benchstat bench/BENCH_baseline.txt "$TXT"
+    else
+        go run scripts/benchjson.go -in "$TXT" -compare bench/BENCH_baseline.json
+    fi
+fi

@@ -1,0 +1,212 @@
+//go:build ignore
+
+// Benchjson converts `go test -bench` text output into machine-readable
+// JSON and compares two runs benchstat-style. It exists so the perf
+// harness works on machines without golang.org/x/perf/cmd/benchstat
+// installed (this repo adds no external dependencies).
+//
+// Usage:
+//
+//	go run scripts/benchjson.go -in bench.txt -out BENCH_2026-08-06.json
+//	go run scripts/benchjson.go -in bench.txt -compare bench/BENCH_baseline.json
+//
+// The JSON carries the per-benchmark median of every metric across
+// repeated -count runs (medians are robust against scheduler noise in
+// single runs), plus the run context (goos/goarch/pkg/cpu).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Report is the serialised form of one benchmark run.
+type Report struct {
+	Context    map[string]string `json:"context"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+}
+
+// Benchmark is the aggregated result of one benchmark across -count runs.
+type Benchmark struct {
+	Name string `json:"name"`
+	// Runs is the number of -count repetitions aggregated.
+	Runs int `json:"runs"`
+	// Metrics maps a unit ("ns/op", "B/op", "allocs/op", custom units)
+	// to the median value across runs.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	in := flag.String("in", "", "benchmark text input (default stdin)")
+	out := flag.String("out", "", "write aggregated JSON to this file")
+	compare := flag.String("compare", "", "baseline JSON to diff the input against")
+	flag.Parse()
+
+	r := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	rep, err := parse(r)
+	if err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if *compare != "" {
+		data, err := os.ReadFile(*compare)
+		if err != nil {
+			fatal(err)
+		}
+		var base Report
+		if err := json.Unmarshal(data, &base); err != nil {
+			fatal(fmt.Errorf("%s: %w", *compare, err))
+		}
+		diff(os.Stdout, base, rep)
+	}
+	if *out == "" && *compare == "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(data))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+// parse reads go-test benchmark output: context header lines
+// ("goos: linux") and result lines ("BenchmarkX-8  N  12.3 ns/op ...").
+func parse(r io.Reader) (Report, error) {
+	rep := Report{Context: map[string]string{}}
+	samples := map[string]map[string][]float64{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+				if v, ok := strings.CutPrefix(line, key+": "); ok {
+					rep.Context[key] = v
+				}
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		// name, iterations, then (value, unit) pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		// Strip the -GOMAXPROCS suffix so runs on different machines merge.
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		if _, seen := samples[name]; !seen {
+			samples[name] = map[string][]float64{}
+			order = append(order, name)
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			unit := fields[i+1]
+			samples[name][unit] = append(samples[name][unit], val)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return rep, err
+	}
+	if len(order) == 0 {
+		return rep, fmt.Errorf("no benchmark result lines found")
+	}
+	for _, name := range order {
+		b := Benchmark{Name: name, Metrics: map[string]float64{}}
+		for unit, vals := range samples[name] {
+			b.Metrics[unit] = median(vals)
+			if len(vals) > b.Runs {
+				b.Runs = len(vals)
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	return rep, nil
+}
+
+func median(vals []float64) float64 {
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// diff prints a benchstat-style old/new/delta table for the metrics both
+// reports share. Units where lower is better (all go-bench units) show a
+// negative delta as an improvement.
+func diff(w io.Writer, base, cur Report) {
+	baseBy := map[string]Benchmark{}
+	for _, b := range base.Benchmarks {
+		baseBy[b.Name] = b
+	}
+	fmt.Fprintf(w, "%-28s %-12s %14s %14s %9s\n", "benchmark", "metric", "old", "new", "delta")
+	for _, b := range cur.Benchmarks {
+		old, ok := baseBy[b.Name]
+		if !ok {
+			continue
+		}
+		units := make([]string, 0, len(b.Metrics))
+		for unit := range b.Metrics {
+			if _, shared := old.Metrics[unit]; shared {
+				units = append(units, unit)
+			}
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			ov, nv := old.Metrics[unit], b.Metrics[unit]
+			delta := "~"
+			if ov != 0 {
+				delta = fmt.Sprintf("%+.1f%%", (nv-ov)/ov*100)
+			}
+			fmt.Fprintf(w, "%-28s %-12s %14s %14s %9s\n",
+				b.Name, unit, formatVal(ov), formatVal(nv), delta)
+		}
+	}
+}
+
+func formatVal(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}

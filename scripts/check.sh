@@ -1,7 +1,9 @@
 #!/bin/sh
 # Tier-1 verification gate (same as `make check`): build + vet +
-# race-enabled tests. The campaign runner executes experiments on a
-# worker pool, so -race is part of the gate, not an optional extra.
+# race-enabled tests + a one-shot benchmark sanity pass. The campaign
+# runner executes experiments on a worker pool, so -race is part of the
+# gate, not an optional extra; the -benchtime=1x pass keeps the perf
+# harness compiling and executable without paying for a full measurement.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -11,4 +13,6 @@ echo "==> go vet ./..."
 go vet ./...
 echo "==> go test -race ./..."
 go test -race ./...
+echo "==> go test -bench . -benchtime 1x (sanity)"
+go test -run '^$' -bench . -benchtime 1x ./... >/dev/null
 echo "OK"
