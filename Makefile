@@ -1,13 +1,15 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-sanity
+.PHONY: check build vet test race chaos fuzz-smoke bench bench-sanity
 
-# Tier-1 verification gate: build + vet + race-enabled tests + a one-shot
-# benchmark sanity pass. The campaign runner executes experiments on a
-# worker pool, so the race detector is part of the default gate, not an
-# optional extra; the bench sanity run keeps the perf harness compiling
-# and executable without paying for a full measurement.
-check: build vet race bench-sanity
+# Tier-1 verification gate: build + vet + race-enabled tests (which
+# include the chaos self-test exercising every failure-containment path),
+# a short fuzz smoke over every fuzz target, and a one-shot benchmark
+# sanity pass. The campaign runner executes experiments on a worker pool,
+# so the race detector is part of the default gate, not an optional
+# extra; the bench sanity run keeps the perf harness compiling and
+# executable without paying for a full measurement.
+check: build vet race chaos fuzz-smoke bench-sanity
 
 build:
 	$(GO) build ./...
@@ -20,6 +22,23 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The chaos self-test by name, under the race detector: 200 experiments
+# with deterministically scheduled panics, hangs and NaN corruption must
+# quarantine every persistent failure and keep the healthy rows
+# byte-identical. `race` already covers it via ./...; the explicit target
+# keeps the gate honest even if package-level test filters change.
+chaos:
+	$(GO) test -race -run 'TestChaosCampaign' ./internal/runner
+
+# Short coverage-guided fuzz smoke on every fuzz target (the config
+# parser, the DES kernel scheduler, the shard designator). 5s per target
+# catches corpus regressions without slowing the gate meaningfully;
+# -run '^$$' skips the unit tests the race step already ran.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz 'FuzzParse$$' -fuzztime 5s ./internal/config
+	$(GO) test -run '^$$' -fuzz 'FuzzKernelSchedule' -fuzztime 5s ./internal/sim/des
+	$(GO) test -run '^$$' -fuzz 'FuzzParseShard' -fuzztime 5s ./internal/runner
 
 # Full perf measurement: repeated runs of the regression trio, a dated
 # bench/BENCH_<date>.{txt,json} artifact, and a comparison against the

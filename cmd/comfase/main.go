@@ -48,12 +48,58 @@ import (
 	"comfase/internal/trace"
 )
 
+// errInterrupted marks a campaign cut short by SIGINT/SIGTERM: partial
+// results were flushed and the operator was told how to resume, but the
+// grid is incomplete, so the exit code must say so.
+var errInterrupted = errors.New("interrupted")
+
+// Exit codes. Scripts driving long campaigns branch on these.
+const (
+	exitOK          = 0   // campaign (or other subcommand) completed
+	exitError       = 1   // config, I/O or execution error
+	exitInterrupted = 2   // SIGINT/SIGTERM; partial results flushed
+	exitBudget      = 3   // persistent failures exceeded -max-failures
+	exitForced      = 130 // second SIGINT: immediate forced exit
+)
+
+// forceExit is swapped out by tests of the double-SIGINT path.
+var forceExit = os.Exit
+
 func main() {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go watchSignals(sigs, cancel)
+	os.Exit(exitCode(run(ctx, os.Args[1:], os.Stdout)))
+}
+
+// watchSignals implements the two-stage shutdown: the first signal
+// cancels the context (graceful — the runner flushes partial results and
+// run returns errInterrupted); a second signal means the operator wants
+// out NOW and force-exits without waiting for the flush.
+func watchSignals(sigs <-chan os.Signal, cancel context.CancelFunc) {
+	<-sigs
+	cancel()
+	<-sigs
+	forceExit(exitForced)
+}
+
+// exitCode maps run's error to the process exit code and prints the
+// error for the plain-failure case.
+func exitCode(err error) int {
+	switch {
+	case err == nil:
+		return exitOK
+	case errors.Is(err, errInterrupted):
+		// The campaign already printed the resume instructions.
+		return exitInterrupted
+	case errors.Is(err, runner.ErrFailureBudget):
 		fmt.Fprintln(os.Stderr, "comfase:", err)
-		os.Exit(1)
+		return exitBudget
+	default:
+		fmt.Fprintln(os.Stderr, "comfase:", err)
+		return exitError
 	}
 }
 
@@ -91,10 +137,19 @@ Subcommands:
             flags: -config FILE (required), -out FILE, -v (progress),
                    -workers N (0 = all cores), -shard i/n (grid slice),
                    -results FILE (stream per-experiment CSV rows; resume source),
-                   -resume (skip experiments already in -results),
+                   -resume (skip experiments already in -results and -quarantine),
                    -jsonl FILE (stream JSON-lines results),
+                   -retries N (re-run failed experiments before quarantining),
+                   -max-failures N (failure budget; 0 = fail fast, -1 = unlimited),
+                   -experiment-timeout D (per-experiment watchdog, e.g. 30s),
+                   -event-budget N (per-experiment kernel event cap),
+                   -invariants (runtime NaN/position/overlap checks),
+                   -quarantine FILE (append persistent failures as JSON lines),
                    -cpuprofile FILE, -memprofile FILE (pprof output)
-            SIGINT flushes partial results to -results and exits cleanly.
+            the first SIGINT flushes partial results to -results and exits
+            cleanly; a second SIGINT force-exits immediately.
+            exit codes: 0 complete, 1 error, 2 interrupted,
+                        3 failure budget exceeded, 130 forced exit
   merge     merge per-shard result CSVs into one file ordered by expNr
             flags: -out FILE (required), then the shard CSV paths
 `)
@@ -202,10 +257,22 @@ func runCampaign(ctx context.Context, args []string, stdout io.Writer) error {
 	jsonlPath := fs.String("jsonl", "", "stream per-experiment results to this JSON-lines file")
 	shardSpec := fs.String("shard", "", `grid slice "i/n" this process executes (merge files with: comfase merge)`)
 	resume := fs.Bool("resume", false, "skip experiments already recorded in the results file")
+	retries := fs.Int("retries", 0, "re-run a failed experiment up to N times before quarantining it")
+	maxFailures := fs.Int("max-failures", 0, "persistent failures tolerated before aborting (0 = fail fast, negative = unlimited)")
+	experimentTimeout := fs.Duration("experiment-timeout", 0, "per-experiment wall-clock watchdog (0 = none)")
+	eventBudget := fs.Uint64("event-budget", 0, "per-experiment kernel event cap (0 = unlimited)")
+	invariants := fs.Bool("invariants", false, "enable runtime invariant checks in every simulation step")
+	quarantinePath := fs.String("quarantine", "", "append persistent-failure records to this JSON-lines file")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *retries < 0 {
+		return fmt.Errorf("campaign: negative -retries %d", *retries)
+	}
+	if *experimentTimeout < 0 {
+		return fmt.Errorf("campaign: negative -experiment-timeout %v", *experimentTimeout)
 	}
 	if *cfgPath == "" {
 		return fmt.Errorf("campaign: -config is required")
@@ -230,7 +297,14 @@ func runCampaign(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 
 	// Flags override config-file runtime settings.
-	opts := runner.Options{Workers: parsed.Runtime.Workers, Shard: parsed.Runtime.Shard}
+	opts := runner.Options{
+		Workers:           parsed.Runtime.Workers,
+		Shard:             parsed.Runtime.Shard,
+		Retries:           parsed.Runtime.Retries,
+		RetryBackoff:      parsed.Runtime.RetryBackoff,
+		ExperimentTimeout: parsed.Runtime.ExperimentTimeout,
+		MaxFailures:       parsed.Runtime.MaxFailures,
+	}
 	explicit := map[string]bool{}
 	fs.Visit(func(fl *flag.Flag) { explicit[fl.Name] = true })
 	if explicit["workers"] || opts.Workers == 0 {
@@ -243,6 +317,25 @@ func runCampaign(ctx context.Context, args []string, stdout io.Writer) error {
 		if opts.Shard, err = runner.ParseShard(*shardSpec); err != nil {
 			return err
 		}
+	}
+	if explicit["retries"] {
+		opts.Retries = *retries
+	}
+	if explicit["max-failures"] {
+		opts.MaxFailures = *maxFailures
+	}
+	if explicit["experiment-timeout"] {
+		opts.ExperimentTimeout = *experimentTimeout
+	}
+	if explicit["invariants"] {
+		parsed.Engine.Invariants = *invariants
+	}
+	if explicit["event-budget"] {
+		parsed.Engine.EventBudget = *eventBudget
+	}
+	quarantine := parsed.Runtime.QuarantineFile
+	if explicit["quarantine"] {
+		quarantine = *quarantinePath
 	}
 	results := parsed.Runtime.ResultsFile
 	switch {
@@ -262,6 +355,13 @@ func runCampaign(ctx context.Context, args []string, stdout io.Writer) error {
 		if opts.Resume, err = runner.ReadResultsFile(results); err != nil {
 			return err
 		}
+		if quarantine != "" {
+			// Quarantined grid points are not retried on resume; delete
+			// the quarantine file to re-execute them.
+			if opts.ResumeFailures, err = runner.ReadQuarantineFile(quarantine); err != nil {
+				return err
+			}
+		}
 	}
 	if results != "" {
 		sink, closeSink, err := openResultsSink(results, len(opts.Resume) > 0)
@@ -270,6 +370,20 @@ func runCampaign(ctx context.Context, args []string, stdout io.Writer) error {
 		}
 		defer closeSink()
 		sinks = append(sinks, sink)
+	}
+	if quarantine != "" {
+		// Resume runs append below the prior records; fresh runs truncate,
+		// like the results sink.
+		mode := os.O_CREATE | os.O_WRONLY | os.O_TRUNC
+		if *resume {
+			mode = os.O_CREATE | os.O_WRONLY | os.O_APPEND
+		}
+		qf, err := os.OpenFile(quarantine, mode, 0o644)
+		if err != nil {
+			return err
+		}
+		defer qf.Close()
+		opts.Quarantine = runner.NewQuarantineSink(qf)
 	}
 	if *jsonlPath != "" {
 		jf, err := os.Create(*jsonlPath)
@@ -309,9 +423,16 @@ func runCampaign(ctx context.Context, args []string, stdout io.Writer) error {
 			if results != "" {
 				fmt.Fprintf(stdout, "partial results flushed to %s; continue with -resume\n", results)
 			}
-			return nil
+			return errInterrupted
 		}
 		return err
+	}
+	if n := res.FailureCounts.Total(); n > 0 {
+		fmt.Fprintf(stdout, "%d experiment(s) quarantined (%v)", n, res.FailureCounts)
+		if quarantine != "" {
+			fmt.Fprintf(stdout, "; records in %s", quarantine)
+		}
+		fmt.Fprintln(stdout)
 	}
 
 	out := stdout

@@ -2,10 +2,15 @@ package main
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"comfase/internal/runner"
 )
 
 func bg() context.Context { return context.Background() }
@@ -188,13 +193,18 @@ func TestRunCampaignInterruptAndResume(t *testing.T) {
 	}
 
 	// Cancel the context up front: the runner aborts before completing
-	// the grid, flushes whatever finished, and run() exits cleanly.
+	// the grid, flushes whatever finished, and run() reports the
+	// interruption (exit code 2) rather than a hard error.
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	partial := filepath.Join(dir, "run.csv")
 	var sb strings.Builder
-	if err := run(ctx, []string{"campaign", "-config", cfg, "-results", partial}, &sb); err != nil {
-		t.Fatalf("interrupted campaign returned error: %v", err)
+	err := run(ctx, []string{"campaign", "-config", cfg, "-results", partial}, &sb)
+	if !errors.Is(err, errInterrupted) {
+		t.Fatalf("interrupted campaign returned %v, want errInterrupted", err)
+	}
+	if exitCode(err) != exitInterrupted {
+		t.Fatalf("exitCode(%v) = %d, want %d", err, exitCode(err), exitInterrupted)
 	}
 	if !strings.Contains(sb.String(), "interrupted") || !strings.Contains(sb.String(), "-resume") {
 		t.Errorf("interrupt message missing: %q", sb.String())
@@ -218,6 +228,123 @@ func TestRunCampaignInterruptAndResume(t *testing.T) {
 	}
 	if string(want) != string(got) {
 		t.Errorf("resumed results differ from uninterrupted run:\nref:\n%s\ngot:\n%s", want, got)
+	}
+}
+
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, exitOK},
+		{errors.New("boom"), exitError},
+		{fmt.Errorf("campaign: %w", errInterrupted), exitInterrupted},
+		{fmt.Errorf("campaign: %w: too many", runner.ErrFailureBudget), exitBudget},
+	}
+	for _, c := range cases {
+		if got := exitCode(c.err); got != c.want {
+			t.Errorf("exitCode(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+// TestWatchSignalsForceExit drives the two-stage shutdown: the first
+// signal cancels gracefully, the second force-exits with code 130.
+func TestWatchSignalsForceExit(t *testing.T) {
+	exited := make(chan int, 1)
+	orig := forceExit
+	forceExit = func(code int) { exited <- code }
+	defer func() { forceExit = orig }()
+
+	sigs := make(chan os.Signal, 2)
+	cancelled := make(chan struct{})
+	go watchSignals(sigs, func() { close(cancelled) })
+
+	sigs <- os.Interrupt
+	select {
+	case <-cancelled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first signal did not cancel")
+	}
+	select {
+	case code := <-exited:
+		t.Fatalf("first signal force-exited with %d", code)
+	default:
+	}
+
+	sigs <- os.Interrupt
+	select {
+	case code := <-exited:
+		if code != exitForced {
+			t.Errorf("forced exit code = %d, want %d", code, exitForced)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("second signal did not force-exit")
+	}
+}
+
+// TestRunCampaignFailureBudgetCLI drives the containment flags end to
+// end: a tiny -event-budget makes every experiment fail, the default
+// failure budget aborts with the dedicated exit code, -max-failures -1
+// streams past the failures into the quarantine file, and -resume skips
+// the quarantined points.
+func TestRunCampaignFailureBudgetCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs experiments in -short mode")
+	}
+	dir := t.TempDir()
+	cfg := writeGridConfig(t, dir)
+	quarantine := filepath.Join(dir, "quarantine.jsonl")
+	results := filepath.Join(dir, "run.csv")
+
+	// Default -max-failures 0: the first persistent failure aborts.
+	err := run(bg(), []string{"campaign", "-config", cfg,
+		"-event-budget", "100", "-quarantine", quarantine}, &strings.Builder{})
+	if !errors.Is(err, runner.ErrFailureBudget) {
+		t.Fatalf("fail-fast run returned %v, want ErrFailureBudget", err)
+	}
+	if exitCode(err) != exitBudget {
+		t.Fatalf("exitCode = %d, want %d", exitCode(err), exitBudget)
+	}
+
+	// Unlimited budget: the campaign completes and quarantines all 4.
+	var sb strings.Builder
+	if err := run(bg(), []string{"campaign", "-config", cfg,
+		"-event-budget", "100", "-max-failures", "-1",
+		"-results", results, "-quarantine", quarantine}, &sb); err != nil {
+		t.Fatalf("unlimited-budget run: %v", err)
+	}
+	if !strings.Contains(sb.String(), "4 experiment(s) quarantined") ||
+		!strings.Contains(sb.String(), "event-budget=4") {
+		t.Errorf("missing quarantine summary: %q", sb.String())
+	}
+	recs, err := runner.ReadQuarantineFile(quarantine)
+	if err != nil {
+		t.Fatalf("ReadQuarantineFile: %v", err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("quarantine has %d records, want 4", len(recs))
+	}
+	for nr, f := range recs {
+		if f.Class != "event-budget" {
+			t.Errorf("expNr %d class = %q, want event-budget", nr, f.Class)
+		}
+	}
+
+	// Resume: quarantined points are skipped, nothing is re-run and the
+	// quarantine file is not re-appended.
+	var sb2 strings.Builder
+	if err := run(bg(), []string{"campaign", "-config", cfg,
+		"-event-budget", "100", "-max-failures", "0",
+		"-results", results, "-quarantine", quarantine, "-resume"}, &sb2); err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	recs2, err := runner.ReadQuarantineFile(quarantine)
+	if err != nil {
+		t.Fatalf("ReadQuarantineFile after resume: %v", err)
+	}
+	if len(recs2) != 4 {
+		t.Errorf("quarantine grew to %d records on resume, want 4", len(recs2))
 	}
 }
 

@@ -155,11 +155,16 @@ func WriteColliderTable(w io.Writer, shares []ColliderShare) error {
 	return nil
 }
 
-// SummaryLine renders the §IV-C1-style one-line campaign summary.
+// SummaryLine renders the §IV-C1-style one-line campaign summary. When
+// experiments were quarantined, the per-class failure tally is appended
+// so an incomplete grid is visible at a glance.
 func SummaryLine(res *core.CampaignResult) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%d experiments: %v (golden max decel %.2f m/s^2)",
 		len(res.Experiments), res.Counts, res.Golden.MaxDecel)
+	if n := res.FailureCounts.Total(); n > 0 {
+		fmt.Fprintf(&b, "; %d quarantined: %v", n, res.FailureCounts)
+	}
 	return b.String()
 }
 

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"time"
 
 	"comfase/internal/core"
 	"comfase/internal/phy"
@@ -361,6 +362,33 @@ type RuntimeConfig struct {
 	// CancelCheckEvents is the DES-kernel cancellation poll granularity
 	// (0 = the des package default).
 	CancelCheckEvents uint64 `json:"cancelCheckEvents,omitempty"`
+
+	// Retries is how many times a failed experiment is re-executed on a
+	// fresh workspace before it is quarantined (0 = none).
+	Retries int `json:"retries,omitempty"`
+	// RetryBackoffMS is the base pause in milliseconds before retry k
+	// (linear backoff; 0 retries immediately).
+	RetryBackoffMS int `json:"retryBackoffMS,omitempty"`
+	// ExperimentTimeoutS is the per-attempt wall-clock watchdog in
+	// seconds; an attempt exceeding it is quarantined as a "timeout"
+	// failure (0 disables the watchdog).
+	ExperimentTimeoutS float64 `json:"experimentTimeoutS,omitempty"`
+	// MaxFailures is the campaign failure budget: how many persistently
+	// failed experiments are tolerated before the run aborts. 0 (the
+	// default) aborts on the first persistent failure; negative streams
+	// past any number of failures.
+	MaxFailures int `json:"maxFailures,omitempty"`
+	// QuarantineFile appends the JSON-lines record of every persistent
+	// failure to this path; with -resume it is also read back to skip
+	// already-quarantined grid points.
+	QuarantineFile string `json:"quarantineFile,omitempty"`
+	// Invariants enables the runtime invariant checks (NaN/Inf state,
+	// position reversal, unhandled overlap) inside every simulation step.
+	Invariants bool `json:"invariants,omitempty"`
+	// EventBudget caps the number of kernel events one experiment may
+	// execute; exceeding it quarantines the experiment as an
+	// "event-budget" failure (0 = unlimited).
+	EventBudget uint64 `json:"eventBudget,omitempty"`
 }
 
 // Build validates the runtime settings.
@@ -375,14 +403,33 @@ func (r RuntimeConfig) Build() (RuntimeSettings, error) {
 		}
 		out.Shard = sh
 	}
+	if r.Retries < 0 {
+		return RuntimeSettings{}, fmt.Errorf("config: negative retries %d", r.Retries)
+	}
+	out.Retries = r.Retries
+	if r.RetryBackoffMS < 0 {
+		return RuntimeSettings{}, fmt.Errorf("config: negative retryBackoffMS %d", r.RetryBackoffMS)
+	}
+	out.RetryBackoff = time.Duration(r.RetryBackoffMS) * time.Millisecond
+	if r.ExperimentTimeoutS < 0 {
+		return RuntimeSettings{}, fmt.Errorf("config: negative experimentTimeoutS %g", r.ExperimentTimeoutS)
+	}
+	out.ExperimentTimeout = time.Duration(r.ExperimentTimeoutS * float64(time.Second))
+	out.MaxFailures = r.MaxFailures
+	out.QuarantineFile = r.QuarantineFile
 	return out, nil
 }
 
 // RuntimeSettings is the validated campaign-runtime configuration.
 type RuntimeSettings struct {
-	Workers     int
-	Shard       runner.Shard
-	ResultsFile string
+	Workers           int
+	Shard             runner.Shard
+	ResultsFile       string
+	Retries           int
+	RetryBackoff      time.Duration
+	ExperimentTimeout time.Duration
+	MaxFailures       int
+	QuarantineFile    string
 }
 
 // File is a complete experiment description.
@@ -469,6 +516,8 @@ func BuildFile(f File) (*Parsed, error) {
 			Controllers:       factory,
 			Seed:              seed,
 			CancelCheckEvents: f.Runtime.CancelCheckEvents,
+			Invariants:        f.Runtime.Invariants,
+			EventBudget:       f.Runtime.EventBudget,
 		},
 		Campaign: setup,
 		Runtime:  rt,

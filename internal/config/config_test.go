@@ -4,6 +4,7 @@ import (
 	"math"
 	"strings"
 	"testing"
+	"time"
 
 	"comfase/internal/core"
 	"comfase/internal/runner"
@@ -295,7 +296,14 @@ func TestRuntimeConfigBuild(t *testing.T) {
 	    "workers": 4,
 	    "shard": "2/4",
 	    "resultsFile": "out.csv",
-	    "cancelCheckEvents": 1024
+	    "cancelCheckEvents": 1024,
+	    "retries": 2,
+	    "retryBackoffMS": 250,
+	    "experimentTimeoutS": 30,
+	    "maxFailures": -1,
+	    "quarantineFile": "quarantine.jsonl",
+	    "invariants": true,
+	    "eventBudget": 500000
 	  }
 	}`
 	p, err := Parse(strings.NewReader(doc))
@@ -314,6 +322,18 @@ func TestRuntimeConfigBuild(t *testing.T) {
 	if p.Engine.CancelCheckEvents != 1024 {
 		t.Errorf("cancelCheckEvents = %d, want 1024", p.Engine.CancelCheckEvents)
 	}
+	if p.Runtime.Retries != 2 || p.Runtime.RetryBackoff != 250*time.Millisecond {
+		t.Errorf("retries = %d backoff = %v, want 2/250ms", p.Runtime.Retries, p.Runtime.RetryBackoff)
+	}
+	if p.Runtime.ExperimentTimeout != 30*time.Second {
+		t.Errorf("experimentTimeout = %v, want 30s", p.Runtime.ExperimentTimeout)
+	}
+	if p.Runtime.MaxFailures != -1 || p.Runtime.QuarantineFile != "quarantine.jsonl" {
+		t.Errorf("maxFailures = %d quarantineFile = %q", p.Runtime.MaxFailures, p.Runtime.QuarantineFile)
+	}
+	if !p.Engine.Invariants || p.Engine.EventBudget != 500000 {
+		t.Errorf("invariants = %v eventBudget = %d, want true/500000", p.Engine.Invariants, p.Engine.EventBudget)
+	}
 }
 
 func TestRuntimeConfigDefaultsAndErrors(t *testing.T) {
@@ -329,5 +349,14 @@ func TestRuntimeConfigDefaultsAndErrors(t *testing.T) {
 	}
 	if _, err := (RuntimeConfig{Shard: "nope"}).Build(); err == nil {
 		t.Error("malformed shard accepted")
+	}
+	if _, err := (RuntimeConfig{Retries: -1}).Build(); err == nil {
+		t.Error("negative retries accepted")
+	}
+	if _, err := (RuntimeConfig{RetryBackoffMS: -1}).Build(); err == nil {
+		t.Error("negative retry backoff accepted")
+	}
+	if _, err := (RuntimeConfig{ExperimentTimeoutS: -1}).Build(); err == nil {
+		t.Error("negative experiment timeout accepted")
 	}
 }

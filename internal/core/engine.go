@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 
 	"comfase/internal/classify"
@@ -33,6 +34,21 @@ type EngineConfig struct {
 	// context, the kernel checks it every this many events. Zero selects
 	// des.DefaultInterruptEvery.
 	CancelCheckEvents uint64
+	// Invariants enables the per-step runtime sanity checks of
+	// internal/invariant in every simulation this engine builds. A
+	// violation aborts the experiment with an error wrapping
+	// invariant.ErrInvariant instead of silently producing a bogus
+	// classification.
+	Invariants bool
+	// EventBudget, when non-zero, caps the kernel events any single
+	// simulation may deliver. An experiment whose event loop runs away
+	// (a buggy attack model rescheduling itself at the current time, for
+	// example) aborts deterministically with des.ErrBudgetExceeded
+	// instead of hanging the worker. The budget is checked on the same
+	// cadence as CancelCheckEvents. It applies to experiments only; the
+	// attack-free golden run is exempt, so a budget sized for the
+	// attacked grid can never kill the reference it is compared against.
+	EventBudget uint64
 }
 
 // Engine is the ComFASE engine: it owns a validated configuration and
@@ -111,6 +127,12 @@ type CampaignResult struct {
 	Experiments []ExperimentResult
 	// Counts tallies the outcome classes.
 	Counts classify.Counts
+	// Failures lists the experiments that failed persistently (all
+	// retries exhausted) and were excluded from Experiments, in expNr
+	// order. Empty on a clean campaign.
+	Failures []ExperimentFailure
+	// FailureCounts tallies Failures by class.
+	FailureCounts FailureCounts
 }
 
 // Progress receives (completed, total) notifications during a campaign.
@@ -132,6 +154,10 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 			return nil, err
 		}
 	}
+	// The engine-level flag fans out through the scenario config so every
+	// workspace build (golden run and experiments alike) checks the same
+	// invariants.
+	cfg.Scenario.Invariants = cfg.Scenario.Invariants || cfg.Invariants
 	e := &Engine{cfg: cfg}
 	e.pool.New = func() any {
 		return &workUnit{ws: scenario.NewWorkspace(), summary: new(trace.Summary)}
@@ -150,17 +176,37 @@ func (e *Engine) GoldenRun() (*trace.FullLog, GoldenResult, error) {
 }
 
 // GoldenRunCtx is GoldenRun with cooperative cancellation: a canceled ctx
-// aborts the simulation within CancelCheckEvents kernel events.
-func (e *Engine) GoldenRunCtx(ctx context.Context) (*trace.FullLog, GoldenResult, error) {
+// aborts the simulation within CancelCheckEvents kernel events. Like
+// experiment runs it executes inside the engine's panic boundary: a
+// panicking component surfaces as a *PanicError and the workspace is
+// discarded.
+func (e *Engine) GoldenRunCtx(ctx context.Context) (log *trace.FullLog, res GoldenResult, err error) {
 	u := e.acquireUnit()
+	keep := false
+	defer func() {
+		if r := recover(); r != nil {
+			// A panicked workspace may hold arbitrarily corrupted
+			// component state; it must never return to the pool.
+			keep = false
+			log, res = nil, GoldenResult{}
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+		if keep {
+			e.pool.Put(u)
+		}
+	}()
 	sim, err := u.ws.Build(e.cfg.Scenario, e.cfg.Comm, e.cfg.Seed, e.cfg.Controllers)
 	if err != nil {
 		// A failed build may leave the workspace half-reset; drop the unit.
 		return nil, GoldenResult{}, err
 	}
-	defer e.pool.Put(u)
+	keep = true
+	// The event budget is deliberately NOT applied here: it is a
+	// per-experiment watchdog sized against attack-model-induced runaway
+	// event loops, and the attack-free golden run must not be killed by a
+	// budget chosen for the experiments.
 	sim.AttachContext(ctx, e.cfg.CancelCheckEvents)
-	log := trace.NewFullLog(sim.VehicleIDs())
+	log = trace.NewFullLog(sim.VehicleIDs())
 	sim.AddRecorder(log)
 	if err := sim.Start(); err != nil {
 		return nil, GoldenResult{}, err
@@ -168,7 +214,7 @@ func (e *Engine) GoldenRunCtx(ctx context.Context) (*trace.FullLog, GoldenResult
 	if err := sim.RunUntil(e.cfg.Scenario.TotalSimTime); err != nil {
 		return nil, GoldenResult{}, err
 	}
-	res := GoldenResult{
+	res = GoldenResult{
 		MaxDecel:   log.MaxDeceleration(),
 		Collisions: sim.Traffic.Collisions(),
 		Deliveries: sim.Air.Stats().Deliveries,
@@ -178,7 +224,8 @@ func (e *Engine) GoldenRunCtx(ctx context.Context) (*trace.FullLog, GoldenResult
 		return nil, res, fmt.Errorf("core: golden run collided: %v", res.Collisions[0])
 	}
 	e.golden = log
-	e.goldenRes = &res
+	gr := res
+	e.goldenRes = &gr
 	if e.cfg.Thresholds != nil {
 		e.thresholds = *e.cfg.Thresholds
 	} else {
@@ -238,7 +285,7 @@ func (e *Engine) RunExperimentWithLog(spec ExperimentSpec) (ExperimentResult, *t
 	return e.runExperiment(context.Background(), spec, true)
 }
 
-func (e *Engine) runExperiment(ctx context.Context, spec ExperimentSpec, withLog bool) (ExperimentResult, *trace.FullLog, error) {
+func (e *Engine) runExperiment(ctx context.Context, spec ExperimentSpec, withLog bool) (res ExperimentResult, full *trace.FullLog, err error) {
 	if err := e.ensureGolden(ctx); err != nil {
 		return ExperimentResult{}, nil, err
 	}
@@ -246,22 +293,42 @@ func (e *Engine) runExperiment(ctx context.Context, spec ExperimentSpec, withLog
 		return ExperimentResult{}, nil, err
 	}
 	horizon := e.cfg.Scenario.TotalSimTime
+	u := e.acquireUnit()
+	keep := false
+	// The panic boundary of the failure-containment layer: a panic
+	// anywhere in the experiment (model factory, attack model,
+	// controller, kernel handler) converts to a *PanicError instead of
+	// crashing the campaign process, and the workspace — whose
+	// components may be in an arbitrarily corrupted state — is
+	// discarded, never returned to the pool.
+	defer func() {
+		if r := recover(); r != nil {
+			keep = false
+			res, full = ExperimentResult{}, nil
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+		if keep {
+			e.pool.Put(u)
+		}
+	}()
 	model, err := spec.buildModel(horizon, e.cfg.Seed)
 	if err != nil {
+		// The unit is untouched, but pool.Put on every early return is
+		// what ties keep-tracking to control flow; re-pool it here.
+		keep = true
 		return ExperimentResult{}, nil, err
 	}
-	u := e.acquireUnit()
 	sim, err := u.ws.Build(e.cfg.Scenario, e.cfg.Comm, e.cfg.Seed, e.cfg.Controllers)
 	if err != nil {
 		// A failed build may leave the workspace half-reset; drop the unit.
 		return ExperimentResult{}, nil, err
 	}
-	defer e.pool.Put(u)
+	keep = true
+	sim.Kernel.SetEventBudget(e.cfg.EventBudget)
 	sim.AttachContext(ctx, e.cfg.CancelCheckEvents)
 	summary := u.summary
 	summary.Reset(len(sim.Members), e.golden)
 	sim.AddRecorder(summary)
-	var full *trace.FullLog
 	if withLog {
 		full = trace.NewFullLog(sim.VehicleIDs())
 		sim.AddRecorder(full)
@@ -301,9 +368,9 @@ func (e *Engine) runExperiment(ctx context.Context, spec ExperimentSpec, withLog
 	if len(collisions) > 0 {
 		collider = collisions[0].Collider
 	}
-	res := ExperimentResult{
-		Spec:               spec,
-		MaxDecel:           summary.MaxDecelOverall(),
+	res = ExperimentResult{
+		Spec:     spec,
+		MaxDecel: summary.MaxDecelOverall(),
 		// The summary's backing array is recycled with the workspace, so
 		// the result must own a copy.
 		MaxDecelPerVehicle: summary.CopyMaxDecel(),

@@ -1,0 +1,104 @@
+// Package invariant provides the cheap runtime sanity checks the
+// simulation layers run while an experiment executes: finiteness of the
+// numeric state (no NaN/Inf), longitudinal position monotonicity
+// (vehicles never reverse), non-negative speed, and collision-handling
+// consistency (overlapping vehicles must have been halted).
+//
+// The checks exist because a fault-injection engine is itself exposed to
+// the corruption it studies: a buggy attack model, controller or
+// integrator can poison vehicle state with NaN and silently produce a
+// bogus — but perfectly well-formed — result row. With checks enabled
+// (core.EngineConfig.Invariants), corruption surfaces as a classified
+// ErrInvariant experiment failure instead.
+//
+// Every violation error wraps ErrInvariant, so callers classify with
+// errors.Is(err, invariant.ErrInvariant) without knowing the concrete
+// check that fired.
+package invariant
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrInvariant is the sentinel all violation errors wrap.
+var ErrInvariant = errors.New("invariant violated")
+
+// Violation describes one failed runtime check. It is an error and
+// unwraps to ErrInvariant.
+type Violation struct {
+	// Check names the invariant that failed ("finite", "monotonic-pos",
+	// "negative-speed", "unhandled-overlap").
+	Check string
+	// Subject identifies the checked entity (a vehicle ID, a field name).
+	Subject string
+	// Detail is the human-readable specifics (observed values).
+	Detail string
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("invariant %s violated for %s: %s", v.Check, v.Subject, v.Detail)
+}
+
+// Unwrap makes errors.Is(v, ErrInvariant) true.
+func (v *Violation) Unwrap() error { return ErrInvariant }
+
+// Finite reports whether x is neither NaN nor ±Inf.
+func Finite(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0)
+}
+
+// CheckFinite returns a Violation unless x is finite. subject names the
+// entity, field the checked quantity.
+func CheckFinite(subject, field string, x float64) error {
+	if Finite(x) {
+		return nil
+	}
+	return &Violation{
+		Check:   "finite",
+		Subject: subject,
+		Detail:  fmt.Sprintf("%s = %v", field, x),
+	}
+}
+
+// CheckMonotonicPos returns a Violation when cur < prev: longitudinal
+// positions may stall but never decrease (vehicles do not reverse).
+func CheckMonotonicPos(subject string, prev, cur float64) error {
+	if cur >= prev {
+		return nil
+	}
+	return &Violation{
+		Check:   "monotonic-pos",
+		Subject: subject,
+		Detail:  fmt.Sprintf("position moved backwards %v -> %v", prev, cur),
+	}
+}
+
+// CheckNonNegativeSpeed returns a Violation for a negative speed (the
+// integrator clamps speed at zero; a negative value means corruption).
+func CheckNonNegativeSpeed(subject string, speed float64) error {
+	if speed >= 0 {
+		return nil
+	}
+	return &Violation{
+		Check:   "negative-speed",
+		Subject: subject,
+		Detail:  fmt.Sprintf("speed = %v", speed),
+	}
+}
+
+// CheckHandledOverlap returns a Violation when two vehicles overlap
+// (negative gap) but were not both halted by collision handling — the
+// "vehicles drove through each other" corruption class.
+func CheckHandledOverlap(rear, front string, gap float64, bothHalted bool) error {
+	if gap >= 0 || bothHalted {
+		return nil
+	}
+	return &Violation{
+		Check:   "unhandled-overlap",
+		Subject: rear + "|" + front,
+		Detail:  fmt.Sprintf("gap = %v m with vehicles still moving", gap),
+	}
+}

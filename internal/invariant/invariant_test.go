@@ -1,0 +1,70 @@
+package invariant
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFinite(t *testing.T) {
+	for _, x := range []float64{0, -1, 1e300, math.SmallestNonzeroFloat64} {
+		if !Finite(x) {
+			t.Errorf("Finite(%v) = false", x)
+		}
+	}
+	for _, x := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if Finite(x) {
+			t.Errorf("Finite(%v) = true", x)
+		}
+	}
+}
+
+func TestChecksWrapSentinel(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+	}{
+		{"finite", CheckFinite("vehicle.2", "pos", math.NaN())},
+		{"monotonic", CheckMonotonicPos("vehicle.2", 10, 9)},
+		{"speed", CheckNonNegativeSpeed("vehicle.2", -0.5)},
+		{"overlap", CheckHandledOverlap("vehicle.3", "vehicle.2", -1.5, false)},
+	}
+	for _, c := range cases {
+		if c.err == nil {
+			t.Errorf("%s: expected a violation", c.name)
+			continue
+		}
+		if !errors.Is(c.err, ErrInvariant) {
+			t.Errorf("%s: %v does not wrap ErrInvariant", c.name, c.err)
+		}
+		var v *Violation
+		if !errors.As(c.err, &v) {
+			t.Errorf("%s: %v is not a *Violation", c.name, c.err)
+		}
+		if !strings.Contains(c.err.Error(), "vehicle.2") {
+			t.Errorf("%s: error %q does not name the subject", c.name, c.err)
+		}
+	}
+}
+
+func TestChecksPassOnHealthyState(t *testing.T) {
+	if err := CheckFinite("v", "pos", 123.4); err != nil {
+		t.Errorf("CheckFinite: %v", err)
+	}
+	if err := CheckMonotonicPos("v", 10, 10); err != nil {
+		t.Errorf("CheckMonotonicPos equal: %v", err)
+	}
+	if err := CheckMonotonicPos("v", 10, 10.1); err != nil {
+		t.Errorf("CheckMonotonicPos forward: %v", err)
+	}
+	if err := CheckNonNegativeSpeed("v", 0); err != nil {
+		t.Errorf("CheckNonNegativeSpeed: %v", err)
+	}
+	if err := CheckHandledOverlap("a", "b", 0.5, false); err != nil {
+		t.Errorf("CheckHandledOverlap open gap: %v", err)
+	}
+	if err := CheckHandledOverlap("a", "b", -0.5, true); err != nil {
+		t.Errorf("CheckHandledOverlap halted wreck: %v", err)
+	}
+}

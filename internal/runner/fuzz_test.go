@@ -1,0 +1,31 @@
+package runner
+
+import "testing"
+
+// FuzzParseShard checks that ParseShard never panics and that every
+// accepted designator is valid and round-trips through String: parsing
+// the rendered form again renders identically. (The disabled shard 0/0
+// renders "1/1", which parses back to the equivalent full-grid shard —
+// hence the String-of-String comparison.)
+func FuzzParseShard(f *testing.F) {
+	for _, seed := range []string{"1/1", "2/4", "0/0", "-1/3", "abc", "3/2", "1/1000000", " 1/2", "1/2 trailing"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		sh, err := ParseShard(s)
+		if err != nil {
+			return
+		}
+		if err := sh.Validate(); err != nil {
+			t.Fatalf("ParseShard(%q) accepted invalid shard %+v: %v", s, sh, err)
+		}
+		once := sh.String()
+		sh2, err := ParseShard(once)
+		if err != nil {
+			t.Fatalf("ParseShard(%q) round-trip rejected %q: %v", s, once, err)
+		}
+		if twice := sh2.String(); twice != once {
+			t.Fatalf("ParseShard(%q): String round-trip %q -> %q", s, once, twice)
+		}
+	})
+}

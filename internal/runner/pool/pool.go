@@ -9,7 +9,9 @@ package pool
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
 
@@ -45,6 +47,19 @@ func Run(ctx context.Context, n, workers int, fn func(ctx context.Context, i int
 		cancel()
 	}
 
+	// runJob is the pool's last-resort panic boundary: job code is
+	// expected to contain its own panics (core's experiment boundary
+	// does), but a panic that escapes anyway — from glue code around the
+	// experiment, say — must kill the job, not the process.
+	runJob := func(idx int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("pool: job %d panicked: %v\n%s", idx, r, debug.Stack())
+			}
+		}()
+		return fn(ctx, idx)
+	}
+
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -55,7 +70,7 @@ func Run(ctx context.Context, n, workers int, fn func(ctx context.Context, i int
 				if ctx.Err() != nil {
 					return
 				}
-				if err := fn(ctx, idx); err != nil {
+				if err := runJob(idx); err != nil {
 					fail(err)
 					return
 				}

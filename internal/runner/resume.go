@@ -19,6 +19,13 @@ import (
 // analysis.ExperimentsCSV / CSVSink) and returns the completed
 // experiments keyed by expNr — the input of Options.Resume.
 //
+// A truncated FINAL line — a run killed mid-write (power loss, SIGKILL)
+// leaves a partial record with no trailing newline — is tolerated and
+// dropped; the resume run simply re-executes that grid point. Malformed
+// records that are newline-terminated or have healthy successors, and
+// duplicate expNrs, remain hard errors — those indicate real corruption,
+// not an interrupted write.
+//
 // The reconstruction is lossy where the CSV is: MaxDecel/MaxSpeedDev
 // carry the file's 4-decimal precision, per-vehicle deceleration vectors
 // are gone, and the collision list is rebuilt only as far as its length
@@ -27,7 +34,8 @@ import (
 // attribution) — and resumed rows are never re-written to the result
 // file, so the on-disk record stays exact.
 func ReadResults(r io.Reader) (map[int]core.ExperimentResult, error) {
-	cr := csv.NewReader(r)
+	tail := &tailTracker{r: r}
+	cr := csv.NewReader(tail)
 	cr.FieldsPerRecord = len(analysis.ExperimentCSVHeader())
 	header, err := cr.Read()
 	if err == io.EOF {
@@ -40,16 +48,29 @@ func ReadResults(r io.Reader) (map[int]core.ExperimentResult, error) {
 		return nil, fmt.Errorf("runner: not a results file (header starts with %q)", header[0])
 	}
 	out := make(map[int]core.ExperimentResult)
+	// truncatedTail reports whether the malformed record just read is an
+	// interrupted final write: nothing follows it and the stream does
+	// not end with a newline.
+	truncatedTail := func() bool {
+		_, err := cr.Read()
+		return err == io.EOF && tail.last != '\n'
+	}
 	for line := 2; ; line++ {
 		rec, err := cr.Read()
 		if err == io.EOF {
 			return out, nil
 		}
 		if err != nil {
+			if truncatedTail() {
+				return out, nil // drop the partial record
+			}
 			return nil, fmt.Errorf("runner: results line %d: %w", line, err)
 		}
 		res, err := parseResultRecord(rec)
 		if err != nil {
+			if truncatedTail() {
+				return out, nil // drop the partial record
+			}
 			return nil, fmt.Errorf("runner: results line %d: %w", line, err)
 		}
 		if _, dup := out[res.Spec.Nr]; dup {
@@ -57,6 +78,22 @@ func ReadResults(r io.Reader) (map[int]core.ExperimentResult, error) {
 		}
 		out[res.Spec.Nr] = res
 	}
+}
+
+// tailTracker remembers the last byte delivered from the underlying
+// reader, so ReadResults can tell a truncated final write (no trailing
+// newline) from a complete-but-corrupt record.
+type tailTracker struct {
+	r    io.Reader
+	last byte
+}
+
+func (t *tailTracker) Read(p []byte) (int, error) {
+	n, err := t.r.Read(p)
+	if n > 0 {
+		t.last = p[n-1]
+	}
+	return n, err
 }
 
 func parseResultRecord(rec []string) (core.ExperimentResult, error) {

@@ -24,12 +24,20 @@ package runner
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"comfase/internal/core"
 	"comfase/internal/runner/pool"
 )
+
+// ErrFailureBudget is wrapped by Run's error when persistent experiment
+// failures exceed Options.MaxFailures. The triggering experiment error is
+// wrapped alongside it, so both errors.Is(err, ErrFailureBudget) and
+// errors.Is(err, <cause>) hold.
+var ErrFailureBudget = errors.New("runner: failure budget exceeded")
 
 // Shard selects a deterministic 1-based slice i/n of the campaign grid:
 // the grid points whose expNr ≡ Index-1 (mod Count). Round-robin
@@ -104,6 +112,39 @@ type Options struct {
 	// re-executed and not re-emitted to sinks; they do appear in the
 	// returned CampaignResult.
 	Resume map[int]core.ExperimentResult
+
+	// Retries is how many times a failed experiment is re-executed
+	// before it is quarantined (0 = no retries). Every attempt runs on a
+	// fresh workspace, so transient corruption does not leak between
+	// attempts.
+	Retries int
+	// RetryBackoff is the base pause before retry k (linear: the k-th
+	// retry waits k*RetryBackoff). Zero retries immediately.
+	RetryBackoff time.Duration
+	// ExperimentTimeout is the per-attempt wall-clock watchdog: an
+	// attempt exceeding it is aborted (the DES kernel polls the deadline
+	// cooperatively) and counts as a "timeout"-class failure. Zero
+	// disables the watchdog.
+	ExperimentTimeout time.Duration
+	// MaxFailures is the campaign failure budget: the number of
+	// persistently failed (all retries exhausted) experiments tolerated
+	// before the run aborts with an error wrapping ErrFailureBudget.
+	// 0 — the default — is fail-fast: the first persistent failure
+	// aborts. Negative means unlimited: the campaign always streams past
+	// failures. Failed grid points are quarantined, excluded from the
+	// result sinks and CampaignResult.Experiments, and never block the
+	// release frontier.
+	MaxFailures int
+	// Quarantine, when set, receives the record of every persistent
+	// failure in grid order (quarantine.jsonl via NewQuarantineSink).
+	Quarantine FailureSink
+	// ResumeFailures maps expNr -> quarantine record from a previous run
+	// (see ReadQuarantine). Those grid points are not re-executed and
+	// not re-emitted to the quarantine sink; they reappear in
+	// CampaignResult.Failures but do not count against MaxFailures
+	// (this run's budget governs this run's new failures). Delete the
+	// quarantine file to retry them.
+	ResumeFailures map[int]core.ExperimentFailure
 }
 
 // Runner executes campaign grids against a core.Engine.
@@ -126,11 +167,15 @@ func New(eng *core.Engine, opts Options, sinks ...Sink) (*Runner, error) {
 	return &Runner{eng: eng, opts: opts, sinks: sinks}, nil
 }
 
-// slot tracks one shard grid point through the run.
+// slot tracks one shard grid point through the run. A slot holds either
+// a classified result or — for a persistently failed experiment — its
+// quarantine record; either way done flips and the release frontier
+// advances past it.
 type slot struct {
-	res     core.ExperimentResult
-	done    bool // result available (computed or resumed)
-	resumed bool // loaded from a previous run; not re-emitted to sinks
+	res      core.ExperimentResult
+	failure  *core.ExperimentFailure
+	done     bool // outcome available (computed, resumed or failed)
+	skipEmit bool // resumed from a previous run, or already force-emitted
 }
 
 // Run executes the (sharded) campaign grid. Newly computed results are
@@ -165,24 +210,37 @@ func (r *Runner) Run(ctx context.Context, setup core.CampaignSetup) (*core.Campa
 	var todo []int // indices into specs still to execute
 	for i, spec := range specs {
 		if res, ok := r.opts.Resume[spec.Nr]; ok {
-			slots[i] = slot{res: res, done: true, resumed: true}
+			slots[i] = slot{res: res, done: true, skipEmit: true}
+		} else if f, ok := r.opts.ResumeFailures[spec.Nr]; ok {
+			fc := f
+			slots[i] = slot{failure: &fc, done: true, skipEmit: true}
 		} else {
 			todo = append(todo, i)
 		}
 	}
 
 	var (
-		mu   sync.Mutex
-		next int // emission frontier: slots[0:next] released to sinks
-		done = total - len(todo)
+		mu       sync.Mutex
+		next     int // emission frontier: slots[0:next] released to sinks
+		done     = total - len(todo)
+		failures int // persistent failures this run (resumed ones excluded)
 	)
-	// release emits the contiguous completed prefix to the sinks; the
-	// caller holds mu.
+	// release emits the contiguous completed prefix — results to the
+	// sinks, quarantine records to the failure sink; the caller holds mu.
 	release := func() error {
 		for next < total && slots[next].done {
-			if !slots[next].resumed {
-				for _, s := range r.sinks {
-					if err := s.Put(slots[next].res); err != nil {
+			s := &slots[next]
+			switch {
+			case s.skipEmit:
+			case s.failure != nil:
+				if r.opts.Quarantine != nil {
+					if err := r.opts.Quarantine.Put(*s.failure); err != nil {
+						return fmt.Errorf("runner: quarantine sink: %w", err)
+					}
+				}
+			default:
+				for _, snk := range r.sinks {
+					if err := snk.Put(s.res); err != nil {
 						return fmt.Errorf("runner: sink: %w", err)
 					}
 				}
@@ -202,12 +260,41 @@ func (r *Runner) Run(ctx context.Context, setup core.CampaignSetup) (*core.Campa
 	if err == nil {
 		err = pool.Run(ctx, len(todo), r.opts.Workers, func(ctx context.Context, i int) error {
 			idx := todo[i]
-			res, runErr := r.eng.RunExperimentCtx(ctx, specs[idx])
-			if runErr != nil {
+			res, attempts, runErr := r.runWithRetry(ctx, specs[idx])
+			if runErr != nil && ctx.Err() != nil {
+				// Campaign-level cancellation, not an experiment failure.
 				return fmt.Errorf("experiment %v: %w", specs[idx], runErr)
 			}
 			mu.Lock()
 			defer mu.Unlock()
+			if runErr != nil {
+				fail := core.NewExperimentFailure(specs[idx], runErr, attempts)
+				slots[idx] = slot{failure: &fail, done: true}
+				failures++
+				overBudget := r.opts.MaxFailures >= 0 && failures > r.opts.MaxFailures
+				done++
+				if relErr := release(); relErr != nil {
+					return relErr
+				}
+				if overBudget {
+					// Aborting: force the triggering record out if the
+					// frontier has not reached it, so the quarantine file
+					// explains the abort even when earlier grid points are
+					// still in flight.
+					if idx >= next && r.opts.Quarantine != nil {
+						slots[idx].skipEmit = true
+						if qerr := r.opts.Quarantine.Put(fail); qerr != nil {
+							return fmt.Errorf("runner: quarantine sink: %w", qerr)
+						}
+					}
+					return fmt.Errorf("%w: %d persistent failure(s) over budget %d; experiment %v: %w",
+						ErrFailureBudget, failures, r.opts.MaxFailures, specs[idx], runErr)
+				}
+				if r.opts.Progress != nil {
+					r.opts.Progress(done, total)
+				}
+				return nil
+			}
 			slots[idx] = slot{res: res, done: true}
 			done++
 			if relErr := release(); relErr != nil {
@@ -228,6 +315,11 @@ func (r *Runner) Run(ctx context.Context, setup core.CampaignSetup) (*core.Campa
 			err = fmt.Errorf("runner: sink flush: %w", ferr)
 		}
 	}
+	if r.opts.Quarantine != nil {
+		if ferr := r.opts.Quarantine.Flush(); ferr != nil && err == nil {
+			err = fmt.Errorf("runner: quarantine flush: %w", ferr)
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -237,11 +329,71 @@ func (r *Runner) Run(ctx context.Context, setup core.CampaignSetup) (*core.Campa
 		Setup:       setup,
 		Golden:      golden,
 		Thresholds:  r.eng.Thresholds(),
-		Experiments: make([]core.ExperimentResult, total),
+		Experiments: make([]core.ExperimentResult, 0, total),
 	}
 	for i := range slots {
-		out.Experiments[i] = slots[i].res
+		if f := slots[i].failure; f != nil {
+			out.Failures = append(out.Failures, *f)
+			class, cerr := core.ParseFailureClass(f.Class)
+			if cerr != nil {
+				class = core.FailError
+			}
+			out.FailureCounts.Add(class)
+			continue
+		}
+		out.Experiments = append(out.Experiments, slots[i].res)
 		out.Counts.Add(slots[i].res.Outcome)
 	}
 	return out, nil
+}
+
+// runWithRetry executes one grid point with the per-attempt wall-clock
+// watchdog and the retry policy: up to 1+Retries attempts, each on a
+// fresh workspace, with linear backoff between them. It returns the
+// result of the first successful attempt, or — after exhausting every
+// attempt — the final error. Campaign-level cancellation surfaces as an
+// error too; the caller distinguishes it via ctx.Err().
+func (r *Runner) runWithRetry(ctx context.Context, spec core.ExperimentSpec) (core.ExperimentResult, int, error) {
+	attempts := 1 + r.opts.Retries
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for a := 1; a <= attempts; a++ {
+		if a > 1 {
+			if err := sleepCtx(ctx, time.Duration(a-1)*r.opts.RetryBackoff); err != nil {
+				return core.ExperimentResult{}, a - 1, lastErr
+			}
+		}
+		attemptCtx, cancel := ctx, func() {}
+		if r.opts.ExperimentTimeout > 0 {
+			attemptCtx, cancel = context.WithTimeout(ctx, r.opts.ExperimentTimeout)
+		}
+		res, err := r.eng.RunExperimentCtx(attemptCtx, spec)
+		cancel()
+		if err == nil {
+			return res, a, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			// The campaign is shutting down; do not burn retries on it.
+			return core.ExperimentResult{}, a, lastErr
+		}
+	}
+	return core.ExperimentResult{}, attempts, lastErr
+}
+
+// sleepCtx pauses for d unless ctx is canceled first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }

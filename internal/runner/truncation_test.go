@@ -1,0 +1,115 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"comfase/internal/core"
+)
+
+// truncatedResultsCSV produces a small results CSV and chops the final
+// line mid-record, the way a SIGKILL mid-write does.
+func truncatedResultsCSV(t *testing.T) (full string, cut string, nRows int) {
+	t.Helper()
+	setup := chaosGrid()
+	setup.Values = setup.Values[:2]
+	setup.Starts = setup.Starts[:2]
+	setup.Durations = setup.Durations[:1] // 4 experiments
+	var buf bytes.Buffer
+	r, err := New(chaosEngine(t, 0), Options{Workers: 1}, NewCSVSink(&buf))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := r.Run(context.Background(), setup); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	full = buf.String()
+	// Cut inside the final row: past its expNr field but before its
+	// newline, leaving a parseable prefix plus one partial record.
+	lastStart := strings.LastIndex(strings.TrimRight(full, "\n"), "\n") + 1
+	cutAt := lastStart + (len(full)-1-lastStart)/2
+	if cutAt <= lastStart {
+		t.Fatal("final row too short to truncate meaningfully")
+	}
+	return full, full[:cutAt], 4
+}
+
+// TestReadResultsTruncatedTail is the regression test for resume after a
+// killed run: the partial final record is dropped, every complete row
+// survives, and the same malformed bytes anywhere else stay an error.
+func TestReadResultsTruncatedTail(t *testing.T) {
+	full, cut, nRows := truncatedResultsCSV(t)
+
+	got, err := ReadResults(strings.NewReader(cut))
+	if err != nil {
+		t.Fatalf("ReadResults(truncated): %v", err)
+	}
+	if len(got) != nRows-1 {
+		t.Errorf("truncated read kept %d rows, want %d", len(got), nRows-1)
+	}
+	want, err := ReadResults(strings.NewReader(full))
+	if err != nil {
+		t.Fatalf("ReadResults(full): %v", err)
+	}
+	for nr, res := range got {
+		if !reflect.DeepEqual(res, want[nr]) {
+			t.Errorf("row %d differs after truncation: %+v vs %+v", nr, res, want[nr])
+		}
+	}
+
+	// The same partial record newline-terminated is a complete write of
+	// garbage, not an interrupted one: hard error.
+	if _, err := ReadResults(strings.NewReader(cut + "\n")); err == nil {
+		t.Error("newline-terminated partial record accepted")
+	}
+	// A partial record with healthy successors is mid-file corruption:
+	// hard error. Splice the truncated tail in front of the full file's
+	// final row.
+	lastStart := strings.LastIndex(strings.TrimRight(full, "\n"), "\n") + 1
+	corrupt := cut + "\n" + full[lastStart:]
+	if _, err := ReadResults(strings.NewReader(corrupt)); err == nil {
+		t.Error("mid-file partial record accepted")
+	}
+}
+
+// TestReadQuarantineTruncated mirrors the tolerance for quarantine.jsonl.
+func TestReadQuarantineTruncated(t *testing.T) {
+	recs := []core.ExperimentFailure{
+		{Nr: 0, Attack: "delay", Class: "panic", Error: "boom", Attempts: 2},
+		{Nr: 1, Attack: "delay", Class: "timeout", Error: "slow", Attempts: 2},
+		{Nr: 2, Attack: "delay", Class: "invariant", Error: "NaN", Attempts: 1},
+	}
+	var buf bytes.Buffer
+	sink := NewQuarantineSink(&buf)
+	for _, f := range recs {
+		if err := sink.Put(f); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	full := buf.String()
+	lastStart := strings.LastIndex(strings.TrimRight(full, "\n"), "\n") + 1
+	cut := full[:lastStart+(len(full)-1-lastStart)/2]
+
+	got, err := ReadQuarantine(strings.NewReader(cut))
+	if err != nil {
+		t.Fatalf("ReadQuarantine(truncated): %v", err)
+	}
+	if len(got) != 2 || got[0].Class != "panic" || got[1].Class != "timeout" {
+		t.Errorf("truncated read = %+v, want records 0 and 1", got)
+	}
+
+	if _, err := ReadQuarantine(strings.NewReader(cut + "\n")); err == nil {
+		t.Error("newline-terminated partial record accepted")
+	}
+	corrupt := cut + "\n" + full[lastStart:]
+	if _, err := ReadQuarantine(strings.NewReader(corrupt)); err == nil {
+		t.Error("mid-file partial record accepted")
+	}
+	// Unknown failure classes are rejected even in well-formed records.
+	if _, err := ReadQuarantine(strings.NewReader(`{"expNr":0,"class":"gremlin"}` + "\n")); err == nil {
+		t.Error("unknown failure class accepted")
+	}
+}

@@ -54,6 +54,12 @@ type TrafficScenario struct {
 	// mechanism the paper's future-work section proposes. The paper's
 	// demonstration scenario runs without one.
 	AEB *safety.AEB
+	// Invariants enables the per-step runtime sanity checks of
+	// internal/invariant in the traffic simulator (finite state,
+	// position monotonicity, handled overlaps). Off by default: the
+	// checks cost a few comparisons per vehicle per step, and campaign
+	// runs enable them through core.EngineConfig.Invariants.
+	Invariants bool
 }
 
 // Validate reports the first configuration problem, or nil.
@@ -302,5 +308,16 @@ func (s *Simulation) Start() error {
 	return nil
 }
 
-// RunUntil advances the simulation to the given time.
-func (s *Simulation) RunUntil(t des.Time) error { return s.Kernel.RunUntil(t) }
+// RunUntil advances the simulation to the given time. A latched runtime
+// invariant violation (TrafficScenario.Invariants) surfaces as its
+// invariant.ErrInvariant-wrapping error rather than the kernel's
+// ErrStopped.
+func (s *Simulation) RunUntil(t des.Time) error {
+	err := s.Kernel.RunUntil(t)
+	if errors.Is(err, des.ErrStopped) {
+		if fault := s.Traffic.Fault(); fault != nil {
+			return fault
+		}
+	}
+	return err
+}

@@ -75,7 +75,7 @@ func (w *Workspace) Build(ts TrafficScenario, cm CommModel, seed uint64, factory
 	}
 	net := w.network
 
-	tcfg := traffic.Config{Kernel: k, Network: net, StepLength: ts.StepLength}
+	tcfg := traffic.Config{Kernel: k, Network: net, StepLength: ts.StepLength, Invariants: ts.Invariants}
 	if w.traffic == nil {
 		sim, err := traffic.NewSimulator(tcfg)
 		if err != nil {

@@ -48,6 +48,12 @@ func (id EventID) split() (slot int64, gen uint32) {
 // Stop before the time limit or queue exhaustion was reached.
 var ErrStopped = errors.New("des: kernel stopped")
 
+// ErrBudgetExceeded is returned (wrapped) by Run/RunUntil when the
+// kernel's event budget (SetEventBudget) is exhausted — the deterministic
+// watchdog that catches infinite event loops without relying on
+// wall-clock timers.
+var ErrBudgetExceeded = errors.New("des: event budget exceeded")
+
 // DefaultInterruptEvery is the interrupt-poll granularity used when
 // SetInterruptCheck is called with every == 0. At the paper scenario's
 // event rate (~100k events per simulated minute) this bounds cancellation
@@ -97,13 +103,18 @@ type Kernel struct {
 	interrupt  func() error
 	checkEvery uint64
 	sinceCheck uint64
+	// budget, when non-zero, bounds the number of delivered events per
+	// run; it is enforced on the same poll cadence as the interrupt
+	// check, so the hot loop pays nothing extra for it.
+	budget uint64
 }
 
 // NewKernel returns an empty kernel with the clock at t=0.
 func NewKernel() *Kernel { return &Kernel{} }
 
 // Reset returns the kernel to its initial state — clock at t=0, no
-// pending events, counters cleared, interrupt check removed — without
+// pending events, counters cleared, interrupt check and event budget
+// removed — without
 // releasing the slab, freelist or heap storage. A Reset kernel behaves
 // exactly like a fresh NewKernel (same seq numbering, hence the same
 // deterministic tie-breaking), which is what lets campaign workers reuse
@@ -122,6 +133,7 @@ func (k *Kernel) Reset() {
 	k.interrupt = nil
 	k.checkEvery = 0
 	k.sinceCheck = 0
+	k.budget = 0
 }
 
 // Now reports the current simulation time. During an event handler this
@@ -292,17 +304,43 @@ func (k *Kernel) SetInterruptCheck(every uint64, fn func() error) {
 	k.sinceCheck = 0
 }
 
-// pollInterrupt counts executed events and invokes the interrupt check at
-// the configured granularity.
+// SetEventBudget bounds the number of delivered events per run: once
+// Executed() reaches max, Run/RunUntil abort with an error wrapping
+// ErrBudgetExceeded. max == 0 removes the budget. The check shares the
+// interrupt-poll cadence (SetInterruptCheck's granularity, or
+// DefaultInterruptEvery when no interrupt check is installed), so for a
+// fixed cadence the abort point is deterministic — the watchdog that
+// catches a runaway event loop identically on every run, which
+// wall-clock timers cannot.
+func (k *Kernel) SetEventBudget(max uint64) {
+	k.budget = max
+}
+
+// EventBudget reports the configured budget (0 = unlimited).
+func (k *Kernel) EventBudget() uint64 { return k.budget }
+
+// pollInterrupt counts executed events and invokes the budget and
+// interrupt checks at the configured granularity.
 func (k *Kernel) pollInterrupt() error {
-	if k.interrupt == nil {
+	if k.interrupt == nil && k.budget == 0 {
 		return nil
 	}
+	every := k.checkEvery
+	if every == 0 {
+		every = DefaultInterruptEvery
+	}
 	k.sinceCheck++
-	if k.sinceCheck < k.checkEvery {
+	if k.sinceCheck < every {
 		return nil
 	}
 	k.sinceCheck = 0
+	if k.budget != 0 && k.executed >= k.budget {
+		return fmt.Errorf("des: %d events delivered (budget %d) at %v: %w",
+			k.executed, k.budget, k.now, ErrBudgetExceeded)
+	}
+	if k.interrupt == nil {
+		return nil
+	}
 	return k.interrupt()
 }
 

@@ -375,3 +375,69 @@ func TestKernelInterruptCheckZeroEveryDefaults(t *testing.T) {
 		t.Errorf("polls = %d, want 1 (default granularity %d)", polls, DefaultInterruptEvery)
 	}
 }
+
+// TestKernelEventBudget checks the deterministic runaway-loop watchdog: a
+// self-rescheduling event chain that would run forever is aborted with
+// ErrBudgetExceeded at exactly the same event count on every run.
+func TestKernelEventBudget(t *testing.T) {
+	run := func() (uint64, error) {
+		k := NewKernel()
+		var loop func()
+		loop = func() { k.ScheduleAfter(Microsecond, loop) }
+		k.ScheduleAfter(Microsecond, loop)
+		k.SetEventBudget(10_000)
+		err := k.RunUntil(Minute)
+		return k.Executed(), err
+	}
+	exec1, err1 := run()
+	exec2, err2 := run()
+	if !errors.Is(err1, ErrBudgetExceeded) {
+		t.Fatalf("RunUntil = %v, want ErrBudgetExceeded", err1)
+	}
+	if !errors.Is(err2, ErrBudgetExceeded) || exec1 != exec2 {
+		t.Errorf("budget abort not deterministic: %d/%v vs %d/%v", exec1, err1, exec2, err2)
+	}
+	// The abort lands on the first poll at or after the budget.
+	if exec1 < 10_000 || exec1 > 10_000+DefaultInterruptEvery {
+		t.Errorf("aborted after %d events, want within one poll of the 10000 budget", exec1)
+	}
+}
+
+// TestKernelEventBudgetSharesInterruptCadence pins the budget check to the
+// interrupt-poll granularity when an interrupt check is installed.
+func TestKernelEventBudgetSharesInterruptCadence(t *testing.T) {
+	k := NewKernel()
+	var loop func()
+	loop = func() { k.ScheduleAfter(Microsecond, loop) }
+	k.ScheduleAfter(Microsecond, loop)
+	k.SetInterruptCheck(8, func() error { return nil })
+	k.SetEventBudget(20)
+	if err := k.Run(); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("Run = %v, want ErrBudgetExceeded", err)
+	}
+	// Budget 20 at cadence 8: polls at 8, 16, 24 — abort at 24.
+	if got := k.Executed(); got != 24 {
+		t.Errorf("Executed = %d, want 24", got)
+	}
+}
+
+// TestKernelBudgetUnderLimitIsTransparent verifies a generous budget never
+// perturbs a bounded run, and that Reset clears the budget.
+func TestKernelBudgetUnderLimitIsTransparent(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	for i := 0; i < 100; i++ {
+		k.ScheduleAt(Time(i)*Microsecond, func() { fired++ })
+	}
+	k.SetEventBudget(1_000_000)
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired != 100 {
+		t.Errorf("fired = %d, want 100", fired)
+	}
+	k.Reset()
+	if k.EventBudget() != 0 {
+		t.Errorf("Reset kept budget %d", k.EventBudget())
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"slices"
 
+	"comfase/internal/invariant"
 	"comfase/internal/roadnet"
 	"comfase/internal/sim/des"
 	"comfase/internal/vehicle"
@@ -46,6 +47,14 @@ type Simulator struct {
 	// laneScratch is the retained sort buffer of detectCollisions.
 	laneScratch []*vehicle.Vehicle
 
+	// inv enables the runtime invariant checks (internal/invariant) on
+	// every step; prevPos is the retained pre-step position buffer the
+	// monotonicity check compares against, and fault latches the first
+	// violation (the kernel is stopped so the run aborts promptly).
+	inv     bool
+	prevPos []float64
+	fault   error
+
 	pre  []StepHook
 	post []StepHook
 
@@ -68,6 +77,11 @@ type Config struct {
 	// StepLength is the dynamics update period. Zero defaults to 10 ms,
 	// Plexe's SUMO coupling step.
 	StepLength des.Time
+	// Invariants enables the per-step runtime sanity checks (finite
+	// state, position monotonicity, handled overlaps). A violation
+	// latches into Fault() and stops the kernel, so silent numeric
+	// corruption aborts the run instead of producing a bogus result.
+	Invariants bool
 }
 
 // NewSimulator builds an empty traffic simulation.
@@ -127,6 +141,8 @@ func (s *Simulator) Reset(cfg Config) error {
 	s.collisions = s.collisions[:0]
 	s.ticker.Rebind(cfg.Kernel, step)
 	s.started = false
+	s.inv = cfg.Invariants
+	s.fault = nil
 	return nil
 }
 
@@ -221,13 +237,67 @@ func (s *Simulator) step() {
 	for _, h := range s.pre {
 		h(now)
 	}
+	if s.inv {
+		if cap(s.prevPos) < len(s.vehicles) {
+			s.prevPos = make([]float64, len(s.vehicles))
+		}
+		s.prevPos = s.prevPos[:len(s.vehicles)]
+		for i, v := range s.vehicles {
+			s.prevPos[i] = v.State.Pos
+		}
+	}
 	for _, v := range s.vehicles {
 		v.Step(s.dt)
 	}
 	s.detectCollisions(now)
+	if s.inv && s.checkInvariants(now) {
+		return // fault latched; kernel stopping — skip the observers
+	}
 	for _, h := range s.post {
 		h(now)
 	}
+}
+
+// Fault reports the first invariant violation observed during stepping
+// (nil while the simulation is healthy). Once a fault latches the kernel
+// has been stopped; callers translate the resulting des.ErrStopped into
+// this error.
+func (s *Simulator) Fault() error { return s.fault }
+
+// checkInvariants validates the post-step world when invariant checking
+// is enabled: every vehicle's state via vehicle.CheckState, plus the
+// collision-handling consistency check (overlapping vehicles must have
+// been halted by detectCollisions — anything else means the integrator
+// or an attack model let vehicles drive through each other). The first
+// violation latches into s.fault and stops the kernel; the return value
+// reports whether that happened. laneScratch still holds the
+// (lane, position)-sorted order detectCollisions built this step.
+func (s *Simulator) checkInvariants(now des.Time) bool {
+	fail := func(err error) bool {
+		s.fault = fmt.Errorf("traffic: at %v: %w", now, err)
+		s.k.Stop()
+		return true
+	}
+	for i, v := range s.vehicles {
+		if err := v.CheckState(s.prevPos[i]); err != nil {
+			return fail(err)
+		}
+	}
+	if len(s.vehicles) < 2 {
+		return false // laneScratch is only (re)built with >= 2 vehicles
+	}
+	for i := 0; i+1 < len(s.laneScratch); i++ {
+		rear, front := s.laneScratch[i], s.laneScratch[i+1]
+		if rear.State.Lane != front.State.Lane {
+			continue
+		}
+		gap := front.State.Rear(front.Spec.Length) - rear.State.Pos
+		if err := invariant.CheckHandledOverlap(rear.Spec.ID, front.Spec.ID, gap,
+			rear.Halted() && front.Halted()); err != nil {
+			return fail(err)
+		}
+	}
+	return false
 }
 
 // detectCollisions finds rear-end overlaps per lane. Vehicles are sorted

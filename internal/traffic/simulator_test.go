@@ -3,7 +3,10 @@ package traffic
 import (
 	"errors"
 	"math"
+	"strings"
 	"testing"
+
+	"comfase/internal/invariant"
 
 	"comfase/internal/roadnet"
 	"comfase/internal/sim/des"
@@ -226,5 +229,89 @@ func TestLeaderTracksSinusoid(t *testing.T) {
 	}
 	if maxErr > 0.35 {
 		t.Errorf("steady-state speed tracking error %v m/s, want < 0.35", maxErr)
+	}
+}
+
+// TestInvariantCheckCatchesNaN corrupts a vehicle's state mid-run and
+// checks the simulator latches an ErrInvariant fault and stops the
+// kernel instead of silently producing garbage samples.
+func TestInvariantCheckCatchesNaN(t *testing.T) {
+	k := des.NewKernel()
+	net, _ := roadnet.NewNetwork(roadnet.PaperHighway())
+	sim, err := NewSimulator(Config{Kernel: k, Network: net, Invariants: true})
+	if err != nil {
+		t.Fatalf("NewSimulator: %v", err)
+	}
+	v, err := sim.AddVehicle(idealCar("vehicle.1"), vehicle.State{Pos: 100, Speed: 20})
+	if err != nil {
+		t.Fatalf("AddVehicle: %v", err)
+	}
+	if err := sim.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	k.ScheduleAt(100*des.Millisecond, func() { v.State.Speed = math.NaN() })
+	err = k.RunUntil(des.Second)
+	if !errors.Is(err, des.ErrStopped) {
+		t.Fatalf("RunUntil = %v, want ErrStopped (fault latch)", err)
+	}
+	fault := sim.Fault()
+	if fault == nil || !errors.Is(fault, invariant.ErrInvariant) {
+		t.Fatalf("Fault() = %v, want an ErrInvariant violation", fault)
+	}
+	if !strings.Contains(fault.Error(), "vehicle.1") {
+		t.Errorf("fault %q does not name the vehicle", fault)
+	}
+	if k.Now() >= des.Second {
+		t.Errorf("kernel ran to %v despite fault", k.Now())
+	}
+}
+
+// TestInvariantCheckAllowsHaltedWreck runs two vehicles into a rear-end
+// collision with invariants enabled: the halted overlap is a legitimate
+// simulation outcome, not a violation.
+func TestInvariantCheckAllowsHaltedWreck(t *testing.T) {
+	k := des.NewKernel()
+	net, _ := roadnet.NewNetwork(roadnet.PaperHighway())
+	sim, err := NewSimulator(Config{Kernel: k, Network: net, Invariants: true})
+	if err != nil {
+		t.Fatalf("NewSimulator: %v", err)
+	}
+	if _, err := sim.AddVehicle(idealCar("front"), vehicle.State{Pos: 50, Speed: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.AddVehicle(idealCar("rear"), vehicle.State{Pos: 30, Speed: 30}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := k.RunUntil(5 * des.Second); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if sim.Fault() != nil {
+		t.Errorf("halted wreck reported as fault: %v", sim.Fault())
+	}
+	if len(sim.Collisions()) != 1 {
+		t.Errorf("collisions = %d, want 1", len(sim.Collisions()))
+	}
+}
+
+// TestInvariantResetClearsFault pins Reset's fault/flag behavior.
+func TestInvariantResetClearsFault(t *testing.T) {
+	k := des.NewKernel()
+	net, _ := roadnet.NewNetwork(roadnet.PaperHighway())
+	sim, err := NewSimulator(Config{Kernel: k, Network: net, Invariants: true})
+	if err != nil {
+		t.Fatalf("NewSimulator: %v", err)
+	}
+	sim.fault = errors.New("stale")
+	if err := sim.Reset(Config{Kernel: k, Network: net}); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	if sim.Fault() != nil {
+		t.Errorf("Reset kept fault %v", sim.Fault())
+	}
+	if sim.inv {
+		t.Error("Reset kept invariants enabled despite cfg.Invariants=false")
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"comfase/internal/geo"
+	"comfase/internal/invariant"
 )
 
 // Errors returned by specification validation.
@@ -150,6 +151,29 @@ func (v *Vehicle) Halt() {
 
 // Halted reports whether the vehicle has been stopped by a collision.
 func (v *Vehicle) Halted() bool { return v.stopped }
+
+// CheckState runs the per-vehicle runtime invariants against the current
+// state: position, speed and acceleration must be finite, speed
+// non-negative, and position monotonic relative to prevPos (the position
+// before the last Step — vehicles do not reverse). The traffic simulator
+// calls it once per step when invariant checking is enabled; a non-nil
+// result wraps invariant.ErrInvariant.
+func (v *Vehicle) CheckState(prevPos float64) error {
+	id := v.Spec.ID
+	if err := invariant.CheckFinite(id, "pos", v.State.Pos); err != nil {
+		return err
+	}
+	if err := invariant.CheckFinite(id, "speed", v.State.Speed); err != nil {
+		return err
+	}
+	if err := invariant.CheckFinite(id, "accel", v.State.Accel); err != nil {
+		return err
+	}
+	if err := invariant.CheckNonNegativeSpeed(id, v.State.Speed); err != nil {
+		return err
+	}
+	return invariant.CheckMonotonicPos(id, prevPos, v.State.Pos)
+}
 
 // Step advances the dynamics by dt seconds:
 //

@@ -5,6 +5,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"comfase/internal/invariant"
 )
 
 func TestSpecValidate(t *testing.T) {
@@ -226,3 +228,36 @@ func TestEnvelopeInvariantProperty(t *testing.T) {
 }
 
 func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestCheckState(t *testing.T) {
+	v, err := New(PaperCar("vehicle.2"), State{Pos: 100, Speed: 27, Accel: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.CheckState(99); err != nil {
+		t.Errorf("healthy state: %v", err)
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*Vehicle)
+		prevPos float64
+	}{
+		{"nan-pos", func(v *Vehicle) { v.State.Pos = math.NaN() }, 99},
+		{"inf-speed", func(v *Vehicle) { v.State.Speed = math.Inf(1) }, 99},
+		{"nan-accel", func(v *Vehicle) { v.State.Accel = math.NaN() }, 99},
+		{"negative-speed", func(v *Vehicle) { v.State.Speed = -1 }, 99},
+		{"reversed", func(v *Vehicle) {}, 101},
+	}
+	for _, c := range cases {
+		v, _ := New(PaperCar("vehicle.2"), State{Pos: 100, Speed: 27})
+		c.mutate(v)
+		err := v.CheckState(c.prevPos)
+		if err == nil {
+			t.Errorf("%s: no violation reported", c.name)
+			continue
+		}
+		if !errors.Is(err, invariant.ErrInvariant) {
+			t.Errorf("%s: %v does not wrap ErrInvariant", c.name, err)
+		}
+	}
+}
