@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race chaos fuzz-smoke bench bench-sanity
+.PHONY: check build vet test race chaos checkpoint-equiv fuzz-smoke bench bench-sanity
 
 # Tier-1 verification gate: build + vet + race-enabled tests (which
 # include the chaos self-test exercising every failure-containment path),
@@ -9,7 +9,7 @@ GO ?= go
 # so the race detector is part of the default gate, not an optional
 # extra; the bench sanity run keeps the perf harness compiling and
 # executable without paying for a full measurement.
-check: build vet race chaos fuzz-smoke bench-sanity
+check: build vet race chaos checkpoint-equiv fuzz-smoke bench-sanity
 
 build:
 	$(GO) build ./...
@@ -31,13 +31,22 @@ race:
 chaos:
 	$(GO) test -race -run 'TestChaosCampaign' ./internal/runner
 
+# The checkpoint-equivalence self-test by name, under the race detector:
+# the same 200-experiment grid with prefix-checkpoint forking on and off
+# — healthy, sharded and with chaos-injected failures — must emit
+# byte-identical result CSVs and matching quarantine records.
+checkpoint-equiv:
+	$(GO) test -race -run 'TestCheckpointCampaignEquivalence' ./internal/runner
+
 # Short coverage-guided fuzz smoke on every fuzz target (the config
-# parser, the DES kernel scheduler, the shard designator). 5s per target
-# catches corpus regressions without slowing the gate meaningfully;
-# -run '^$$' skips the unit tests the race step already ran.
+# parser, the DES kernel scheduler and snapshot/restore, the shard
+# designator). 5s per target catches corpus regressions without slowing
+# the gate meaningfully; -run '^$$' skips the unit tests the race step
+# already ran.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzParse$$' -fuzztime 5s ./internal/config
 	$(GO) test -run '^$$' -fuzz 'FuzzKernelSchedule' -fuzztime 5s ./internal/sim/des
+	$(GO) test -run '^$$' -fuzz 'FuzzKernelSnapshot' -fuzztime 5s ./internal/sim/des
 	$(GO) test -run '^$$' -fuzz 'FuzzParseShard' -fuzztime 5s ./internal/runner
 
 # Full perf measurement: repeated runs of the regression trio, a dated

@@ -395,6 +395,100 @@ func BenchmarkExperiment(b *testing.B) {
 	}
 }
 
+// BenchmarkExperimentCheckpointed isolates the per-sibling gain of
+// prefix-checkpoint forking on one experiment: "fresh" builds and
+// simulates from t=0 (BenchmarkExperiment's path), "forked" restores a
+// 19 s prefix checkpoint and simulates only the remaining 41 s. The gap
+// between the two is the redundant prefix work a checkpointed campaign
+// skips for every sibling after the first.
+func BenchmarkExperimentCheckpointed(b *testing.B) {
+	spec := core.ExperimentSpec{
+		Kind: core.AttackDelay, Targets: []string{"vehicle.2"},
+		Value: 1.4, Start: 19 * des.Second, Duration: 7 * des.Second,
+	}
+	b.Run("fresh", func(b *testing.B) {
+		eng := newEngine(b, core.EngineConfig{})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.RunExperiment(spec); err != nil {
+				b.Fatalf("RunExperiment: %v", err)
+			}
+		}
+	})
+	b.Run("forked", func(b *testing.B) {
+		eng := newEngine(b, core.EngineConfig{})
+		gs, err := eng.BeginGroup(context.Background(), spec.Start)
+		if err != nil {
+			b.Fatalf("BeginGroup: %v", err)
+		}
+		defer gs.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := gs.RunExperiment(context.Background(), spec); err != nil {
+				b.Fatalf("RunExperiment: %v", err)
+			}
+		}
+	})
+}
+
+// BenchmarkCampaignCheckpointed measures the campaign-level speedup of
+// prefix-checkpoint forking on a paper-shaped grid: 25 start times
+// (Table II's 17-21.8 s sweep) x 2 values x 5 durations = 250
+// experiments on a horizon that just covers the latest attack window.
+// "fresh" is the pre-checkpoint execution path (DisableCheckpoints);
+// "forked" simulates each start's fault-free prefix once per worker and
+// forks the 10 siblings from the snapshot. The outcome metric pins the
+// result shape: both modes classify identically.
+func BenchmarkCampaignCheckpointed(b *testing.B) {
+	ts := scenario.PaperScenario()
+	// Clip the horizon to the latest attack end (21.8 s + 25 s): the
+	// paper's 60 s horizon just idles past it and dilutes the measured
+	// prefix share.
+	ts.TotalSimTime = 47 * des.Second
+	grid := core.CampaignSetup{
+		Attack:  core.AttackDelay,
+		Targets: []string{"vehicle.2"},
+		Values:  []float64{0.4, 2.0},
+		Durations: []des.Time{
+			2 * des.Second, 5 * des.Second, 10 * des.Second,
+			18 * des.Second, 25 * des.Second,
+		},
+	}
+	for s := 0; s < 25; s++ {
+		grid.Starts = append(grid.Starts, 17*des.Second+des.Time(s)*200*des.Millisecond)
+	}
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{
+		{name: "fresh", disable: true},
+		{name: "forked", disable: false},
+	} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			eng := newEngine(b, core.EngineConfig{Scenario: ts})
+			b.ResetTimer()
+			var counts classify.Counts
+			for i := 0; i < b.N; i++ {
+				r, err := runner.New(eng, runner.Options{
+					Workers:            runtime.GOMAXPROCS(0),
+					DisableCheckpoints: mode.disable,
+				})
+				if err != nil {
+					b.Fatalf("runner.New: %v", err)
+				}
+				res, err := r.Run(context.Background(), grid)
+				if err != nil {
+					b.Fatalf("Run: %v", err)
+				}
+				counts = res.Counts
+			}
+			b.ReportMetric(float64(counts.Severe), "severe")
+			b.ReportMetric(float64(counts.Total()), "experiments")
+		})
+	}
+}
+
 // BenchmarkGoldenCSVExport measures the Fig. 4 CSV export path.
 func BenchmarkGoldenCSVExport(b *testing.B) {
 	eng := newEngine(b, core.EngineConfig{})

@@ -144,6 +144,7 @@ Subcommands:
                    -experiment-timeout D (per-experiment watchdog, e.g. 30s),
                    -event-budget N (per-experiment kernel event cap),
                    -invariants (runtime NaN/position/overlap checks),
+                   -checkpoints=false (disable prefix-checkpoint forking),
                    -quarantine FILE (append persistent failures as JSON lines),
                    -cpuprofile FILE, -memprofile FILE (pprof output)
             the first SIGINT flushes partial results to -results and exits
@@ -262,6 +263,7 @@ func runCampaign(ctx context.Context, args []string, stdout io.Writer) error {
 	experimentTimeout := fs.Duration("experiment-timeout", 0, "per-experiment wall-clock watchdog (0 = none)")
 	eventBudget := fs.Uint64("event-budget", 0, "per-experiment kernel event cap (0 = unlimited)")
 	invariants := fs.Bool("invariants", false, "enable runtime invariant checks in every simulation step")
+	checkpoints := fs.Bool("checkpoints", true, "fork same-start experiments from a prefix checkpoint (results are bit-identical either way)")
 	quarantinePath := fs.String("quarantine", "", "append persistent-failure records to this JSON-lines file")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -298,12 +300,13 @@ func runCampaign(ctx context.Context, args []string, stdout io.Writer) error {
 
 	// Flags override config-file runtime settings.
 	opts := runner.Options{
-		Workers:           parsed.Runtime.Workers,
-		Shard:             parsed.Runtime.Shard,
-		Retries:           parsed.Runtime.Retries,
-		RetryBackoff:      parsed.Runtime.RetryBackoff,
-		ExperimentTimeout: parsed.Runtime.ExperimentTimeout,
-		MaxFailures:       parsed.Runtime.MaxFailures,
+		Workers:            parsed.Runtime.Workers,
+		Shard:              parsed.Runtime.Shard,
+		Retries:            parsed.Runtime.Retries,
+		RetryBackoff:       parsed.Runtime.RetryBackoff,
+		ExperimentTimeout:  parsed.Runtime.ExperimentTimeout,
+		MaxFailures:        parsed.Runtime.MaxFailures,
+		DisableCheckpoints: parsed.Runtime.DisableCheckpoints,
 	}
 	explicit := map[string]bool{}
 	fs.Visit(func(fl *flag.Flag) { explicit[fl.Name] = true })
@@ -326,6 +329,9 @@ func runCampaign(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 	if explicit["experiment-timeout"] {
 		opts.ExperimentTimeout = *experimentTimeout
+	}
+	if explicit["checkpoints"] {
+		opts.DisableCheckpoints = !*checkpoints
 	}
 	if explicit["invariants"] {
 		parsed.Engine.Invariants = *invariants

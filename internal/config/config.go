@@ -389,6 +389,12 @@ type RuntimeConfig struct {
 	// execute; exceeding it quarantines the experiment as an
 	// "event-budget" failure (0 = unlimited).
 	EventBudget uint64 `json:"eventBudget,omitempty"`
+	// Checkpoints toggles prefix-checkpoint forking: experiments sharing
+	// an attack start time simulate their fault-free prefix once per
+	// worker and fork from the snapshot. Results are bit-identical either
+	// way; omitted or true leaves forking on (the default), false forces
+	// every experiment onto the fresh-build path.
+	Checkpoints *bool `json:"checkpoints,omitempty"`
 }
 
 // Build validates the runtime settings.
@@ -417,19 +423,21 @@ func (r RuntimeConfig) Build() (RuntimeSettings, error) {
 	out.ExperimentTimeout = time.Duration(r.ExperimentTimeoutS * float64(time.Second))
 	out.MaxFailures = r.MaxFailures
 	out.QuarantineFile = r.QuarantineFile
+	out.DisableCheckpoints = r.Checkpoints != nil && !*r.Checkpoints
 	return out, nil
 }
 
 // RuntimeSettings is the validated campaign-runtime configuration.
 type RuntimeSettings struct {
-	Workers           int
-	Shard             runner.Shard
-	ResultsFile       string
-	Retries           int
-	RetryBackoff      time.Duration
-	ExperimentTimeout time.Duration
-	MaxFailures       int
-	QuarantineFile    string
+	Workers            int
+	Shard              runner.Shard
+	ResultsFile        string
+	Retries            int
+	RetryBackoff       time.Duration
+	ExperimentTimeout  time.Duration
+	MaxFailures        int
+	QuarantineFile     string
+	DisableCheckpoints bool
 }
 
 // File is a complete experiment description.

@@ -65,6 +65,9 @@ type Engine struct {
 	// with a near-constant allocation footprint. sync.Pool keeps at most
 	// roughly one unit per P under steady concurrent load.
 	pool sync.Pool
+	// groupPool recycles the per-group checkpoint storage of
+	// prefix-forked execution (see group.go) the same way.
+	groupPool sync.Pool
 }
 
 // workUnit is one pooled simulation workspace plus the reusable summary
@@ -206,7 +209,11 @@ func (e *Engine) GoldenRunCtx(ctx context.Context) (log *trace.FullLog, res Gold
 	// event loops, and the attack-free golden run must not be killed by a
 	// budget chosen for the experiments.
 	sim.AttachContext(ctx, e.cfg.CancelCheckEvents)
-	log = trace.NewFullLog(sim.VehicleIDs())
+	// Preallocate the full log for the known run length (one sample per
+	// traffic step): the golden run's recording path then allocates no
+	// per-sample rows.
+	hint := int(e.cfg.Scenario.TotalSimTime/sim.Traffic.StepLength()) + 2
+	log = trace.NewFullLogCap(sim.VehicleIDs(), hint)
 	sim.AddRecorder(log)
 	if err := sim.Start(); err != nil {
 		return nil, GoldenResult{}, err
@@ -360,15 +367,26 @@ func (e *Engine) runExperiment(ctx context.Context, spec ExperimentSpec, withLog
 		return ExperimentResult{}, nil, err
 	}
 
+	res, err = e.finishExperiment(sim, summary, spec)
+	if err != nil {
+		return ExperimentResult{}, nil, err
+	}
+	return res, full, nil
+}
+
+// finishExperiment validates a completed attack run and assembles the
+// classified result (Step-4). It is shared by the fresh-build and
+// checkpoint-forked execution paths, so both classify byte-identically.
+func (e *Engine) finishExperiment(sim *scenario.Simulation, summary *trace.Summary, spec ExperimentSpec) (ExperimentResult, error) {
 	if summary.Misaligned {
-		return ExperimentResult{}, nil, errors.New("core: attack run sampling misaligned with golden run")
+		return ExperimentResult{}, errors.New("core: attack run sampling misaligned with golden run")
 	}
 	collisions := sim.Traffic.Collisions()
 	collider := ""
 	if len(collisions) > 0 {
 		collider = collisions[0].Collider
 	}
-	res = ExperimentResult{
+	res := ExperimentResult{
 		Spec:     spec,
 		MaxDecel: summary.MaxDecelOverall(),
 		// The summary's backing array is recycled with the workspace, so
@@ -383,7 +401,7 @@ func (e *Engine) runExperiment(ctx context.Context, spec ExperimentSpec, withLog
 		MaxSpeedDev: res.MaxSpeedDev,
 		Collided:    res.Collided(),
 	})
-	return res, full, nil
+	return res, nil
 }
 
 // applyAttack activates an attack model on a running simulation — the

@@ -1,0 +1,285 @@
+// Prefix-checkpoint forking: experiments of a campaign that share an
+// attackStartTime also share a byte-identical fault-free prefix — the
+// simulation from t=0 to the attack start is independent of the attack
+// value and duration. A GroupSession runs that prefix ONCE per worker,
+// snapshots the full simulation state (scenario.Checkpoint), and forks
+// each sibling experiment from the snapshot: restore, install the attack,
+// run to the horizon, classify. On the paper's grids this removes the
+// dominant share of redundant event processing.
+//
+// Forked runs are bit-identical to fresh runs: every stateful layer
+// restores exactly, runtime knobs (context check, event budget) are
+// reapplied per sibling in the fresh path's order, and the kernel rewinds
+// its interrupt-poll phase so deterministic abort points (event budget)
+// land on the same event in both paths. The campaign equivalence test
+// pins this.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+
+	"comfase/internal/scenario"
+	"comfase/internal/sim/des"
+	"comfase/internal/trace"
+)
+
+// Errors returned by the group-execution API.
+var (
+	// ErrGroupPoisoned marks a GroupSession whose workspace or checkpoint
+	// was discarded after a failed sibling; remaining experiments must run
+	// on the fresh-build path.
+	ErrGroupPoisoned = errors.New("core: experiment group session poisoned by an earlier failure")
+	// ErrWrongGroup marks an experiment whose attack start does not match
+	// the session's checkpointed prefix.
+	ErrWrongGroup = errors.New("core: experiment start does not match the group's checkpoint")
+	// ErrNotCheckpointable re-exports the scenario gate for callers that
+	// select the fresh path without importing scenario.
+	ErrNotCheckpointable = scenario.ErrNotCheckpointable
+)
+
+// groupScratch bundles the pooled per-group snapshot storage: the
+// composed simulation checkpoint plus the summary recorder's state at the
+// fork point.
+type groupScratch struct {
+	cp  scenario.Checkpoint
+	sum trace.SummaryState
+}
+
+// GroupSession executes a group of experiments that share an attack start
+// time by forking each one from a prefix checkpoint. Obtain one with
+// Engine.BeginGroup; it is not safe for concurrent use (one session per
+// campaign worker). Always Close a session — Close returns the workspace
+// and checkpoint to the engine's pools when the session is still healthy.
+type GroupSession struct {
+	e       *Engine
+	u       *workUnit
+	sim     *scenario.Simulation
+	scratch *groupScratch
+	start   des.Time
+	healthy bool
+}
+
+// groupPool recycles groupScratch values across group sessions; see
+// Engine.pool for the workspace analogue.
+func (e *Engine) acquireScratch() *groupScratch {
+	if v := e.groupPool.Get(); v != nil {
+		return v.(*groupScratch)
+	}
+	return &groupScratch{}
+}
+
+// BeginGroup runs the fault-free prefix up to the attack start time and
+// checkpoints it. ctx must be the same kind of context the caller will
+// pass to fresh experiment attempts (timeout-wrapped or not), so the
+// kernel's interrupt-poll cadence — and with it every deterministic abort
+// point — matches the fresh path exactly.
+//
+// A non-nil error means no session exists and the caller must fall back
+// to the fresh-build path; scenario.ErrNotCheckpointable marks
+// configurations (fading channel, custom stateful controllers) that can
+// never be checkpointed.
+func (e *Engine) BeginGroup(ctx context.Context, start des.Time) (gs *GroupSession, err error) {
+	if err := e.ensureGolden(ctx); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	horizon := e.cfg.Scenario.TotalSimTime
+	if start > horizon {
+		start = horizon
+	}
+	u := e.acquireUnit()
+	keep := false
+	// Same panic boundary as the fresh path: a panicking component during
+	// the prefix surfaces as *PanicError and the workspace is discarded.
+	defer func() {
+		if r := recover(); r != nil {
+			keep = false
+			gs, err = nil, &PanicError{Value: r, Stack: debug.Stack()}
+		}
+		if keep && gs == nil {
+			e.pool.Put(u)
+		}
+	}()
+	sim, err := u.ws.Build(e.cfg.Scenario, e.cfg.Comm, e.cfg.Seed, e.cfg.Controllers)
+	if err != nil {
+		// A failed build may leave the workspace half-reset; drop the unit.
+		return nil, err
+	}
+	keep = true
+	if !u.ws.Checkpointable() {
+		return nil, ErrNotCheckpointable
+	}
+	// Runtime knobs in the fresh path's order; the prefix must execute
+	// with the same budget and poll cadence as a fresh attempt so the
+	// kernel counters at the fork point match a fresh run at `start`.
+	sim.Kernel.SetEventBudget(e.cfg.EventBudget)
+	sim.AttachContext(ctx, e.cfg.CancelCheckEvents)
+	summary := u.summary
+	summary.Reset(len(sim.Members), e.golden)
+	sim.AddRecorder(summary)
+	if err := sim.Start(); err != nil {
+		return nil, err
+	}
+	if err := sim.RunUntil(start); err != nil {
+		return nil, err
+	}
+	scratch := e.acquireScratch()
+	if err := u.ws.Snapshot(&scratch.cp); err != nil {
+		e.groupPool.Put(scratch)
+		return nil, err
+	}
+	summary.SaveState(&scratch.sum)
+	return &GroupSession{e: e, u: u, sim: sim, scratch: scratch, start: start, healthy: true}, nil
+}
+
+// Healthy reports whether the session can still fork experiments. A
+// failed sibling poisons the session: its workspace and checkpoint are
+// discarded on Close, and remaining siblings must run fresh — the same
+// containment the fresh path gets from discarding panicked workspaces.
+func (gs *GroupSession) Healthy() bool { return gs.healthy }
+
+// Start returns the attack start time the session's checkpoint was taken
+// at.
+func (gs *GroupSession) Start() des.Time { return gs.start }
+
+// RunExperiment forks one sibling experiment from the prefix checkpoint:
+// restore, install the attack model, run the attack window and the
+// remaining horizon, classify. spec.Start must equal the session's fork
+// point. Any failure — panic, cancellation, timeout, invariant hit,
+// budget exhaustion — poisons the session; the caller retries the
+// experiment on the fresh-build path, preserving retry and quarantine
+// semantics exactly.
+func (gs *GroupSession) RunExperiment(ctx context.Context, spec ExperimentSpec) (res ExperimentResult, err error) {
+	if !gs.healthy {
+		return ExperimentResult{}, ErrGroupPoisoned
+	}
+	e := gs.e
+	horizon := e.cfg.Scenario.TotalSimTime
+	start := spec.Start
+	if start > horizon {
+		start = horizon
+	}
+	if start != gs.start {
+		return ExperimentResult{}, fmt.Errorf("%w: spec start %v, checkpoint at %v",
+			ErrWrongGroup, start, gs.start)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			gs.healthy = false
+			res = ExperimentResult{}
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	model, err := spec.buildModel(horizon, e.cfg.Seed)
+	if err != nil {
+		// Nothing touched the workspace yet; the session stays usable.
+		return ExperimentResult{}, err
+	}
+	sim := gs.sim
+	// Per-sibling runtime knobs BEFORE Restore (fresh-path order):
+	// AttachContext resets the kernel's poll phase, and Restore then
+	// rewinds it to the fork-point value, so the sibling polls budget and
+	// context on exactly the cadence a fresh run would past `start`.
+	sim.Kernel.SetEventBudget(e.cfg.EventBudget)
+	sim.AttachContext(ctx, e.cfg.CancelCheckEvents)
+	if err := gs.u.ws.Restore(&gs.scratch.cp); err != nil {
+		gs.healthy = false
+		return ExperimentResult{}, err
+	}
+	gs.u.summary.LoadState(&gs.scratch.sum)
+
+	end := spec.End(horizon)
+	// Algorithm 1 lines 13-14 on the forked state (line 12 — SimUntil the
+	// attack start — is the shared prefix).
+	if err := applyAttack(sim, model); err != nil {
+		gs.healthy = false
+		return ExperimentResult{}, err
+	}
+	if err := sim.RunUntil(end); err != nil {
+		gs.healthy = false
+		return ExperimentResult{}, err
+	}
+	if err := removeAttack(sim, model); err != nil {
+		gs.healthy = false
+		return ExperimentResult{}, err
+	}
+	if err := sim.RunUntil(horizon); err != nil {
+		gs.healthy = false
+		return ExperimentResult{}, err
+	}
+	res, err = e.finishExperiment(sim, gs.u.summary, spec)
+	if err != nil {
+		gs.healthy = false
+		return ExperimentResult{}, err
+	}
+	return res, nil
+}
+
+// Close releases the session. A healthy session returns its workspace and
+// checkpoint storage to the engine's pools; a poisoned one discards both
+// (their components may be arbitrarily corrupted), exactly as the fresh
+// path discards panicked workspaces.
+func (gs *GroupSession) Close() {
+	if gs.healthy {
+		gs.e.pool.Put(gs.u)
+		gs.e.groupPool.Put(gs.scratch)
+	}
+	gs.healthy = false
+	gs.u = nil
+	gs.sim = nil
+	gs.scratch = nil
+}
+
+// RunExperimentGroup executes a group of experiments sharing one attack
+// start time, forking them from a single prefix checkpoint. Experiments
+// whose forked run fails — and whole groups whose prefix cannot be
+// checkpointed (scenario.ErrNotCheckpointable) or fails — transparently
+// fall back to the fresh-build path, so the call succeeds whenever plain
+// per-experiment execution would. Results are returned in spec order.
+func (e *Engine) RunExperimentGroup(ctx context.Context, specs []ExperimentSpec) ([]ExperimentResult, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	for _, s := range specs[1:] {
+		if s.Start != specs[0].Start {
+			return nil, fmt.Errorf("core: experiment group mixes start times %v and %v",
+				specs[0].Start, s.Start)
+		}
+	}
+	gs, err := e.BeginGroup(ctx, specs[0].Start)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		gs = nil // prefix failed: run the whole group fresh
+	} else {
+		defer gs.Close()
+	}
+	out := make([]ExperimentResult, 0, len(specs))
+	for _, spec := range specs {
+		if gs != nil && gs.Healthy() {
+			res, err := gs.RunExperiment(ctx, spec)
+			if err == nil {
+				out = append(out, res)
+				continue
+			}
+			if ctx.Err() != nil {
+				return out, err
+			}
+			// Fall through: retry this sibling fresh. Deterministic
+			// failures (invariant hits, budget exhaustion) reproduce there
+			// and surface exactly as they would without checkpointing.
+		}
+		res, err := e.RunExperimentCtx(ctx, spec)
+		if err != nil {
+			return out, fmt.Errorf("experiment %v: %w", spec, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

@@ -1,0 +1,268 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"comfase/internal/phy"
+	"comfase/internal/platoon"
+	"comfase/internal/scenario"
+	"comfase/internal/sim/des"
+	"comfase/internal/sim/rng"
+)
+
+// groupEngine returns an engine on a shortened paper scenario so group
+// tests stay fast while still covering an attack window with real
+// braking dynamics.
+func groupEngine(t *testing.T, mut func(*EngineConfig)) *Engine {
+	t.Helper()
+	ts := scenario.PaperScenario()
+	ts.TotalSimTime = 30 * des.Second
+	cfg := EngineConfig{
+		Scenario: ts,
+		Comm:     scenario.PaperCommModel(),
+		Seed:     7,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	return eng
+}
+
+// groupSpecs is a sibling block sharing one start: the paper's delay
+// attack on vehicle.2 with varying values and durations.
+func groupSpecs(start des.Time) []ExperimentSpec {
+	setup := CampaignSetup{
+		Attack:    AttackDelay,
+		Targets:   []string{"vehicle.2"},
+		Values:    []float64{0.4, 1.0, 2.0},
+		Starts:    []des.Time{start},
+		Durations: []des.Time{2 * des.Second, 5 * des.Second, 20 * des.Second},
+	}
+	return setup.Experiments()
+}
+
+// resultsEqual compares classified results to the bit level: forked runs
+// must reproduce fresh runs exactly, not approximately.
+func resultsEqual(a, b ExperimentResult) bool {
+	if a.Spec.Nr != b.Spec.Nr || a.Outcome != b.Outcome || a.Collider != b.Collider {
+		return false
+	}
+	if math.Float64bits(a.MaxDecel) != math.Float64bits(b.MaxDecel) ||
+		math.Float64bits(a.MaxSpeedDev) != math.Float64bits(b.MaxSpeedDev) {
+		return false
+	}
+	if !reflect.DeepEqual(a.MaxDecelPerVehicle, b.MaxDecelPerVehicle) {
+		return false
+	}
+	return reflect.DeepEqual(a.Collisions, b.Collisions)
+}
+
+func TestGroupForkMatchesFreshRuns(t *testing.T) {
+	specs := groupSpecs(19 * des.Second)
+
+	fresh := groupEngine(t, nil)
+	want := make([]ExperimentResult, len(specs))
+	for i, spec := range specs {
+		res, err := fresh.RunExperiment(spec)
+		if err != nil {
+			t.Fatalf("fresh %v: %v", spec, err)
+		}
+		want[i] = res
+	}
+
+	forked := groupEngine(t, nil)
+	gs, err := forked.BeginGroup(context.Background(), specs[0].Start)
+	if err != nil {
+		t.Fatalf("BeginGroup: %v", err)
+	}
+	defer gs.Close()
+	for i, spec := range specs {
+		res, err := gs.RunExperiment(context.Background(), spec)
+		if err != nil {
+			t.Fatalf("forked %v: %v", spec, err)
+		}
+		if !resultsEqual(res, want[i]) {
+			t.Errorf("experiment %d diverged:\nfresh  %+v\nforked %+v", spec.Nr, want[i], res)
+		}
+	}
+	if !gs.Healthy() {
+		t.Error("session unexpectedly poisoned")
+	}
+}
+
+func TestGroupForkMatchesFreshWithBudgetAndInvariants(t *testing.T) {
+	// Budget + invariants + cancelable context: the configuration the
+	// campaign runner uses. The forked path must reproduce fresh results
+	// under the full interrupt-poll cadence, not just the bare kernel.
+	mut := func(cfg *EngineConfig) {
+		cfg.Invariants = true
+		cfg.EventBudget = 50_000_000
+		cfg.CancelCheckEvents = 256
+	}
+	specs := groupSpecs(19 * des.Second)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	fresh := groupEngine(t, mut)
+	want := make([]ExperimentResult, len(specs))
+	for i, spec := range specs {
+		res, err := fresh.RunExperimentCtx(ctx, spec)
+		if err != nil {
+			t.Fatalf("fresh %v: %v", spec, err)
+		}
+		want[i] = res
+	}
+
+	forked := groupEngine(t, mut)
+	got, err := forked.RunExperimentGroup(ctx, specs)
+	if err != nil {
+		t.Fatalf("RunExperimentGroup: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d results, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if !resultsEqual(got[i], want[i]) {
+			t.Errorf("experiment %d diverged:\nfresh  %+v\nforked %+v", want[i].Spec.Nr, want[i], got[i])
+		}
+	}
+}
+
+func TestGroupForkMatchesFreshJamming(t *testing.T) {
+	// Jamming exercises the Installer path and noise receptions — the
+	// reception-pool restore's hardest case.
+	setup := CampaignSetup{
+		Attack:    AttackJamming,
+		Targets:   []string{"vehicle.2"},
+		Values:    []float64{20, 30},
+		Starts:    []des.Time{19 * des.Second},
+		Durations: []des.Time{3 * des.Second, 8 * des.Second},
+	}
+	specs := setup.Experiments()
+
+	fresh := groupEngine(t, nil)
+	want := make([]ExperimentResult, len(specs))
+	for i, spec := range specs {
+		res, err := fresh.RunExperiment(spec)
+		if err != nil {
+			t.Fatalf("fresh %v: %v", spec, err)
+		}
+		want[i] = res
+	}
+
+	forked := groupEngine(t, nil)
+	got, err := forked.RunExperimentGroup(context.Background(), specs)
+	if err != nil {
+		t.Fatalf("RunExperimentGroup: %v", err)
+	}
+	for i := range got {
+		if !resultsEqual(got[i], want[i]) {
+			t.Errorf("experiment %d diverged:\nfresh  %+v\nforked %+v", want[i].Spec.Nr, want[i], got[i])
+		}
+	}
+}
+
+func TestBeginGroupRejectsFadingChannel(t *testing.T) {
+	eng := groupEngine(t, func(cfg *EngineConfig) {
+		cfg.Comm.Channel.Fading = phy.NewNakagamiFading(rng.New(1, "fading"))
+	})
+	_, err := eng.BeginGroup(context.Background(), 19*des.Second)
+	if !errors.Is(err, ErrNotCheckpointable) {
+		t.Fatalf("err = %v, want ErrNotCheckpointable", err)
+	}
+	// The fallback wrapper must still complete the group.
+	specs := groupSpecs(19 * des.Second)[:1]
+	if _, err := eng.RunExperimentGroup(context.Background(), specs); err != nil {
+		t.Fatalf("RunExperimentGroup fallback: %v", err)
+	}
+}
+
+// hiddenStateController wraps a CACC but hides its state interface,
+// modelling a user-supplied stateful controller the checkpoint layer
+// cannot capture.
+type hiddenStateController struct{ inner *platoon.CACC }
+
+func (h hiddenStateController) Name() string { return "hidden" }
+func (h hiddenStateController) Reset()       { h.inner.Reset() }
+func (h hiddenStateController) Update(dt float64, self platoon.Snapshot, leader, pred platoon.KinState) float64 {
+	return h.inner.Update(dt, self, leader, pred)
+}
+
+func TestBeginGroupRejectsOpaqueController(t *testing.T) {
+	eng := groupEngine(t, func(cfg *EngineConfig) {
+		cfg.Controllers = func(int) platoon.Controller {
+			return hiddenStateController{inner: platoon.DefaultCACC()}
+		}
+	})
+	_, err := eng.BeginGroup(context.Background(), 19*des.Second)
+	if !errors.Is(err, ErrNotCheckpointable) {
+		t.Fatalf("err = %v, want ErrNotCheckpointable", err)
+	}
+}
+
+func TestGroupPoisonOnPanicFallsBack(t *testing.T) {
+	// A model that panics during install poisons the session; the group
+	// wrapper retries fresh, where it panics again and surfaces as a
+	// PanicError — identical to the fresh path's containment.
+	boom := func(spec ExperimentSpec, horizon des.Time, seed uint64) (AttackModel, error) {
+		return panicOnInstallModel{}, nil
+	}
+	setup := CampaignSetup{
+		Factory:   boom,
+		Targets:   []string{"vehicle.2"},
+		Values:    []float64{1},
+		Starts:    []des.Time{19 * des.Second},
+		Durations: []des.Time{2 * des.Second},
+	}
+	eng := groupEngine(t, nil)
+	gs, err := eng.BeginGroup(context.Background(), 19*des.Second)
+	if err != nil {
+		t.Fatalf("BeginGroup: %v", err)
+	}
+	defer gs.Close()
+	_, err = gs.RunExperiment(context.Background(), setup.Experiments()[0])
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want PanicError", err)
+	}
+	if gs.Healthy() {
+		t.Error("session still healthy after panic")
+	}
+	if _, err := gs.RunExperiment(context.Background(), setup.Experiments()[0]); !errors.Is(err, ErrGroupPoisoned) {
+		t.Errorf("err = %v, want ErrGroupPoisoned", err)
+	}
+}
+
+func TestGroupRejectsWrongStart(t *testing.T) {
+	eng := groupEngine(t, nil)
+	gs, err := eng.BeginGroup(context.Background(), 19*des.Second)
+	if err != nil {
+		t.Fatalf("BeginGroup: %v", err)
+	}
+	defer gs.Close()
+	spec := groupSpecs(18 * des.Second)[0]
+	if _, err := gs.RunExperiment(context.Background(), spec); !errors.Is(err, ErrWrongGroup) {
+		t.Fatalf("err = %v, want ErrWrongGroup", err)
+	}
+	if !gs.Healthy() {
+		t.Error("wrong-start rejection must not poison the session")
+	}
+}
+
+// panicOnInstallModel panics when the engine installs it.
+type panicOnInstallModel struct{}
+
+func (panicOnInstallModel) Name() string      { return "panic-on-install" }
+func (panicOnInstallModel) Targets() []string { return []string{"vehicle.2"} }
+func (panicOnInstallModel) Install(*scenario.Simulation) error {
+	panic("panic-on-install")
+}
+func (panicOnInstallModel) Uninstall(*scenario.Simulation) error { return nil }

@@ -1,0 +1,55 @@
+package mac
+
+import "comfase/internal/sim/des"
+
+// EDCAState is a restorable snapshot of an EDCA entity's mutable state:
+// queue contents, per-AC backoff, carrier-sense and transmit flags, the
+// pending attempt event and the counters. Configuration (kernel, RNG,
+// schedule, hooks) is stable across a checkpointed experiment group and
+// is not captured; the backoff RNG stream is snapshotted separately by
+// the radio that owns it.
+//
+// The zero value is ready to use; queue buffers grow on first SaveState
+// and are reused afterwards.
+type EDCAState struct {
+	queues       [numAC][]Frame
+	backoff      [numAC]int
+	busy         bool
+	transmitting bool
+	attempt      des.EventID
+	deferAC      AccessCategory
+	deferStart   des.Time
+	stats        Stats
+}
+
+// SaveState captures the entity's mutable state into st, reusing st's
+// queue buffers.
+func (m *EDCA) SaveState(st *EDCAState) {
+	for i := range m.acs {
+		st.queues[i] = append(st.queues[i][:0], m.acs[i].queue...)
+		st.backoff[i] = m.acs[i].backoff
+	}
+	st.busy = m.busy
+	st.transmitting = m.transmitting
+	st.attempt = m.attempt
+	st.deferAC = m.deferAC
+	st.deferStart = m.deferStart
+	st.stats = m.stats
+}
+
+// LoadState restores state captured by SaveState. The saved attempt
+// EventID is only meaningful together with a Kernel.Restore to the
+// matching snapshot, which rewinds the generation counters that make it
+// valid again.
+func (m *EDCA) LoadState(st *EDCAState) {
+	for i := range m.acs {
+		m.acs[i].queue = append(m.acs[i].queue[:0], st.queues[i]...)
+		m.acs[i].backoff = st.backoff[i]
+	}
+	m.busy = st.busy
+	m.transmitting = st.transmitting
+	m.attempt = st.attempt
+	m.deferAC = st.deferAC
+	m.deferStart = st.deferStart
+	m.stats = st.stats
+}

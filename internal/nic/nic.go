@@ -132,6 +132,13 @@ type Air struct {
 	// here with their two scheduling closures intact, so steady-state
 	// frame delivery allocates nothing.
 	recFree []*reception
+	// allRecs registers every reception ever allocated on this medium, in
+	// creation order, and recIndex maps each back to its registry slot.
+	// The registry is what lets a checkpoint capture in-flight receptions
+	// by identity: kernel handlers hold pointers to specific reception
+	// objects, so restore must rewind those objects' fields in place.
+	allRecs  []*reception
+	recIndex map[*reception]int32
 
 	stats Stats
 }
@@ -295,6 +302,11 @@ func (a *Air) acquireReception(dst *Radio) *reception {
 	rec := &reception{dst: dst}
 	rec.beginFn = func() { rec.dst.beginReception(rec) }
 	rec.endFn = func() { rec.dst.air.finishReception(rec) }
+	if a.recIndex == nil {
+		a.recIndex = make(map[*reception]int32, 16)
+	}
+	a.recIndex[rec] = int32(len(a.allRecs))
+	a.allRecs = append(a.allRecs, rec)
 	return rec
 }
 

@@ -1,0 +1,105 @@
+package platoon
+
+import "comfase/internal/sim/des"
+
+// ControllerState is the portable snapshot of a follower controller's
+// internal state. All shipped controllers fit in it: CACC and ACC are
+// stateless, Ploeg carries its dynamic command u.
+type ControllerState struct {
+	// U is the dynamic command state (Ploeg's u; unused by the stateless
+	// controllers).
+	U float64
+}
+
+// StatefulController extends Controller with checkpoint hooks. A
+// controller that keeps internal state across Update calls must implement
+// it to participate in prefix-checkpoint forking; the engine falls back
+// to fresh per-experiment builds for controllers that do not.
+type StatefulController interface {
+	Controller
+	// SaveState captures the controller's internal state.
+	SaveState() ControllerState
+	// LoadState restores state captured by SaveState.
+	LoadState(ControllerState)
+}
+
+// SaveState implements StatefulController (CACC is stateless).
+func (c *CACC) SaveState() ControllerState { return ControllerState{} }
+
+// LoadState implements StatefulController (CACC is stateless).
+func (c *CACC) LoadState(ControllerState) {}
+
+// SaveState implements StatefulController (ACC is stateless).
+func (c *ACC) SaveState() ControllerState { return ControllerState{} }
+
+// LoadState implements StatefulController (ACC is stateless).
+func (c *ACC) LoadState(ControllerState) {}
+
+// SaveState implements StatefulController.
+func (c *Ploeg) SaveState() ControllerState { return ControllerState{U: c.u} }
+
+// LoadState implements StatefulController.
+func (c *Ploeg) LoadState(st ControllerState) { c.u = st.U }
+
+var (
+	_ StatefulController = (*CACC)(nil)
+	_ StatefulController = (*ACC)(nil)
+	_ StatefulController = (*Ploeg)(nil)
+)
+
+// MemberState is a restorable snapshot of a platoon member's mutable
+// state: beacon caches and counters, the beacon ticker, and the follower
+// controller's internal state. The radio and vehicle are snapshotted by
+// their own layers; the wiring (kernel, radar, AEB thresholds, params) is
+// build-time configuration, stable across a checkpointed experiment
+// group.
+type MemberState struct {
+	Leader         KinState
+	Pred           KinState
+	BeaconSeq      uint64
+	RxCount        uint64
+	AEBActivations uint64
+	Beacons        des.TickerState
+	Ctrl           ControllerState
+}
+
+// Checkpointable reports whether the member's state can be fully captured
+// by SaveState: true unless a custom follower controller keeps state the
+// StatefulController interface cannot reach.
+func (m *Member) Checkpointable() bool {
+	if m.ctrl == nil {
+		return true
+	}
+	_, ok := m.ctrl.(StatefulController)
+	return ok
+}
+
+// SaveState captures the member's mutable state. It must be paired with a
+// Kernel snapshot taken at the same instant: the beacon ticker's pending
+// event is a kernel event.
+func (m *Member) SaveState(st *MemberState) {
+	st.Leader = m.leaderCache
+	st.Pred = m.predCache
+	st.BeaconSeq = m.beaconSeq
+	st.RxCount = m.rxCount
+	st.AEBActivations = m.aebActivations
+	st.Beacons = m.beacons.SaveState()
+	if sc, ok := m.ctrl.(StatefulController); ok {
+		st.Ctrl = sc.SaveState()
+	} else {
+		st.Ctrl = ControllerState{}
+	}
+}
+
+// LoadState restores state captured by SaveState.
+func (m *Member) LoadState(st *MemberState) {
+	m.leaderCache = st.Leader
+	m.predCache = st.Pred
+	m.beaconSeq = st.BeaconSeq
+	m.rxCount = st.RxCount
+	m.aebActivations = st.AEBActivations
+	m.beacons.LoadState(st.Beacons)
+	if sc, ok := m.ctrl.(StatefulController); ok {
+		sc.LoadState(st.Ctrl)
+	}
+}

@@ -20,6 +20,13 @@
 //   - Resumable: Resume(ReadResults(file)) skips grid points a previous
 //     (interrupted) run already completed and appends exactly the
 //     missing rows.
+//   - Checkpointed: experiments sharing an attackStartTime are scheduled
+//     as one unit on one worker, which simulates their common fault-free
+//     prefix once and forks each sibling from the snapshot
+//     (core.GroupSession). The grid is start-major, so sharding and
+//     resume keep siblings contiguous, and the release frontier still
+//     emits rows in grid order — checkpointed and fresh campaigns
+//     produce byte-identical outputs.
 package runner
 
 import (
@@ -31,6 +38,7 @@ import (
 
 	"comfase/internal/core"
 	"comfase/internal/runner/pool"
+	"comfase/internal/sim/des"
 )
 
 // ErrFailureBudget is wrapped by Run's error when persistent experiment
@@ -145,6 +153,15 @@ type Options struct {
 	// (this run's budget governs this run's new failures). Delete the
 	// quarantine file to retry them.
 	ResumeFailures map[int]core.ExperimentFailure
+
+	// DisableCheckpoints turns off prefix-checkpoint forking: every
+	// experiment then builds and simulates from t=0 (the pre-checkpoint
+	// execution path). The zero value — checkpoints enabled — is right
+	// for production campaigns: results are bit-identical either way and
+	// forking skips the redundant shared prefixes. Configurations the
+	// checkpoint layer cannot capture (fading channels, opaque custom
+	// controllers) fall back to the fresh path automatically.
+	DisableCheckpoints bool
 }
 
 // Runner executes campaign grids against a core.Engine.
@@ -250,6 +267,52 @@ func (r *Runner) Run(ctx context.Context, setup core.CampaignSetup) (*core.Campa
 		return nil
 	}
 
+	// complete records one finished grid point (success or persistent
+	// failure), advances the release frontier and enforces the failure
+	// budget. It is the single completion path for grouped and fresh
+	// execution alike.
+	complete := func(idx int, res core.ExperimentResult, attempts int, runErr error) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if runErr != nil {
+			fail := core.NewExperimentFailure(specs[idx], runErr, attempts)
+			slots[idx] = slot{failure: &fail, done: true}
+			failures++
+			overBudget := r.opts.MaxFailures >= 0 && failures > r.opts.MaxFailures
+			done++
+			if relErr := release(); relErr != nil {
+				return relErr
+			}
+			if overBudget {
+				// Aborting: force the triggering record out if the
+				// frontier has not reached it, so the quarantine file
+				// explains the abort even when earlier grid points are
+				// still in flight.
+				if idx >= next && r.opts.Quarantine != nil {
+					slots[idx].skipEmit = true
+					if qerr := r.opts.Quarantine.Put(fail); qerr != nil {
+						return fmt.Errorf("runner: quarantine sink: %w", qerr)
+					}
+				}
+				return fmt.Errorf("%w: %d persistent failure(s) over budget %d; experiment %v: %w",
+					ErrFailureBudget, failures, r.opts.MaxFailures, specs[idx], runErr)
+			}
+			if r.opts.Progress != nil {
+				r.opts.Progress(done, total)
+			}
+			return nil
+		}
+		slots[idx] = slot{res: res, done: true}
+		done++
+		if relErr := release(); relErr != nil {
+			return relErr
+		}
+		if r.opts.Progress != nil {
+			r.opts.Progress(done, total)
+		}
+		return nil
+	}
+
 	mu.Lock()
 	err := release() // resumed prefix advances the frontier immediately
 	if err == nil && done > 0 && r.opts.Progress != nil {
@@ -257,51 +320,34 @@ func (r *Runner) Run(ctx context.Context, setup core.CampaignSetup) (*core.Campa
 	}
 	mu.Unlock()
 
+	// Schedule contiguous same-start runs of the remaining grid as one
+	// unit each, so siblings land on the same worker and can fork from
+	// that worker's prefix checkpoint. The grid is start-major, so the
+	// runs survive shard filtering and resume holes intact.
+	groups := groupByStart(specs, todo)
+
 	if err == nil {
-		err = pool.Run(ctx, len(todo), r.opts.Workers, func(ctx context.Context, i int) error {
-			idx := todo[i]
-			res, attempts, runErr := r.runWithRetry(ctx, specs[idx])
-			if runErr != nil && ctx.Err() != nil {
-				// Campaign-level cancellation, not an experiment failure.
-				return fmt.Errorf("experiment %v: %w", specs[idx], runErr)
-			}
-			mu.Lock()
-			defer mu.Unlock()
-			if runErr != nil {
-				fail := core.NewExperimentFailure(specs[idx], runErr, attempts)
-				slots[idx] = slot{failure: &fail, done: true}
-				failures++
-				overBudget := r.opts.MaxFailures >= 0 && failures > r.opts.MaxFailures
-				done++
-				if relErr := release(); relErr != nil {
-					return relErr
+		err = pool.Run(ctx, len(groups), r.opts.Workers, func(ctx context.Context, g int) error {
+			group := groups[g]
+			var gs *core.GroupSession
+			if !r.opts.DisableCheckpoints && len(group) > 1 {
+				gs = r.beginGroup(ctx, specs[group[0]].Start)
+				if gs != nil {
+					defer gs.Close()
 				}
-				if overBudget {
-					// Aborting: force the triggering record out if the
-					// frontier has not reached it, so the quarantine file
-					// explains the abort even when earlier grid points are
-					// still in flight.
-					if idx >= next && r.opts.Quarantine != nil {
-						slots[idx].skipEmit = true
-						if qerr := r.opts.Quarantine.Put(fail); qerr != nil {
-							return fmt.Errorf("runner: quarantine sink: %w", qerr)
-						}
-					}
-					return fmt.Errorf("%w: %d persistent failure(s) over budget %d; experiment %v: %w",
-						ErrFailureBudget, failures, r.opts.MaxFailures, specs[idx], runErr)
+				if cerr := ctx.Err(); cerr != nil {
+					return cerr
 				}
-				if r.opts.Progress != nil {
-					r.opts.Progress(done, total)
+			}
+			for _, idx := range group {
+				res, attempts, runErr := r.runWithRetry(ctx, specs[idx], gs)
+				if runErr != nil && ctx.Err() != nil {
+					// Campaign-level cancellation, not an experiment failure.
+					return fmt.Errorf("experiment %v: %w", specs[idx], runErr)
 				}
-				return nil
-			}
-			slots[idx] = slot{res: res, done: true}
-			done++
-			if relErr := release(); relErr != nil {
-				return relErr
-			}
-			if r.opts.Progress != nil {
-				r.opts.Progress(done, total)
+				if cerr := complete(idx, res, attempts, runErr); cerr != nil {
+					return cerr
+				}
 			}
 			return nil
 		})
@@ -347,13 +393,54 @@ func (r *Runner) Run(ctx context.Context, setup core.CampaignSetup) (*core.Campa
 	return out, nil
 }
 
+// groupByStart slices the pending grid indices into contiguous runs
+// sharing an attack start time. todo is ascending and the grid is
+// start-major, so equal-start siblings are adjacent; each returned group
+// becomes one scheduling unit (one prefix checkpoint).
+func groupByStart(specs []core.ExperimentSpec, todo []int) [][]int {
+	var groups [][]int
+	for i := 0; i < len(todo); {
+		j := i + 1
+		start := specs[todo[i]].Start
+		for j < len(todo) && specs[todo[j]].Start == start {
+			j++
+		}
+		groups = append(groups, todo[i:j])
+		i = j
+	}
+	return groups
+}
+
+// beginGroup checkpoints the fault-free prefix at start, applying the
+// same wall-clock watchdog a fresh attempt would get. Any error — a
+// non-checkpointable configuration, a prefix failure, a prefix timeout —
+// selects the fresh-build fallback by returning nil: the group then runs
+// exactly as it would with checkpoints disabled. Campaign cancellation
+// is the caller's to detect via ctx.Err().
+func (r *Runner) beginGroup(ctx context.Context, start des.Time) *core.GroupSession {
+	prefixCtx, cancel := ctx, func() {}
+	if r.opts.ExperimentTimeout > 0 {
+		prefixCtx, cancel = context.WithTimeout(ctx, r.opts.ExperimentTimeout)
+	}
+	gs, err := r.eng.BeginGroup(prefixCtx, start)
+	cancel()
+	if err != nil {
+		return nil
+	}
+	return gs
+}
+
 // runWithRetry executes one grid point with the per-attempt wall-clock
-// watchdog and the retry policy: up to 1+Retries attempts, each on a
-// fresh workspace, with linear backoff between them. It returns the
-// result of the first successful attempt, or — after exhausting every
-// attempt — the final error. Campaign-level cancellation surfaces as an
-// error too; the caller distinguishes it via ctx.Err().
-func (r *Runner) runWithRetry(ctx context.Context, spec core.ExperimentSpec) (core.ExperimentResult, int, error) {
+// watchdog and the retry policy: up to 1+Retries attempts with linear
+// backoff between them. When the worker holds a healthy group session,
+// the first attempt forks from its prefix checkpoint; retries — and the
+// first attempt once a sibling has poisoned the session — run on a fresh
+// workspace, so transient corruption does not leak between attempts and
+// attempt counts match the checkpoint-disabled path exactly. It returns
+// the result of the first successful attempt, or — after exhausting
+// every attempt — the final error. Campaign-level cancellation surfaces
+// as an error too; the caller distinguishes it via ctx.Err().
+func (r *Runner) runWithRetry(ctx context.Context, spec core.ExperimentSpec, gs *core.GroupSession) (core.ExperimentResult, int, error) {
 	attempts := 1 + r.opts.Retries
 	if attempts < 1 {
 		attempts = 1
@@ -369,7 +456,13 @@ func (r *Runner) runWithRetry(ctx context.Context, spec core.ExperimentSpec) (co
 		if r.opts.ExperimentTimeout > 0 {
 			attemptCtx, cancel = context.WithTimeout(ctx, r.opts.ExperimentTimeout)
 		}
-		res, err := r.eng.RunExperimentCtx(attemptCtx, spec)
+		var res core.ExperimentResult
+		var err error
+		if a == 1 && gs != nil && gs.Healthy() {
+			res, err = gs.RunExperiment(attemptCtx, spec)
+		} else {
+			res, err = r.eng.RunExperimentCtx(attemptCtx, spec)
+		}
 		cancel()
 		if err == nil {
 			return res, a, nil

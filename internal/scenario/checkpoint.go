@@ -1,0 +1,137 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+
+	"comfase/internal/nic"
+	"comfase/internal/platoon"
+	"comfase/internal/sim/des"
+	"comfase/internal/traffic"
+)
+
+// Errors returned by the checkpoint API.
+var (
+	// ErrForeignCheckpoint marks a restore attempted on a workspace other
+	// than the one the checkpoint was taken from.
+	ErrForeignCheckpoint = errors.New("scenario: checkpoint belongs to a different workspace")
+	// ErrStaleCheckpoint marks a restore attempted after the workspace was
+	// rebuilt: the snapshot references the previous build's object graph.
+	ErrStaleCheckpoint = errors.New("scenario: checkpoint predates the workspace's current build")
+	// ErrNotCheckpointable marks a simulation whose state cannot be fully
+	// captured (shared fading RNG or a custom stateful controller).
+	ErrNotCheckpointable = errors.New("scenario: simulation state cannot be checkpointed")
+)
+
+// Checkpoint is a restorable snapshot of a built, running simulation —
+// the fork point of prefix-checkpoint campaigns. It composes the snapshot
+// state of every stateful layer: the event kernel, the radio medium, the
+// traffic simulator and the platoon members (vehicles included).
+//
+// A Checkpoint is bound to the Workspace and Build it was taken from
+// (kernel event handlers are closures into that build's object graph), so
+// Restore is only valid in place: same workspace, same build epoch. The
+// zero value is ready for Snapshot; all internal buffers are reused
+// across Snapshot/Restore cycles, so the steady-state fork path allocates
+// nothing.
+type Checkpoint struct {
+	owner   *Workspace
+	epoch   uint64
+	kernel  des.KernelState
+	air     nic.AirState
+	traffic traffic.SimState
+	members []platoon.MemberState
+	started bool
+}
+
+// Owner returns the workspace this checkpoint was taken from (nil before
+// the first Snapshot).
+func (cp *Checkpoint) Owner() *Workspace { return cp.owner }
+
+// Checkpointable reports whether the current build's state can be fully
+// captured by Snapshot. It is false when the channel uses a fading model
+// (the fading RNG is shared configuration, not per-workspace state) or
+// when a custom follower controller does not implement
+// platoon.StatefulController. Non-checkpointable simulations must run on
+// the fresh-build path.
+func (w *Workspace) Checkpointable() bool {
+	if w.sim.comm.Channel.Fading != nil {
+		return false
+	}
+	for _, m := range w.sim.Members {
+		if !m.Checkpointable() {
+			return false
+		}
+	}
+	return true
+}
+
+// Snapshot captures the full simulation state into cp, reusing cp's
+// buffers. The simulation must have been built (and typically started and
+// advanced to the fork point) by this workspace's latest Build.
+func (w *Workspace) Snapshot(cp *Checkpoint) error {
+	if !w.Checkpointable() {
+		return ErrNotCheckpointable
+	}
+	cp.owner = w
+	cp.epoch = w.epoch
+	w.kernel.Snapshot(&cp.kernel)
+	if err := w.air.SaveState(&cp.air); err != nil {
+		return err
+	}
+	w.traffic.SaveState(&cp.traffic)
+	members := w.sim.Members
+	if cap(cp.members) < len(members) {
+		cp.members = make([]platoon.MemberState, len(members))
+	}
+	cp.members = cp.members[:len(members)]
+	for i, m := range members {
+		m.SaveState(&cp.members[i])
+	}
+	cp.started = w.sim.started
+	return nil
+}
+
+// Restore rewinds the workspace's simulation to the checkpointed instant,
+// in place. It must run on the same workspace and build epoch the
+// snapshot was taken under.
+//
+// Runtime knobs are deliberately outside the snapshot: callers reapply
+// the kernel's interrupt check (Simulation.AttachContext) and event
+// budget BEFORE Restore, exactly as the fresh-build path applies them
+// before running — Restore then rewinds the kernel's poll phase so forked
+// runs hit deterministic abort points identical to fresh ones.
+//
+// Event IDs issued after the snapshot are permanently invalidated by the
+// rewind; retaining one across Restore is a caller bug the kernel's
+// generation check turns into a failed Cancel rather than corruption.
+func (w *Workspace) Restore(cp *Checkpoint) error {
+	if cp.owner == nil {
+		return errors.New("scenario: restore from empty checkpoint")
+	}
+	if cp.owner != w {
+		return ErrForeignCheckpoint
+	}
+	if cp.epoch != w.epoch {
+		return fmt.Errorf("%w: checkpoint epoch %d, workspace epoch %d",
+			ErrStaleCheckpoint, cp.epoch, w.epoch)
+	}
+	if err := w.kernel.Restore(&cp.kernel); err != nil {
+		return err
+	}
+	if err := w.air.LoadState(&cp.air); err != nil {
+		return err
+	}
+	if err := w.traffic.LoadState(&cp.traffic); err != nil {
+		return err
+	}
+	if len(cp.members) != len(w.sim.Members) {
+		return fmt.Errorf("scenario: restore with %d members, snapshot had %d",
+			len(w.sim.Members), len(cp.members))
+	}
+	for i, m := range w.sim.Members {
+		m.LoadState(&cp.members[i])
+	}
+	w.sim.started = cp.started
+	return nil
+}

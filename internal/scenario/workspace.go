@@ -37,6 +37,13 @@ type Workspace struct {
 	members []*platoon.Member
 	tracker traffic.SpeedTracker
 	sim     Simulation
+
+	// epoch counts Builds on this workspace. A Checkpoint records the
+	// epoch it was taken under, and Restore rejects checkpoints from a
+	// different build: kernel handlers are closures into the build-time
+	// object graph, so a snapshot is only meaningful in place, on the
+	// exact simulation instance it was taken from.
+	epoch uint64
 }
 
 // NewWorkspace returns an empty workspace; the first Build populates it.
@@ -56,6 +63,7 @@ func (w *Workspace) Build(ts TrafficScenario, cm CommModel, seed uint64, factory
 	if factory == nil {
 		factory = DefaultControllers()
 	}
+	w.epoch++
 
 	if w.kernel == nil {
 		w.kernel = des.NewKernel()

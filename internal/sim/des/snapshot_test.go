@@ -1,0 +1,271 @@
+package des
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestSnapshotRestoreReplaysIdentically pins the core forking contract:
+// restoring a snapshot and re-running produces the exact event sequence
+// the first run past the snapshot produced.
+func TestSnapshotRestoreReplaysIdentically(t *testing.T) {
+	k := NewKernel()
+	var trace []Time
+	var schedule func(at Time, depth int)
+	schedule = func(at Time, depth int) {
+		k.ScheduleAt(at, func() {
+			trace = append(trace, k.Now())
+			if depth > 0 {
+				schedule(k.Now().Add(3*Millisecond), depth-1)
+			}
+		})
+	}
+	for i := 0; i < 5; i++ {
+		schedule(Time(i)*10*Millisecond, 2)
+	}
+	if err := k.RunUntil(20 * Millisecond); err != nil {
+		t.Fatalf("prefix: %v", err)
+	}
+
+	var st KernelState
+	k.Snapshot(&st)
+	wantNow, wantExec := k.Now(), k.Executed()
+
+	trace = trace[:0]
+	if err := k.Run(); err != nil {
+		t.Fatalf("first continuation: %v", err)
+	}
+	want := append([]Time(nil), trace...)
+
+	if err := k.Restore(&st); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if k.Now() != wantNow || k.Executed() != wantExec {
+		t.Fatalf("restore rewound to now=%v executed=%d, want %v/%d",
+			k.Now(), k.Executed(), wantNow, wantExec)
+	}
+	trace = trace[:0]
+	if err := k.Run(); err != nil {
+		t.Fatalf("second continuation: %v", err)
+	}
+	if len(trace) != len(want) {
+		t.Fatalf("replay fired %d events, want %d", len(trace), len(want))
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("replay diverged at event %d: %v, want %v", i, trace[i], want[i])
+		}
+	}
+}
+
+// TestRestoreRevivesCanceledAndInvalidatesNewIDs covers the generation
+// edge cases around a restore: an event canceled AFTER the snapshot fires
+// again on replay, an event scheduled after the snapshot vanishes, and
+// the ID issued for it goes permanently stale.
+func TestRestoreRevivesCanceledAndInvalidatesNewIDs(t *testing.T) {
+	k := NewKernel()
+	fired := map[string]int{}
+	a := k.ScheduleAt(10*Millisecond, func() { fired["a"]++ })
+
+	var st KernelState
+	k.Snapshot(&st)
+
+	b := k.ScheduleAt(20*Millisecond, func() { fired["b"]++ })
+	if !k.Cancel(a) {
+		t.Fatal("cancel of live pre-snapshot event failed")
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired["a"] != 0 || fired["b"] != 1 {
+		t.Fatalf("pre-restore run fired %v, want only b", fired)
+	}
+
+	if err := k.Restore(&st); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	// b was scheduled after the snapshot: its slot no longer holds it.
+	if k.Cancel(b) {
+		t.Error("post-snapshot ID canceled an event after restore")
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run after restore: %v", err)
+	}
+	if fired["a"] != 1 || fired["b"] != 1 {
+		t.Fatalf("post-restore run fired %v, want a revived exactly once", fired)
+	}
+	// The revived event is gone now; its ID must be dead too.
+	if k.Cancel(a) {
+		t.Error("pre-snapshot ID still live after its event fired")
+	}
+}
+
+// TestRestoreAfterBudgetExceeded pins the watchdog interplay: a run
+// aborted by the event budget restores cleanly, and an identical budget
+// aborts the replay at the identical event count.
+func TestRestoreAfterBudgetExceeded(t *testing.T) {
+	k := NewKernel()
+	var reschedule func()
+	n := 0
+	reschedule = func() {
+		n++
+		k.ScheduleAfter(Millisecond, reschedule)
+	}
+	k.ScheduleAfter(Millisecond, reschedule)
+	if err := k.RunUntil(5 * Millisecond); err != nil {
+		t.Fatalf("prefix: %v", err)
+	}
+	var st KernelState
+	k.Snapshot(&st)
+
+	k.SetInterruptCheck(4, func() error { return nil })
+	k.SetEventBudget(20)
+	err := k.RunUntil(Minute)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	abortExec, abortNow := k.Executed(), k.Now()
+
+	// Same knobs, then restore (the caller contract: knobs BEFORE
+	// Restore, which rewinds the poll phase) — the abort must be
+	// deterministic.
+	k.SetInterruptCheck(4, func() error { return nil })
+	k.SetEventBudget(20)
+	if err := k.Restore(&st); err != nil {
+		t.Fatalf("Restore after budget abort: %v", err)
+	}
+	err = k.RunUntil(Minute)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("replay err = %v, want ErrBudgetExceeded", err)
+	}
+	if k.Executed() != abortExec || k.Now() != abortNow {
+		t.Fatalf("replay aborted at executed=%d now=%v, want %d/%v",
+			k.Executed(), k.Now(), abortExec, abortNow)
+	}
+
+	// A raised budget lets the restored run proceed past the old abort.
+	k.SetInterruptCheck(4, func() error { return nil })
+	k.SetEventBudget(100)
+	if err := k.Restore(&st); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if err := k.RunUntil(50 * Millisecond); err != nil {
+		t.Fatalf("run with raised budget: %v", err)
+	}
+	if k.Executed() <= abortExec {
+		t.Fatalf("raised budget executed %d, want > %d", k.Executed(), abortExec)
+	}
+}
+
+// TestRestoreRejectsForeignAndEmptyState pins the ownership contract.
+func TestRestoreRejectsForeignAndEmptyState(t *testing.T) {
+	a, b := NewKernel(), NewKernel()
+	var st KernelState
+	a.Snapshot(&st)
+	if err := b.Restore(&st); !errors.Is(err, ErrForeignState) {
+		t.Errorf("foreign restore err = %v, want ErrForeignState", err)
+	}
+	var empty KernelState
+	if err := a.Restore(&empty); err == nil {
+		t.Error("restore from empty state succeeded")
+	}
+}
+
+// TestSnapshotRestoreAllocs pins the steady-state fork path: once the
+// state buffers have grown, Snapshot and Restore allocate nothing.
+func TestSnapshotRestoreAllocs(t *testing.T) {
+	k := NewKernel()
+	for i := 0; i < 64; i++ {
+		at := Time(i) * Millisecond
+		k.ScheduleAt(at, func() {})
+	}
+	if err := k.RunUntil(10 * Millisecond); err != nil {
+		t.Fatalf("prefix: %v", err)
+	}
+	var st KernelState
+	k.Snapshot(&st) // warm the buffers
+	allocs := testing.AllocsPerRun(100, func() {
+		k.Snapshot(&st)
+		if err := k.Restore(&st); err != nil {
+			t.Fatalf("Restore: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Snapshot+Restore allocated %.1f per cycle, want 0", allocs)
+	}
+}
+
+// FuzzKernelSnapshot interleaves snapshot/restore with scheduling,
+// cancellation, running and resets, checking that a restore always
+// rewinds the clock and executed count to the captured values, that IDs
+// issued after a snapshot never cancel anything once restored, and that
+// the kernel keeps draining cleanly.
+func FuzzKernelSnapshot(f *testing.F) {
+	f.Add([]byte{0, 10, 4, 0, 0, 20, 2, 30, 5, 0})
+	f.Add([]byte{0, 5, 0, 5, 4, 0, 1, 0, 5, 0, 2, 40})
+	f.Add([]byte{4, 0, 0, 9, 5, 0, 3, 0, 4, 0, 5, 0})
+	f.Add([]byte{0, 1, 2, 1, 4, 0, 0, 2, 2, 3, 5, 0, 2, 255})
+	f.Fuzz(func(t *testing.T, program []byte) {
+		if len(program) > 256 {
+			program = program[:256]
+		}
+		k := NewKernel()
+		var st KernelState
+		var snapNow Time
+		var snapExec uint64
+		haveSnap := false
+		var ids []EventID      // issued since the last reset
+		var postSnap []EventID // issued after the live snapshot
+		for i := 0; i+1 < len(program); i += 2 {
+			op, arg := program[i]%6, Time(program[i+1])*Millisecond
+			switch op {
+			case 0: // schedule
+				id := k.ScheduleAt(k.Now().Add(arg), func() {})
+				ids = append(ids, id)
+				if haveSnap {
+					postSnap = append(postSnap, id)
+				}
+			case 1: // cancel a (possibly stale) id
+				if len(ids) > 0 {
+					k.Cancel(ids[int(program[i+1])%len(ids)])
+				}
+			case 2: // run until arg past now
+				if err := k.RunUntil(k.Now().Add(arg)); err != nil {
+					t.Fatalf("RunUntil: %v", err)
+				}
+			case 3: // reset invalidates the snapshot's meaning for replay,
+				// but restore after reset must still rewind consistently.
+				k.Reset()
+				ids = ids[:0]
+			case 4: // snapshot
+				k.Snapshot(&st)
+				snapNow, snapExec = k.Now(), k.Executed()
+				haveSnap = true
+				postSnap = postSnap[:0]
+			case 5: // restore
+				if !haveSnap {
+					continue
+				}
+				if err := k.Restore(&st); err != nil {
+					t.Fatalf("Restore: %v", err)
+				}
+				if k.Now() != snapNow || k.Executed() != snapExec {
+					t.Fatalf("restore landed at now=%v executed=%d, want %v/%d",
+						k.Now(), k.Executed(), snapNow, snapExec)
+				}
+				for _, id := range postSnap {
+					if k.Cancel(id) {
+						t.Fatalf("post-snapshot ID %v live after restore", id)
+					}
+				}
+				postSnap = postSnap[:0]
+			}
+		}
+		if err := k.Run(); err != nil {
+			t.Fatalf("final drain: %v", err)
+		}
+		if k.Pending() != 0 {
+			t.Fatalf("drain left %d pending events", k.Pending())
+		}
+	})
+}

@@ -7,6 +7,7 @@
 package rng
 
 import (
+	"fmt"
 	"hash/fnv"
 	"math"
 	"math/rand/v2"
@@ -46,6 +47,35 @@ func NewFromState(a, b uint64) *Source {
 // sequence of a freshly constructed one.
 func (s *Source) Reseed(seed uint64, name string) {
 	s.pcg.Seed(seed, streamState(name))
+}
+
+// StateSize is the serialised size of a Source's generator state (the
+// stdlib PCG binary encoding).
+const StateSize = 20
+
+// State is a restorable snapshot of a Source's position in its stream.
+type State [StateSize]byte
+
+// SaveState captures the stream position. It is the checkpoint hook of
+// prefix-forked campaigns: LoadState rewinds the stream so the restored
+// run replays exactly the draw sequence the snapshot-time run would.
+func (s *Source) SaveState(into *State) error {
+	b, err := s.pcg.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	if len(b) != StateSize {
+		return fmt.Errorf("rng: unexpected PCG state size %d", len(b))
+	}
+	copy(into[:], b)
+	return nil
+}
+
+// LoadState rewinds the stream to a position captured by SaveState.
+// It does not allocate, so the restore path of a checkpointed campaign
+// stays allocation-free.
+func (s *Source) LoadState(from *State) error {
+	return s.pcg.UnmarshalBinary(from[:])
 }
 
 // Split derives an independent child stream identified by name.

@@ -1,0 +1,34 @@
+package trace
+
+// SummaryState is a restorable snapshot of a Summary's accumulated
+// extrema. The reference log is configuration (set by Reset for the whole
+// experiment group) and is not captured. The zero value is ready to use;
+// the extrema buffer grows on first SaveState and is reused afterwards.
+type SummaryState struct {
+	maxDecel    []float64
+	maxSpeedDev float64
+	samples     int
+	idx         int
+	misaligned  bool
+}
+
+// SaveState captures the summary's accumulated state into st, reusing
+// st's buffer.
+func (s *Summary) SaveState(st *SummaryState) {
+	st.maxDecel = append(st.maxDecel[:0], s.MaxDecel...)
+	st.maxSpeedDev = s.MaxSpeedDev
+	st.samples = s.Samples
+	st.idx = s.idx
+	st.misaligned = s.Misaligned
+}
+
+// LoadState rewinds the summary to state captured by SaveState. The
+// MaxDecel backing array is reused, preserving the Reset contract that
+// callers copy extrema before the summary is recycled.
+func (s *Summary) LoadState(st *SummaryState) {
+	s.MaxDecel = append(s.MaxDecel[:0], st.maxDecel...)
+	s.MaxSpeedDev = st.maxSpeedDev
+	s.Samples = st.samples
+	s.idx = st.idx
+	s.Misaligned = st.misaligned
+}

@@ -37,6 +37,12 @@ type FullLog struct {
 	ids     []string
 	times   []des.Time
 	samples [][]VehicleSample // samples[i] = all vehicles at times[i]
+	// buf is the flat sample arena rows are carved from when the expected
+	// run length is known up front (NewFullLogCap). Carving never extends
+	// buf beyond its capacity — a reallocation would strand the rows
+	// already handed out on the old array — so overflow rows fall back to
+	// individual allocations.
+	buf []VehicleSample
 }
 
 var _ Recorder = (*FullLog)(nil)
@@ -48,10 +54,30 @@ func NewFullLog(ids []string) *FullLog {
 	return &FullLog{ids: cp}
 }
 
+// NewFullLogCap creates a log preallocated for about sampleHint samples.
+// A run of the expected length records without any per-sample allocation;
+// longer runs degrade gracefully to NewFullLog's per-row behaviour.
+func NewFullLogCap(ids []string, sampleHint int) *FullLog {
+	l := NewFullLog(ids)
+	if sampleHint > 0 && len(ids) > 0 {
+		l.times = make([]des.Time, 0, sampleHint)
+		l.samples = make([][]VehicleSample, 0, sampleHint)
+		l.buf = make([]VehicleSample, 0, sampleHint*len(ids))
+	}
+	return l
+}
+
 // OnSample implements Recorder.
 func (l *FullLog) OnSample(t des.Time, states []VehicleSample) {
-	row := make([]VehicleSample, len(states))
-	copy(row, states)
+	var row []VehicleSample
+	if n := len(l.buf); n+len(states) <= cap(l.buf) {
+		l.buf = l.buf[: n+len(states) : n+len(states)]
+		row = l.buf[n:]
+		copy(row, states)
+	} else {
+		row = make([]VehicleSample, len(states))
+		copy(row, states)
+	}
 	l.times = append(l.times, t)
 	l.samples = append(l.samples, row)
 }

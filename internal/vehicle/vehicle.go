@@ -129,6 +129,29 @@ func (v *Vehicle) Reset(spec Spec, st State) error {
 	return nil
 }
 
+// Memento is a restorable snapshot of a vehicle's mutable state. The
+// Spec is configuration, stable across a checkpointed experiment group,
+// so only the dynamic fields are captured.
+type Memento struct {
+	State   State
+	Cmd     float64
+	Stopped bool
+}
+
+// SaveState captures the vehicle's mutable state.
+func (v *Vehicle) SaveState(into *Memento) {
+	into.State = v.State
+	into.Cmd = v.cmd
+	into.Stopped = v.stopped
+}
+
+// LoadState restores state captured by SaveState.
+func (v *Vehicle) LoadState(from *Memento) {
+	v.State = from.State
+	v.cmd = from.Cmd
+	v.stopped = from.Stopped
+}
+
 // Command sets the desired acceleration for subsequent steps. The value
 // is clamped to the vehicle's physical envelope at actuation time.
 func (v *Vehicle) Command(accel float64) {

@@ -173,13 +173,16 @@ func median(vals []float64) float64 {
 
 // diff prints a benchstat-style old/new/delta table for the metrics both
 // reports share. Units where lower is better (all go-bench units) show a
-// negative delta as an improvement.
+// negative delta as an improvement; for wall-clock metrics the speedup
+// column renders the same ratio the way perf reviews quote it
+// (old/new, so 2.00x means twice as fast and anything below 1.00x is a
+// regression).
 func diff(w io.Writer, base, cur Report) {
 	baseBy := map[string]Benchmark{}
 	for _, b := range base.Benchmarks {
 		baseBy[b.Name] = b
 	}
-	fmt.Fprintf(w, "%-28s %-12s %14s %14s %9s\n", "benchmark", "metric", "old", "new", "delta")
+	fmt.Fprintf(w, "%-36s %-12s %14s %14s %9s %8s\n", "benchmark", "metric", "old", "new", "delta", "speedup")
 	for _, b := range cur.Benchmarks {
 		old, ok := baseBy[b.Name]
 		if !ok {
@@ -198,8 +201,12 @@ func diff(w io.Writer, base, cur Report) {
 			if ov != 0 {
 				delta = fmt.Sprintf("%+.1f%%", (nv-ov)/ov*100)
 			}
-			fmt.Fprintf(w, "%-28s %-12s %14s %14s %9s\n",
-				b.Name, unit, formatVal(ov), formatVal(nv), delta)
+			speedup := ""
+			if unit == "ns/op" && nv != 0 {
+				speedup = fmt.Sprintf("%.2fx", ov/nv)
+			}
+			fmt.Fprintf(w, "%-36s %-12s %14s %14s %9s %8s\n",
+				b.Name, unit, formatVal(ov), formatVal(nv), delta, speedup)
 		}
 	}
 }
