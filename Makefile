@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race chaos checkpoint-equiv fuzz-smoke bench bench-sanity
+.PHONY: check build vet test race chaos checkpoint-equiv obs-equiv fuzz-smoke bench bench-sanity cover
 
 # Tier-1 verification gate: build + vet + race-enabled tests (which
 # include the chaos self-test exercising every failure-containment path),
@@ -9,7 +9,7 @@ GO ?= go
 # so the race detector is part of the default gate, not an optional
 # extra; the bench sanity run keeps the perf harness compiling and
 # executable without paying for a full measurement.
-check: build vet race chaos checkpoint-equiv fuzz-smoke bench-sanity
+check: build vet race chaos checkpoint-equiv obs-equiv fuzz-smoke cover bench-sanity
 
 build:
 	$(GO) build ./...
@@ -38,16 +38,31 @@ chaos:
 checkpoint-equiv:
 	$(GO) test -race -run 'TestCheckpointCampaignEquivalence' ./internal/runner
 
+# The observability-equivalence self-test by name, under the race
+# detector: the same grid with the full metrics stack (registry +
+# millisecond heartbeat) and with metrics off — healthy and with
+# chaos-injected failures — must emit byte-identical result CSVs and
+# matching quarantine records. Observation must never perturb results.
+obs-equiv:
+	$(GO) test -race -run 'TestMetricsCampaignEquivalence' ./internal/runner
+
 # Short coverage-guided fuzz smoke on every fuzz target (the config
 # parser, the DES kernel scheduler and snapshot/restore, the shard
-# designator). 5s per target catches corpus regressions without slowing
-# the gate meaningfully; -run '^$$' skips the unit tests the race step
-# already ran.
+# designator, the heartbeat snapshot decoder). 5s per target catches
+# corpus regressions without slowing the gate meaningfully; -run '^$$'
+# skips the unit tests the race step already ran.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzParse$$' -fuzztime 5s ./internal/config
 	$(GO) test -run '^$$' -fuzz 'FuzzKernelSchedule' -fuzztime 5s ./internal/sim/des
 	$(GO) test -run '^$$' -fuzz 'FuzzKernelSnapshot' -fuzztime 5s ./internal/sim/des
 	$(GO) test -run '^$$' -fuzz 'FuzzParseShard' -fuzztime 5s ./internal/runner
+	$(GO) test -run '^$$' -fuzz 'FuzzHeartbeatDecode' -fuzztime 5s ./internal/obs
+
+# Per-package coverage report plus the internal/obs coverage floor: the
+# observability layer is pure bookkeeping whose failures would corrupt
+# metrics silently, so it stays >= 90% covered by construction.
+cover:
+	scripts/cover.sh
 
 # Full perf measurement: repeated runs of the regression trio, a dated
 # bench/BENCH_<date>.{txt,json} artifact, and a comparison against the

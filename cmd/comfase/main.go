@@ -43,6 +43,7 @@ import (
 	"comfase/internal/analysis"
 	"comfase/internal/config"
 	"comfase/internal/core"
+	"comfase/internal/obs"
 	"comfase/internal/runner"
 	"comfase/internal/scenario"
 	"comfase/internal/trace"
@@ -146,6 +147,9 @@ Subcommands:
                    -invariants (runtime NaN/position/overlap checks),
                    -checkpoints=false (disable prefix-checkpoint forking),
                    -quarantine FILE (append persistent failures as JSON lines),
+                   -heartbeat FILE (publish periodic JSON metrics snapshots),
+                   -heartbeat-interval D (snapshot period, default 5s),
+                   -metrics-addr HOST:PORT (live /metrics, /debug/vars, /debug/pprof),
                    -cpuprofile FILE, -memprofile FILE (pprof output)
             the first SIGINT flushes partial results to -results and exits
             cleanly; a second SIGINT force-exits immediately.
@@ -265,6 +269,9 @@ func runCampaign(ctx context.Context, args []string, stdout io.Writer) error {
 	invariants := fs.Bool("invariants", false, "enable runtime invariant checks in every simulation step")
 	checkpoints := fs.Bool("checkpoints", true, "fork same-start experiments from a prefix checkpoint (results are bit-identical either way)")
 	quarantinePath := fs.String("quarantine", "", "append persistent-failure records to this JSON-lines file")
+	heartbeatPath := fs.String("heartbeat", "", "periodically publish a JSON metrics snapshot to this file (atomic rename)")
+	heartbeatInterval := fs.Duration("heartbeat-interval", 0, "heartbeat snapshot period (0 = 5s default)")
+	metricsAddr := fs.String("metrics-addr", "", `serve live metrics over HTTP: /metrics, /debug/vars, /debug/pprof ("127.0.0.1:0" picks a port)`)
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -343,6 +350,21 @@ func runCampaign(ctx context.Context, args []string, stdout io.Writer) error {
 	if explicit["quarantine"] {
 		quarantine = *quarantinePath
 	}
+	heartbeat := parsed.Runtime.HeartbeatFile
+	if explicit["heartbeat"] {
+		heartbeat = *heartbeatPath
+	}
+	hbInterval := parsed.Runtime.HeartbeatInterval
+	if explicit["heartbeat-interval"] {
+		hbInterval = *heartbeatInterval
+	}
+	if hbInterval < 0 {
+		return fmt.Errorf("campaign: negative -heartbeat-interval %v", hbInterval)
+	}
+	addr := parsed.Runtime.MetricsAddr
+	if explicit["metrics-addr"] {
+		addr = *metricsAddr
+	}
 	results := parsed.Runtime.ResultsFile
 	switch {
 	case *resultsPath != "" && *csvPath != "" && *resultsPath != *csvPath:
@@ -411,6 +433,28 @@ func runCampaign(ctx context.Context, args []string, stdout io.Writer) error {
 		}
 	}
 
+	// Metrics are always collected — the instrumentation is free enough
+	// that there is nothing to turn off — and the heartbeat file and HTTP
+	// endpoint are opt-in views onto the same registry.
+	reg := obs.NewRegistry()
+	parsed.Engine.Metrics = reg
+	opts.Metrics = reg
+	if addr != "" {
+		srv, err := obs.NewServer(addr, reg)
+		if err != nil {
+			return fmt.Errorf("campaign: metrics listener: %w", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(stdout, "metrics: http://%s/metrics (pprof at /debug/pprof/)\n", srv.Addr())
+	}
+	var hb *obs.Heartbeat
+	if heartbeat != "" {
+		hb = obs.NewHeartbeat(heartbeat, hbInterval, reg.Snapshot)
+		if err := hb.Start(); err != nil {
+			return fmt.Errorf("campaign: heartbeat: %w", err)
+		}
+	}
+
 	eng, err := core.NewEngine(parsed.Engine)
 	if err != nil {
 		return err
@@ -420,6 +464,13 @@ func runCampaign(ctx context.Context, args []string, stdout io.Writer) error {
 		return err
 	}
 	res, err := r.Run(ctx, parsed.Campaign)
+	if hb != nil {
+		// Stop after the run so the final snapshot carries the campaign's
+		// end state; a write failure is diagnostic, never fatal to results.
+		if herr := hb.Stop(); herr != nil {
+			fmt.Fprintln(os.Stderr, "comfase: heartbeat:", herr)
+		}
+	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) && ctx.Err() != nil {
 			// SIGINT/SIGTERM: partial results are already flushed; tell

@@ -395,6 +395,18 @@ type RuntimeConfig struct {
 	// way; omitted or true leaves forking on (the default), false forces
 	// every experiment onto the fresh-build path.
 	Checkpoints *bool `json:"checkpoints,omitempty"`
+
+	// HeartbeatFile periodically publishes a JSON metrics snapshot to this
+	// path via atomic rename (internal/obs heartbeat). Empty disables the
+	// heartbeat; campaign outputs are byte-identical either way.
+	HeartbeatFile string `json:"heartbeatFile,omitempty"`
+	// HeartbeatIntervalS is the snapshot period in seconds (0 = the obs
+	// package default of 5s; only meaningful with HeartbeatFile set).
+	HeartbeatIntervalS float64 `json:"heartbeatIntervalS,omitempty"`
+	// MetricsAddr, when non-empty, serves live metrics over HTTP on this
+	// address ("127.0.0.1:0" picks a free port): /metrics (snapshot JSON),
+	// /debug/vars (expvar) and /debug/pprof (profiling).
+	MetricsAddr string `json:"metricsAddr,omitempty"`
 }
 
 // Build validates the runtime settings.
@@ -424,6 +436,12 @@ func (r RuntimeConfig) Build() (RuntimeSettings, error) {
 	out.MaxFailures = r.MaxFailures
 	out.QuarantineFile = r.QuarantineFile
 	out.DisableCheckpoints = r.Checkpoints != nil && !*r.Checkpoints
+	out.HeartbeatFile = r.HeartbeatFile
+	if r.HeartbeatIntervalS < 0 {
+		return RuntimeSettings{}, fmt.Errorf("config: negative heartbeatIntervalS %g", r.HeartbeatIntervalS)
+	}
+	out.HeartbeatInterval = time.Duration(r.HeartbeatIntervalS * float64(time.Second))
+	out.MetricsAddr = r.MetricsAddr
 	return out, nil
 }
 
@@ -438,6 +456,9 @@ type RuntimeSettings struct {
 	MaxFailures        int
 	QuarantineFile     string
 	DisableCheckpoints bool
+	HeartbeatFile      string
+	HeartbeatInterval  time.Duration
+	MetricsAddr        string
 }
 
 // File is a complete experiment description.

@@ -6,10 +6,13 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync"
+	"time"
 
 	"comfase/internal/classify"
 	"comfase/internal/nic"
+	"comfase/internal/obs"
 	"comfase/internal/scenario"
+	"comfase/internal/sim/des"
 	"comfase/internal/trace"
 	"comfase/internal/traffic"
 )
@@ -49,6 +52,14 @@ type EngineConfig struct {
 	// attack-free golden run is exempt, so a budget sized for the
 	// attacked grid can never kill the reference it is compared against.
 	EventBudget uint64
+	// Metrics, when non-nil, receives the engine's observability counters
+	// (experiments started/completed, workspace-pool hits/misses,
+	// checkpoint forks vs fresh builds, the per-experiment wall-clock
+	// histogram) and the DES kernel counters (events executed,
+	// snapshot/restore counts). All instrumentation flushes at experiment
+	// or run granularity, never per event, and a nil registry disables it
+	// entirely — results are bit-identical either way.
+	Metrics *obs.Registry
 }
 
 // Engine is the ComFASE engine: it owns a validated configuration and
@@ -68,18 +79,64 @@ type Engine struct {
 	// groupPool recycles the per-group checkpoint storage of
 	// prefix-forked execution (see group.go) the same way.
 	groupPool sync.Pool
+
+	// met holds the engine's obs handles (all nil when cfg.Metrics is
+	// nil: obs metrics are nil-safe, so the instrumentation below runs
+	// unconditionally); km is the kernel metric bundle re-attached to
+	// every workspace kernel after its Build.
+	met engineMetrics
+	km  *des.Metrics
+}
+
+// engineMetrics is the engine's metric inventory (DESIGN.md §8).
+type engineMetrics struct {
+	started     *obs.Counter   // experiment attempts begun (fresh + forked)
+	completed   *obs.Counter   // experiment attempts finished successfully
+	goldenRuns  *obs.Counter   // golden (reference) runs executed
+	poolHits    *obs.Counter   // workspace checkouts served from the pool
+	poolMisses  *obs.Counter   // workspace checkouts that built a new unit
+	freshBuilds *obs.Counter   // experiment attempts on the fresh-build path
+	forks       *obs.Counter   // experiment attempts forked from a checkpoint
+	prefixes    *obs.Counter   // group prefix simulations checkpointed
+	wall        *obs.Histogram // successful experiment wall-clock seconds
+}
+
+// newEngineMetrics resolves the engine's metric handles. A nil registry
+// yields all-nil handles, whose operations are no-ops.
+func newEngineMetrics(reg *obs.Registry) engineMetrics {
+	return engineMetrics{
+		started:     reg.Counter("engine.experiments_started"),
+		completed:   reg.Counter("engine.experiments_completed"),
+		goldenRuns:  reg.Counter("engine.golden_runs"),
+		poolHits:    reg.Counter("engine.workspace_pool_hits"),
+		poolMisses:  reg.Counter("engine.workspace_pool_misses"),
+		freshBuilds: reg.Counter("engine.fresh_builds"),
+		forks:       reg.Counter("engine.checkpoint_forks"),
+		prefixes:    reg.Counter("engine.checkpoint_prefixes"),
+		wall:        reg.Histogram("engine.experiment_wall_seconds", obs.DurationBounds()...),
+	}
 }
 
 // workUnit is one pooled simulation workspace plus the reusable summary
-// recorder that goes with it.
+// recorder that goes with it. fresh marks a unit the pool constructor
+// just built and has never been checked out before — the discriminator
+// behind the pool hit/miss counters.
 type workUnit struct {
 	ws      *scenario.Workspace
 	summary *trace.Summary
+	fresh   bool
 }
 
 // acquireUnit checks a workspace unit out of the pool.
 func (e *Engine) acquireUnit() *workUnit {
-	return e.pool.Get().(*workUnit)
+	u := e.pool.Get().(*workUnit)
+	if u.fresh {
+		u.fresh = false
+		e.met.poolMisses.Inc()
+	} else {
+		e.met.poolHits.Inc()
+	}
+	return u
 }
 
 // GoldenResult summarises the attack-free reference run (Step-2).
@@ -162,8 +219,16 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	// invariants.
 	cfg.Scenario.Invariants = cfg.Scenario.Invariants || cfg.Invariants
 	e := &Engine{cfg: cfg}
+	e.met = newEngineMetrics(cfg.Metrics)
+	if cfg.Metrics != nil {
+		e.km = &des.Metrics{
+			Events:    cfg.Metrics.Counter("kernel.events_executed"),
+			Snapshots: cfg.Metrics.Counter("kernel.snapshots"),
+			Restores:  cfg.Metrics.Counter("kernel.restores"),
+		}
+	}
 	e.pool.New = func() any {
-		return &workUnit{ws: scenario.NewWorkspace(), summary: new(trace.Summary)}
+		return &workUnit{ws: scenario.NewWorkspace(), summary: new(trace.Summary), fresh: true}
 	}
 	return e, nil
 }
@@ -208,6 +273,7 @@ func (e *Engine) GoldenRunCtx(ctx context.Context) (log *trace.FullLog, res Gold
 	// per-experiment watchdog sized against attack-model-induced runaway
 	// event loops, and the attack-free golden run must not be killed by a
 	// budget chosen for the experiments.
+	sim.Kernel.SetMetrics(e.km)
 	sim.AttachContext(ctx, e.cfg.CancelCheckEvents)
 	// Preallocate the full log for the known run length (one sample per
 	// traffic step): the golden run's recording path then allocates no
@@ -230,6 +296,7 @@ func (e *Engine) GoldenRunCtx(ctx context.Context) (log *trace.FullLog, res Gold
 	if len(res.Collisions) > 0 {
 		return nil, res, fmt.Errorf("core: golden run collided: %v", res.Collisions[0])
 	}
+	e.met.goldenRuns.Inc()
 	e.golden = log
 	gr := res
 	e.goldenRes = &gr
@@ -299,6 +366,14 @@ func (e *Engine) runExperiment(ctx context.Context, spec ExperimentSpec, withLog
 	if err := ctx.Err(); err != nil {
 		return ExperimentResult{}, nil, err
 	}
+	e.met.started.Inc()
+	// Wall-clock timing costs two time.Now calls per experiment — noise
+	// next to the simulation itself — but is still skipped entirely when
+	// metrics are off so the disabled path pays literally nothing.
+	var wallStart time.Time
+	if e.met.wall != nil {
+		wallStart = time.Now()
+	}
 	horizon := e.cfg.Scenario.TotalSimTime
 	u := e.acquireUnit()
 	keep := false
@@ -331,6 +406,8 @@ func (e *Engine) runExperiment(ctx context.Context, spec ExperimentSpec, withLog
 		return ExperimentResult{}, nil, err
 	}
 	keep = true
+	e.met.freshBuilds.Inc()
+	sim.Kernel.SetMetrics(e.km)
 	sim.Kernel.SetEventBudget(e.cfg.EventBudget)
 	sim.AttachContext(ctx, e.cfg.CancelCheckEvents)
 	summary := u.summary
@@ -370,6 +447,10 @@ func (e *Engine) runExperiment(ctx context.Context, spec ExperimentSpec, withLog
 	res, err = e.finishExperiment(sim, summary, spec)
 	if err != nil {
 		return ExperimentResult{}, nil, err
+	}
+	e.met.completed.Inc()
+	if e.met.wall != nil {
+		e.met.wall.ObserveDuration(time.Since(wallStart))
 	}
 	return res, full, nil
 }

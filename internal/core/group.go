@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"time"
 
 	"comfase/internal/scenario"
 	"comfase/internal/sim/des"
@@ -111,12 +112,14 @@ func (e *Engine) BeginGroup(ctx context.Context, start des.Time) (gs *GroupSessi
 		return nil, err
 	}
 	keep = true
+	e.met.freshBuilds.Inc()
 	if !u.ws.Checkpointable() {
 		return nil, ErrNotCheckpointable
 	}
 	// Runtime knobs in the fresh path's order; the prefix must execute
 	// with the same budget and poll cadence as a fresh attempt so the
 	// kernel counters at the fork point match a fresh run at `start`.
+	sim.Kernel.SetMetrics(e.km)
 	sim.Kernel.SetEventBudget(e.cfg.EventBudget)
 	sim.AttachContext(ctx, e.cfg.CancelCheckEvents)
 	summary := u.summary
@@ -134,6 +137,7 @@ func (e *Engine) BeginGroup(ctx context.Context, start des.Time) (gs *GroupSessi
 		return nil, err
 	}
 	summary.SaveState(&scratch.sum)
+	e.met.prefixes.Inc()
 	return &GroupSession{e: e, u: u, sim: sim, scratch: scratch, start: start, healthy: true}, nil
 }
 
@@ -168,6 +172,11 @@ func (gs *GroupSession) RunExperiment(ctx context.Context, spec ExperimentSpec) 
 		return ExperimentResult{}, fmt.Errorf("%w: spec start %v, checkpoint at %v",
 			ErrWrongGroup, start, gs.start)
 	}
+	e.met.started.Inc()
+	var wallStart time.Time
+	if e.met.wall != nil {
+		wallStart = time.Now()
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			gs.healthy = false
@@ -191,6 +200,7 @@ func (gs *GroupSession) RunExperiment(ctx context.Context, spec ExperimentSpec) 
 		gs.healthy = false
 		return ExperimentResult{}, err
 	}
+	e.met.forks.Inc()
 	gs.u.summary.LoadState(&gs.scratch.sum)
 
 	end := spec.End(horizon)
@@ -216,6 +226,10 @@ func (gs *GroupSession) RunExperiment(ctx context.Context, spec ExperimentSpec) 
 	if err != nil {
 		gs.healthy = false
 		return ExperimentResult{}, err
+	}
+	e.met.completed.Inc()
+	if e.met.wall != nil {
+		e.met.wall.ObserveDuration(time.Since(wallStart))
 	}
 	return res, nil
 }

@@ -55,7 +55,7 @@ func (e *Engine) RunCampaignParallelCtx(ctx context.Context, setup CampaignSetup
 		mu   sync.Mutex
 		done int
 	)
-	err := pool.Run(ctx, len(specs), workers, func(ctx context.Context, idx int) error {
+	err := pool.Run(ctx, len(specs), workers, func(ctx context.Context, _, idx int) error {
 		res, err := e.RunExperimentCtx(ctx, specs[idx])
 		if err != nil {
 			return fmt.Errorf("experiment %v: %w", specs[idx], err)

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzHeartbeatDecode throws arbitrary bytes at the heartbeat snapshot
+// decoder — the surface external tooling and the -resume path expose to
+// whatever is on disk. The decoder must never panic, and anything it
+// accepts must re-encode and decode to the identical snapshot (so a
+// watcher that archives heartbeats can round-trip them losslessly).
+func FuzzHeartbeatDecode(f *testing.F) {
+	reg := sampleRegistry()
+	full := reg.Snapshot()
+	full.Seq = 3
+	full.UnixNano = 1_700_000_000_000_000_000
+	if seed, err := full.Encode(); err == nil {
+		f.Add(seed)
+	}
+	if seed, err := (Snapshot{Seq: 1}).Encode(); err == nil {
+		f.Add(seed)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"counters":{"a":1},"gauges":{"g":-2}}`))
+	f.Add([]byte(`{"histograms":{"h":{"bounds":[1,2],"counts":[1,0,2],"count":3,"sum":4.5}}}`))
+	f.Add([]byte(`{"histograms":{"h":{"bounds":[2,1],"counts":[0,0,0],"count":0,"sum":0}}}`))
+	f.Add([]byte(`{"seq":1}{"seq":2}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`nonsense`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeSnapshot(data)
+		if err != nil {
+			return // rejected input; all that matters is no panic
+		}
+		re, err := s.Encode()
+		if err != nil {
+			t.Fatalf("accepted snapshot does not re-encode: %v\ninput: %q", err, data)
+		}
+		s2, err := DecodeSnapshot(re)
+		if err != nil {
+			t.Fatalf("re-encoded snapshot rejected: %v\nencoded: %q", err, re)
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Fatalf("round trip not stable:\nfirst:  %+v\nsecond: %+v", s, s2)
+		}
+	})
+}

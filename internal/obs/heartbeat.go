@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// DefaultHeartbeatInterval is the snapshot cadence used when a Heartbeat
+// is created with a non-positive interval. Frequent enough to watch a
+// campaign live, cheap enough (one registry snapshot + one small file
+// write) to be irrelevant next to experiment execution.
+const DefaultHeartbeatInterval = 5 * time.Second
+
+// Heartbeat periodically writes a registry snapshot as a single-line
+// JSON document to a file, so external tooling can watch a running
+// campaign by polling one path. Every write goes to a temporary file in
+// the same directory followed by an atomic rename, so a reader never
+// observes a partially written document; DecodeSnapshot additionally
+// tolerates truncation (returning an error, not garbage) for tools that
+// copy the file non-atomically.
+type Heartbeat struct {
+	path     string
+	interval time.Duration
+	source   func() Snapshot
+
+	mu      sync.Mutex
+	seq     uint64
+	lastErr error
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewHeartbeat returns an unstarted heartbeat writing snapshots from
+// source to path every interval (non-positive selects
+// DefaultHeartbeatInterval). The usual source is Registry.Snapshot.
+func NewHeartbeat(path string, interval time.Duration, source func() Snapshot) *Heartbeat {
+	if interval <= 0 {
+		interval = DefaultHeartbeatInterval
+	}
+	return &Heartbeat{
+		path:     path,
+		interval: interval,
+		source:   source,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Start writes the first snapshot synchronously — so an unwritable path
+// fails fast, before a campaign starts — and then begins the periodic
+// writer goroutine.
+func (h *Heartbeat) Start() error {
+	if err := h.writeOnce(); err != nil {
+		return err
+	}
+	go h.loop()
+	return nil
+}
+
+// Stop halts the periodic writer, writes one final snapshot (the
+// campaign's end state, so the file never ends on a stale mid-run
+// capture) and returns the first error any write encountered.
+func (h *Heartbeat) Stop() error {
+	close(h.stop)
+	<-h.done
+	if err := h.writeOnce(); err != nil {
+		return err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.lastErr
+}
+
+// loop is the periodic writer.
+func (h *Heartbeat) loop() {
+	defer close(h.done)
+	t := time.NewTicker(h.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-h.stop:
+			return
+		case <-t.C:
+			if err := h.writeOnce(); err != nil {
+				h.mu.Lock()
+				if h.lastErr == nil {
+					h.lastErr = err
+				}
+				h.mu.Unlock()
+			}
+		}
+	}
+}
+
+// writeOnce captures, stamps and atomically publishes one snapshot.
+// Writes are serialized under h.mu so the sequence number in the file is
+// strictly increasing even when Stop's final write races a tick.
+func (h *Heartbeat) writeOnce() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.seq++
+	s := h.source()
+	s.Seq = h.seq
+	s.UnixNano = time.Now().UnixNano()
+	data, err := s.Encode()
+	if err != nil {
+		return fmt.Errorf("obs: heartbeat encode: %w", err)
+	}
+	return WriteFileAtomic(h.path, data)
+}
+
+// WriteFileAtomic writes data to path via a temporary file in the same
+// directory and an atomic rename, so concurrent readers of path always
+// see either the previous or the new complete content.
+func WriteFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("obs: heartbeat temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("obs: heartbeat write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("obs: heartbeat close: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("obs: heartbeat publish: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestHeartbeatWritesDecodableMonotonicSnapshots(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("ticks")
+	path := filepath.Join(t.TempDir(), "heartbeat.json")
+	hb := NewHeartbeat(path, time.Millisecond, reg.Snapshot)
+	if err := hb.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+
+	var lastSeq, lastTicks uint64
+	deadline := time.Now().Add(5 * time.Second)
+	polls := 0
+	for polls < 50 && time.Now().Before(deadline) {
+		c.Inc()
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("read heartbeat: %v", err)
+		}
+		s, err := DecodeSnapshot(data)
+		if err != nil {
+			t.Fatalf("poll %d: DecodeSnapshot: %v\n%s", polls, err, data)
+		}
+		if s.Seq < lastSeq {
+			t.Fatalf("seq went backwards: %d after %d", s.Seq, lastSeq)
+		}
+		if ticks := s.Counters["ticks"]; ticks < lastTicks {
+			t.Fatalf("counter went backwards: %d after %d", ticks, lastTicks)
+		} else {
+			lastTicks = ticks
+		}
+		if s.UnixNano == 0 {
+			t.Fatal("snapshot not time-stamped")
+		}
+		lastSeq = s.Seq
+		polls++
+		time.Sleep(time.Millisecond / 2)
+	}
+	if err := hb.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+
+	// The final write reflects the end state and a newer sequence.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read final heartbeat: %v", err)
+	}
+	s, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatalf("final DecodeSnapshot: %v", err)
+	}
+	if s.Seq < lastSeq {
+		t.Errorf("final seq %d below last observed %d", s.Seq, lastSeq)
+	}
+	if got, want := s.Counters["ticks"], c.Load(); got != want {
+		t.Errorf("final ticks = %d, want %d", got, want)
+	}
+
+	// No temp files left behind by the atomic-rename protocol.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	for _, e := range entries {
+		if e.Name() != filepath.Base(path) {
+			t.Errorf("stray file %q after heartbeat", e.Name())
+		}
+	}
+}
+
+func TestHeartbeatStartFailsFastOnUnwritablePath(t *testing.T) {
+	hb := NewHeartbeat(filepath.Join(t.TempDir(), "missing-dir", "hb.json"), time.Second, (*Registry)(nil).Snapshot)
+	if err := hb.Start(); err == nil {
+		t.Fatal("Start succeeded on an unwritable path")
+	}
+}
+
+// TestHeartbeatTruncatedFileRecovers is the mid-write truncation story:
+// a reader that catches a truncated copy gets a clean decode error, and
+// the next heartbeat write replaces it with a valid document.
+func TestHeartbeatTruncatedFileRecovers(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("n").Add(3)
+	path := filepath.Join(t.TempDir(), "hb.json")
+	hb := NewHeartbeat(path, time.Hour, reg.Snapshot) // only explicit writes
+	if err := hb.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	// Simulate a non-atomic copy cut off mid-write.
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+	if _, err := DecodeSnapshot(data[:len(data)/2]); !errors.Is(err, ErrInvalidSnapshot) {
+		t.Fatalf("truncated decode err = %v, want ErrInvalidSnapshot", err)
+	}
+	// Stop performs a final write, which must atomically replace the
+	// corrupted file with a decodable document.
+	if err := hb.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	data, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read after recover: %v", err)
+	}
+	s, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatalf("decode after recover: %v", err)
+	}
+	if s.Counters["n"] != 3 {
+		t.Errorf("recovered snapshot counters = %v", s.Counters)
+	}
+}

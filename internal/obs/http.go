@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// currentRegistry backs the process-wide "comfase" expvar variable: the
+// most recently served registry. expvar's namespace is global and
+// Publish panics on re-registration, so the variable is published once
+// and reads through this pointer.
+var (
+	currentRegistry atomic.Pointer[Registry]
+	publishOnce     sync.Once
+)
+
+// publishExpvar registers the "comfase" expvar exactly once.
+func publishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("comfase", expvar.Func(func() any {
+			return currentRegistry.Load().Snapshot()
+		}))
+	})
+}
+
+// Server is a live-observability HTTP listener for a running campaign.
+// It serves:
+//
+//	/metrics       — the registry snapshot as JSON (same schema as the
+//	                 heartbeat file)
+//	/debug/vars    — expvar (Go runtime memstats + the "comfase" metric
+//	                 snapshot)
+//	/debug/pprof/  — the full net/http/pprof suite (profile, heap,
+//	                 goroutine, trace, ...) for profiling a campaign
+//	                 while it executes
+//
+// The server runs on its own mux, so importing this package never
+// touches http.DefaultServeMux.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewServer starts serving the registry's metrics on addr (":0" selects
+// an ephemeral port — read the result from Addr). The listener is bound
+// synchronously, so an occupied port fails fast; requests are served on
+// a background goroutine until Close.
+func NewServer(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	currentRegistry.Store(reg)
+	publishExpvar()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		s := reg.Snapshot()
+		s.UnixNano = time.Now().UnixNano()
+		data, err := s.Encode()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve always returns ErrServerClosed after Close
+	return s, nil
+}
+
+// Addr returns the bound listen address (host:port), useful with ":0".
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener. In-flight requests are abandoned — the
+// endpoint is diagnostic, not transactional.
+func (s *Server) Close() error { return s.srv.Close() }

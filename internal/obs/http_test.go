@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServerServesMetricsExpvarAndPprof(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("served").Add(9)
+	reg.Gauge("level").Set(4)
+	reg.Histogram("lat", 1, 2).Observe(1.5)
+
+	srv, err := NewServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s body: %v", path, err)
+		}
+		return resp.StatusCode, body
+	}
+
+	// /metrics serves the heartbeat snapshot schema.
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	s, err := DecodeSnapshot(body)
+	if err != nil {
+		t.Fatalf("/metrics decode: %v", err)
+	}
+	if s.Counters["served"] != 9 || s.Gauges["level"] != 4 {
+		t.Errorf("/metrics snapshot = %+v", s)
+	}
+	if s.Histograms["lat"].Count != 1 {
+		t.Errorf("/metrics histogram = %+v", s.Histograms["lat"])
+	}
+	if s.UnixNano == 0 {
+		t.Error("/metrics snapshot not time-stamped")
+	}
+
+	// /debug/vars carries the published "comfase" var plus memstats.
+	code, body = get("/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", code)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	if _, ok := vars["comfase"]; !ok {
+		t.Error("/debug/vars missing the comfase variable")
+	}
+	if _, ok := vars["memstats"]; !ok {
+		t.Error("/debug/vars missing memstats")
+	}
+
+	// pprof: the index and a cheap profile endpoint both respond.
+	code, body = get("/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Errorf("/debug/pprof/ status %d", code)
+	}
+	code, _ = get("/debug/pprof/cmdline")
+	if code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status %d", code)
+	}
+	code, body = get("/debug/pprof/goroutine?debug=1")
+	if code != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Errorf("/debug/pprof/goroutine status %d", code)
+	}
+}
+
+func TestServerRebindsExpvarToLatestRegistry(t *testing.T) {
+	regA := NewRegistry()
+	regA.Counter("a").Inc()
+	srvA, err := NewServer("127.0.0.1:0", regA)
+	if err != nil {
+		t.Fatalf("NewServer A: %v", err)
+	}
+	srvA.Close()
+
+	regB := NewRegistry()
+	regB.Counter("b").Add(2)
+	srvB, err := NewServer("127.0.0.1:0", regB)
+	if err != nil {
+		t.Fatalf("NewServer B: %v", err)
+	}
+	defer srvB.Close()
+
+	resp, err := http.Get("http://" + srvB.Addr() + "/debug/vars")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer resp.Body.Close()
+	var vars struct {
+		Comfase Snapshot `json:"comfase"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if vars.Comfase.Counters["b"] != 2 {
+		t.Errorf("expvar snapshot = %+v, want registry B", vars.Comfase)
+	}
+	if _, stale := vars.Comfase.Counters["a"]; stale {
+		t.Error("expvar still serving the closed server's registry")
+	}
+}
+
+func TestServerFailsFastOnBusyAddr(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	defer srv.Close()
+	if _, err := NewServer(srv.Addr(), NewRegistry()); err == nil {
+		t.Fatal("second bind on a busy address succeeded")
+	}
+}

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestMetricsConcurrentHammer drives every metric kind from many
+// goroutines simultaneously — under `go test -race` this is the proof
+// that the update paths are data-race-free — and then asserts the exact
+// final values: counters see every increment, gauges converge to the net
+// delta, histograms count every observation in the right bucket and
+// accumulate the exact sum.
+func TestMetricsConcurrentHammer(t *testing.T) {
+	const (
+		goroutines = 16
+		perG       = 10_000
+	)
+	reg := NewRegistry()
+	c := reg.Counter("hammer.counter")
+	g := reg.Gauge("hammer.gauge")
+	h := reg.Histogram("hammer.hist", 1, 2, 4)
+
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Resolve the same metrics through the registry concurrently
+			// too: get-or-create must always return the same instance.
+			cc := reg.Counter("hammer.counter")
+			gg := reg.Gauge("hammer.gauge")
+			hh := reg.Histogram("hammer.hist", 1, 2, 4)
+			for i := 0; i < perG; i++ {
+				cc.Inc()
+				cc.Add(2)
+				gg.Add(3)
+				gg.Add(-2)
+				// Observation value cycles through all four buckets:
+				// 0.5 -> (..1], 1.5 -> (1..2], 3 -> (2..4], 9 -> +Inf.
+				switch i % 4 {
+				case 0:
+					hh.Observe(0.5)
+				case 1:
+					hh.Observe(1.5)
+				case 2:
+					hh.Observe(3)
+				case 3:
+					hh.Observe(9)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total := uint64(goroutines * perG)
+	if got, want := c.Load(), 3*total; got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+	if got, want := g.Load(), int64(total); got != want {
+		t.Errorf("gauge = %d, want %d", got, want)
+	}
+	if got, want := h.Count(), total; got != want {
+		t.Errorf("histogram count = %d, want %d", got, want)
+	}
+	// Exact sum: per cycle of 4 observations the sum grows by 14.
+	wantSum := float64(goroutines) * float64(perG/4) * (0.5 + 1.5 + 3 + 9)
+	if got := h.Sum(); math.Abs(got-wantSum) > 1e-6 {
+		t.Errorf("histogram sum = %v, want %v", got, wantSum)
+	}
+	snap := reg.Snapshot()
+	hs := snap.Histograms["hammer.hist"]
+	perBucket := total / 4
+	for i, c := range hs.Counts {
+		if c != perBucket {
+			t.Errorf("bucket %d count = %d, want %d", i, c, perBucket)
+		}
+	}
+	if hs.Count != total {
+		t.Errorf("snapshot histogram count = %d, want %d", hs.Count, total)
+	}
+	if snap.Counters["hammer.counter"] != 3*total {
+		t.Errorf("snapshot counter = %d, want %d", snap.Counters["hammer.counter"], 3*total)
+	}
+	if snap.Gauges["hammer.gauge"] != int64(total) {
+		t.Errorf("snapshot gauge = %d, want %d", snap.Gauges["hammer.gauge"], int64(total))
+	}
+}
+
+// TestNilMetricsAreNoOps pins the "off = nil" contract: every operation
+// on nil metrics and a nil registry is a safe no-op.
+func TestNilMetricsAreNoOps(t *testing.T) {
+	var (
+		c *Counter
+		g *Gauge
+		h *Histogram
+		r *Registry
+	)
+	c.Inc()
+	c.Add(7)
+	if c.Load() != 0 {
+		t.Error("nil counter loaded non-zero")
+	}
+	g.Set(3)
+	g.Add(-1)
+	if g.Load() != 0 {
+		t.Error("nil gauge loaded non-zero")
+	}
+	h.Observe(1)
+	h.ObserveDuration(0)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil histogram recorded observations")
+	}
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x", 1) != nil {
+		t.Error("nil registry handed out live metrics")
+	}
+	if s := r.Snapshot(); len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Error("nil registry snapshot not empty")
+	}
+	if r.Names() != nil {
+		t.Error("nil registry has names")
+	}
+}
+
+// TestHistogramBuckets pins the bucket assignment rule: value v lands in
+// the first bucket with bound >= v; values above every bound land in the
+// overflow bucket; NaN is dropped.
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(1, 10)
+	for _, v := range []float64{0, 1, 1.0001, 10, 11, math.Inf(1), math.NaN()} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	want := []uint64{2, 2, 2} // {0,1}, {1.0001,10}, {11,+Inf}; NaN dropped
+	for i := range want {
+		if s.Counts[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d (all: %v)", i, s.Counts[i], want[i], s.Counts)
+		}
+	}
+	if s.Count != 6 {
+		t.Errorf("count = %d, want 6 (NaN must be dropped)", s.Count)
+	}
+}
+
+// TestHistogramBadBoundsPanic pins that malformed static bucket layouts
+// fail loudly at construction.
+func TestHistogramBadBoundsPanic(t *testing.T) {
+	for _, bounds := range [][]float64{{2, 1}, {1, 1}, {math.NaN()}, {math.Inf(1)}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds...)
+		}()
+	}
+}
+
+// TestRegistryGetOrCreate pins handle identity and histogram bounds
+// fixation.
+func TestRegistryGetOrCreate(t *testing.T) {
+	reg := NewRegistry()
+	if reg.Counter("a") != reg.Counter("a") {
+		t.Error("counter identity not stable")
+	}
+	if reg.Gauge("a") != reg.Gauge("a") {
+		t.Error("gauge identity not stable")
+	}
+	h1 := reg.Histogram("h", 1, 2)
+	h2 := reg.Histogram("h", 99)
+	if h1 != h2 {
+		t.Error("histogram identity not stable")
+	}
+	if len(h1.bounds) != 2 {
+		t.Error("second registration changed bucket layout")
+	}
+	names := reg.Names()
+	if len(names) != 3 {
+		t.Errorf("names = %v", names)
+	}
+}

@@ -1,0 +1,189 @@
+// Package obs is the campaign observability layer: dependency-free
+// metric primitives (atomic counters, gauges, fixed-bucket histograms), a
+// named registry with JSON snapshots, a heartbeat file writer and an
+// expvar/pprof HTTP endpoint.
+//
+// The design rule is that instrumentation must be free enough to stay on
+// in production campaigns:
+//
+//   - Every metric operation (Inc, Add, Set, Observe) is a handful of
+//     atomic instructions — no locks, no allocations, no branches beyond
+//     the nil guard. The registry mutex is taken only at registration and
+//     snapshot time, never on the update path.
+//   - Every metric method is safe on a nil receiver and does nothing
+//     there, and a nil *Registry hands out nil metrics. "Metrics off" is
+//     therefore simply a nil registry: instrumented code calls the same
+//     methods unconditionally, and the disabled path costs one
+//     predictable branch.
+//   - The truly hot paths (the DES kernel event loop) are not touched at
+//     all: components keep their existing plain counters and flush deltas
+//     into obs at coarse boundaries (end of a kernel run, end of an
+//     experiment), so a campaign's per-event cost is identical with
+//     metrics on or off.
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use; all methods are safe on a nil *Counter (they do nothing /
+// return zero), which is how disabled instrumentation stays branch-cheap.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Load returns the current value (0 on a nil counter).
+func (c *Counter) Load() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value (a level, not a rate): queue
+// depths, progress counts, configuration echoes. Like Counter it is
+// nil-safe.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adds delta (negative deltas decrease the gauge).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Load returns the current value (0 on a nil gauge).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket histogram: observation i lands in the first
+// bucket whose upper bound is >= v, or in the implicit +Inf overflow
+// bucket. Bucket bounds are fixed at construction, so Observe is a linear
+// scan over a small array plus two atomic updates — no locks, no
+// allocations, safe for any number of concurrent observers. Nil-safe like
+// the other metric kinds.
+type Histogram struct {
+	bounds []float64       // ascending upper bounds; +Inf bucket implied
+	counts []atomic.Uint64 // len(bounds)+1
+	sum    atomic.Uint64   // float64 bits, CAS-accumulated
+}
+
+// NewHistogram returns a histogram with the given ascending, finite
+// bucket upper bounds. It panics on unordered or non-finite bounds —
+// bucket layout is static program structure, not runtime input.
+func NewHistogram(bounds ...float64) *Histogram {
+	for i, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic("obs: histogram bound must be finite")
+		}
+		if i > 0 && b <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+	return h
+}
+
+// DurationBounds is a general-purpose latency bucket layout in seconds,
+// spanning sub-millisecond kernel operations to multi-minute experiments.
+func DurationBounds() []float64 {
+	return []float64{
+		0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+		0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 300,
+	}
+}
+
+// Observe records one value. NaN observations are dropped (they would
+// poison the sum without landing in any meaningful bucket).
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a wall-clock duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if h != nil {
+		h.Observe(d.Seconds())
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// snapshot fills a HistogramSnapshot from the live buckets.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.counts)),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	s.Sum = h.Sum()
+	return s
+}

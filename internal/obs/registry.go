@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// Registry is a named collection of metrics. Lookup methods are
+// get-or-create and lock only the registration map — never the metric
+// update path — so components can resolve their metric handles once at
+// construction time and update them lock-free forever after.
+//
+// A nil *Registry is the "observability off" configuration: its lookup
+// methods return nil metrics, whose operations are no-ops. Instrumented
+// code therefore never branches on an enable flag.
+type Registry struct {
+	mu     sync.Mutex
+	counts map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counts: make(map[string]*Counter),
+		gauges: make(map[string]*Gauge),
+		hists:  make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. Returns nil on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counts[name]
+	if !ok {
+		c = new(Counter)
+		r.counts[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use. Returns nil on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = new(Gauge)
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given bucket bounds on first use. A later lookup under the
+// same name returns the existing histogram regardless of the bounds
+// argument — bucket layout is fixed at first registration. Returns nil
+// on a nil registry.
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(bounds...)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot captures every registered metric's current value. The capture
+// is not a single atomic cut across metrics — each value is an
+// independent atomic load — but every counter value is guaranteed
+// monotonically non-decreasing across successive snapshots, which is the
+// contract heartbeat consumers rely on. Safe on a nil registry (returns
+// an empty snapshot).
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.counts) > 0 {
+		s.Counters = make(map[string]uint64, len(r.counts))
+		for name, c := range r.counts {
+			s.Counters[name] = c.Load()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Load()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			s.Histograms[name] = h.snapshot()
+		}
+	}
+	return s
+}
+
+// Names returns the sorted names of all registered metrics, for tests
+// and diagnostic listings.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counts)+len(r.gauges)+len(r.hists))
+	for n := range r.counts {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

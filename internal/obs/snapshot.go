@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// HistogramSnapshot is the wire form of one histogram: per-bucket counts
+// (the final entry is the +Inf overflow bucket), total observation count
+// and value sum.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Snapshot is the wire form of a registry capture — the document the
+// heartbeat file carries and the /metrics endpoint serves. Counter values
+// are monotonically non-decreasing across successive snapshots of the
+// same registry.
+type Snapshot struct {
+	// Seq is the heartbeat sequence number: strictly increasing across
+	// the writes of one Heartbeat. 0 in ad-hoc snapshots.
+	Seq uint64 `json:"seq,omitempty"`
+	// UnixNano is the wall-clock capture time stamp (0 when unstamped).
+	UnixNano int64 `json:"unixNano,omitempty"`
+
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// ErrInvalidSnapshot wraps every validation failure of DecodeSnapshot,
+// so consumers can distinguish "malformed document" from I/O errors with
+// one errors.Is check.
+var ErrInvalidSnapshot = errors.New("obs: invalid snapshot")
+
+// Encode renders the snapshot as a single JSON line (trailing newline
+// included), the heartbeat file format.
+func (s Snapshot) Encode() ([]byte, error) {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// DecodeSnapshot parses and validates one snapshot document. It is the
+// decoder external heartbeat watchers should use: a truncated,
+// concatenated or otherwise corrupt file yields an error wrapping
+// ErrInvalidSnapshot (never a panic), so pollers can simply skip the
+// read and retry after the next atomic heartbeat write.
+func DecodeSnapshot(data []byte) (Snapshot, error) {
+	var s Snapshot
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Snapshot{}, fmt.Errorf("%w: %v", ErrInvalidSnapshot, err)
+	}
+	// A heartbeat file holds exactly one document; trailing garbage means
+	// the writer was not ours (or the file was corrupted in place).
+	var trailer json.RawMessage
+	if err := dec.Decode(&trailer); !errors.Is(err, io.EOF) {
+		return Snapshot{}, fmt.Errorf("%w: trailing data after snapshot document", ErrInvalidSnapshot)
+	}
+	if err := s.validate(); err != nil {
+		return Snapshot{}, err
+	}
+	// Normalize explicitly-empty maps to nil so decode(encode(s)) == s:
+	// Encode drops empty maps via omitempty, and a stable round trip is
+	// part of the decoder's contract (pinned by FuzzHeartbeatDecode).
+	if len(s.Counters) == 0 {
+		s.Counters = nil
+	}
+	if len(s.Gauges) == 0 {
+		s.Gauges = nil
+	}
+	if len(s.Histograms) == 0 {
+		s.Histograms = nil
+	}
+	return s, nil
+}
+
+// validate checks the structural invariants every Registry-produced
+// snapshot satisfies.
+func (s Snapshot) validate() error {
+	for name, h := range s.Histograms {
+		if len(h.Counts) != len(h.Bounds)+1 {
+			return fmt.Errorf("%w: histogram %q has %d counts for %d bounds (want bounds+1)",
+				ErrInvalidSnapshot, name, len(h.Counts), len(h.Bounds))
+		}
+		var total uint64
+		for _, c := range h.Counts {
+			total += c
+		}
+		if total != h.Count {
+			return fmt.Errorf("%w: histogram %q bucket counts sum to %d, count field says %d",
+				ErrInvalidSnapshot, name, total, h.Count)
+		}
+		// Non-finite bounds/sums need no check here: JSON cannot encode
+		// NaN or infinities, so the decoder rejects them upstream.
+		for i := 1; i < len(h.Bounds); i++ {
+			if h.Bounds[i] <= h.Bounds[i-1] {
+				return fmt.Errorf("%w: histogram %q bounds not strictly ascending at %d", ErrInvalidSnapshot, name, i)
+			}
+		}
+		if h.Count == 0 && h.Sum != 0 {
+			return fmt.Errorf("%w: histogram %q has sum %v with zero observations", ErrInvalidSnapshot, name, h.Sum)
+		}
+	}
+	return nil
+}

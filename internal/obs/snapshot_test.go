@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// sampleSnapshot returns a registry with every metric kind populated.
+func sampleRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("events").Add(12345)
+	reg.Counter("zero") // registered, never incremented
+	reg.Gauge("depth").Set(-7)
+	h := reg.Histogram("wall", 0.5, 1, 5)
+	h.Observe(0.1)
+	h.Observe(0.7)
+	h.Observe(100)
+	return reg
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := sampleRegistry().Snapshot()
+	s.Seq = 42
+	s.UnixNano = 1_700_000_000_000_000_000
+	data, err := s.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if data[len(data)-1] != '\n' {
+		t.Error("encoded snapshot missing trailing newline")
+	}
+	got, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatalf("DecodeSnapshot: %v", err)
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Errorf("round trip mismatch:\ngot  %+v\nwant %+v", got, s)
+	}
+}
+
+// TestDecodeSnapshotTruncation pins truncation tolerance: every strict
+// prefix of a valid document must decode to a clean error, never a panic
+// or a silently wrong snapshot.
+func TestDecodeSnapshotTruncation(t *testing.T) {
+	s := sampleRegistry().Snapshot()
+	s.Seq = 7
+	data, err := s.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	for cut := 0; cut < len(data)-1; cut++ {
+		if _, err := DecodeSnapshot(data[:cut]); !errors.Is(err, ErrInvalidSnapshot) {
+			t.Fatalf("truncation at %d bytes: err = %v, want ErrInvalidSnapshot", cut, err)
+		}
+	}
+}
+
+func TestDecodeSnapshotRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":             "",
+		"junk":              "not json",
+		"trailing garbage":  `{"seq":1}{"seq":2}`,
+		"unknown field":     `{"bogus":1}`,
+		"counts mismatch":   `{"histograms":{"h":{"bounds":[1],"counts":[1],"count":1,"sum":1}}}`,
+		"count wrong":       `{"histograms":{"h":{"bounds":[1],"counts":[1,2],"count":4,"sum":1}}}`,
+		"bounds descending": `{"histograms":{"h":{"bounds":[2,1],"counts":[0,0,0],"count":0,"sum":0}}}`,
+		"bounds duplicate":  `{"histograms":{"h":{"bounds":[1,1],"counts":[0,0,0],"count":0,"sum":0}}}`,
+		"sum without count": `{"histograms":{"h":{"bounds":[1],"counts":[0,0],"count":0,"sum":3}}}`,
+	}
+	for name, doc := range cases {
+		if _, err := DecodeSnapshot([]byte(doc)); !errors.Is(err, ErrInvalidSnapshot) {
+			t.Errorf("%s: err = %v, want ErrInvalidSnapshot", name, err)
+		}
+	}
+}

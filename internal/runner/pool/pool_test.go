@@ -13,7 +13,7 @@ func TestRunExecutesAllIndices(t *testing.T) {
 	const n = 100
 	var mu sync.Mutex
 	seen := make(map[int]int, n)
-	err := Run(context.Background(), n, 7, func(_ context.Context, i int) error {
+	err := Run(context.Background(), n, 7, func(_ context.Context, _, i int) error {
 		mu.Lock()
 		seen[i]++
 		mu.Unlock()
@@ -32,8 +32,40 @@ func TestRunExecutesAllIndices(t *testing.T) {
 	}
 }
 
+func TestRunWorkerIndices(t *testing.T) {
+	const n, workers = 64, 5
+	want := Workers(workers, n)
+	if want != workers {
+		t.Fatalf("Workers(%d, %d) = %d, want %d", workers, n, want, workers)
+	}
+	if got := Workers(0, n); got <= 0 {
+		t.Fatalf("Workers(0, %d) = %d, want > 0", n, got)
+	}
+	if got := Workers(10, 3); got != 3 {
+		t.Fatalf("Workers(10, 3) = %d, want 3 (capped at n)", got)
+	}
+	perWorker := make([]atomic.Int64, want)
+	err := Run(context.Background(), n, workers, func(_ context.Context, w, _ int) error {
+		if w < 0 || w >= want {
+			return errors.New("worker index out of range")
+		}
+		perWorker[w].Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var total int64
+	for i := range perWorker {
+		total += perWorker[i].Load()
+	}
+	if total != n {
+		t.Fatalf("per-worker counts sum to %d, want %d", total, n)
+	}
+}
+
 func TestRunZeroJobs(t *testing.T) {
-	if err := Run(context.Background(), 0, 4, func(context.Context, int) error {
+	if err := Run(context.Background(), 0, 4, func(context.Context, int, int) error {
 		t.Error("fn called for empty job set")
 		return nil
 	}); err != nil {
@@ -45,7 +77,7 @@ func TestRunFailFastStopsDispatch(t *testing.T) {
 	const n = 1000
 	boom := errors.New("boom")
 	var started atomic.Int64
-	err := Run(context.Background(), n, 2, func(_ context.Context, i int) error {
+	err := Run(context.Background(), n, 2, func(_ context.Context, _, i int) error {
 		started.Add(1)
 		if i == 0 {
 			return boom
@@ -68,7 +100,7 @@ func TestRunFailFastStopsDispatch(t *testing.T) {
 func TestRunHonorsParentCancel(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	var started atomic.Int64
-	err := Run(ctx, 1000, 2, func(ctx context.Context, i int) error {
+	err := Run(ctx, 1000, 2, func(ctx context.Context, _, i int) error {
 		if started.Add(1) == 1 {
 			cancel()
 		}
@@ -84,7 +116,7 @@ func TestRunHonorsParentCancel(t *testing.T) {
 
 func TestRunReportsFirstErrorOnly(t *testing.T) {
 	first := errors.New("first")
-	err := Run(context.Background(), 4, 1, func(_ context.Context, i int) error {
+	err := Run(context.Background(), 4, 1, func(_ context.Context, _, i int) error {
 		if i == 0 {
 			return first
 		}

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"comfase/internal/core"
+	"comfase/internal/obs"
 	"comfase/internal/runner/pool"
 	"comfase/internal/sim/des"
 )
@@ -154,6 +155,13 @@ type Options struct {
 	// quarantine file to retry them.
 	ResumeFailures map[int]core.ExperimentFailure
 
+	// Metrics, when set, receives runner-level counters and gauges
+	// (retries, per-class failures, emitted rows, sink flushes, shard
+	// progress, per-worker throughput). Pass the same registry to
+	// core.EngineConfig.Metrics for the full stack view. nil disables
+	// runner metrics; execution and outputs are bit-identical either way.
+	Metrics *obs.Registry
+
 	// DisableCheckpoints turns off prefix-checkpoint forking: every
 	// experiment then builds and simulates from t=0 (the pre-checkpoint
 	// execution path). The zero value — checkpoints enabled — is right
@@ -169,6 +177,7 @@ type Runner struct {
 	eng   *core.Engine
 	opts  Options
 	sinks []Sink
+	met   runnerMetrics
 }
 
 // New validates the options and returns a Runner streaming to the given
@@ -181,7 +190,7 @@ func New(eng *core.Engine, opts Options, sinks ...Sink) (*Runner, error) {
 	if err := opts.Shard.Validate(); err != nil {
 		return nil, err
 	}
-	return &Runner{eng: eng, opts: opts, sinks: sinks}, nil
+	return &Runner{eng: eng, opts: opts, sinks: sinks, met: newRunnerMetrics(opts.Metrics)}, nil
 }
 
 // slot tracks one shard grid point through the run. A slot holds either
@@ -242,6 +251,8 @@ func (r *Runner) Run(ctx context.Context, setup core.CampaignSetup) (*core.Campa
 		done     = total - len(todo)
 		failures int // persistent failures this run (resumed ones excluded)
 	)
+	r.met.shardTotal.Set(int64(total))
+	r.met.shardDone.Set(int64(done))
 	// release emits the contiguous completed prefix — results to the
 	// sinks, quarantine records to the failure sink; the caller holds mu.
 	release := func() error {
@@ -255,12 +266,14 @@ func (r *Runner) Run(ctx context.Context, setup core.CampaignSetup) (*core.Campa
 						return fmt.Errorf("runner: quarantine sink: %w", err)
 					}
 				}
+				r.met.quarantined.Inc()
 			default:
 				for _, snk := range r.sinks {
 					if err := snk.Put(s.res); err != nil {
 						return fmt.Errorf("runner: sink: %w", err)
 					}
 				}
+				r.met.results.Inc()
 			}
 			next++
 		}
@@ -277,9 +290,11 @@ func (r *Runner) Run(ctx context.Context, setup core.CampaignSetup) (*core.Campa
 		if runErr != nil {
 			fail := core.NewExperimentFailure(specs[idx], runErr, attempts)
 			slots[idx] = slot{failure: &fail, done: true}
+			r.met.failure(fail.Class)
 			failures++
 			overBudget := r.opts.MaxFailures >= 0 && failures > r.opts.MaxFailures
 			done++
+			r.met.shardDone.Set(int64(done))
 			if relErr := release(); relErr != nil {
 				return relErr
 			}
@@ -304,6 +319,7 @@ func (r *Runner) Run(ctx context.Context, setup core.CampaignSetup) (*core.Campa
 		}
 		slots[idx] = slot{res: res, done: true}
 		done++
+		r.met.shardDone.Set(int64(done))
 		if relErr := release(); relErr != nil {
 			return relErr
 		}
@@ -327,8 +343,11 @@ func (r *Runner) Run(ctx context.Context, setup core.CampaignSetup) (*core.Campa
 	groups := groupByStart(specs, todo)
 
 	if err == nil {
-		err = pool.Run(ctx, len(groups), r.opts.Workers, func(ctx context.Context, g int) error {
+		err = pool.Run(ctx, len(groups), r.opts.Workers, func(ctx context.Context, worker, g int) error {
 			group := groups[g]
+			// One registry lookup per scheduling unit; nil when metrics are
+			// off, and increments are then no-ops.
+			wc := r.met.worker(worker)
 			var gs *core.GroupSession
 			if !r.opts.DisableCheckpoints && len(group) > 1 {
 				gs = r.beginGroup(ctx, specs[group[0]].Start)
@@ -345,6 +364,7 @@ func (r *Runner) Run(ctx context.Context, setup core.CampaignSetup) (*core.Campa
 					// Campaign-level cancellation, not an experiment failure.
 					return fmt.Errorf("experiment %v: %w", specs[idx], runErr)
 				}
+				wc.Inc()
 				if cerr := complete(idx, res, attempts, runErr); cerr != nil {
 					return cerr
 				}
@@ -360,11 +380,13 @@ func (r *Runner) Run(ctx context.Context, setup core.CampaignSetup) (*core.Campa
 		if ferr := s.Flush(); ferr != nil && err == nil {
 			err = fmt.Errorf("runner: sink flush: %w", ferr)
 		}
+		r.met.flushes.Inc()
 	}
 	if r.opts.Quarantine != nil {
 		if ferr := r.opts.Quarantine.Flush(); ferr != nil && err == nil {
 			err = fmt.Errorf("runner: quarantine flush: %w", ferr)
 		}
+		r.met.flushes.Inc()
 	}
 	if err != nil {
 		return nil, err
@@ -451,6 +473,7 @@ func (r *Runner) runWithRetry(ctx context.Context, spec core.ExperimentSpec, gs 
 			if err := sleepCtx(ctx, time.Duration(a-1)*r.opts.RetryBackoff); err != nil {
 				return core.ExperimentResult{}, a - 1, lastErr
 			}
+			r.met.retries.Inc()
 		}
 		attemptCtx, cancel := ctx, func() {}
 		if r.opts.ExperimentTimeout > 0 {

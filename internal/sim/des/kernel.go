@@ -107,6 +107,12 @@ type Kernel struct {
 	// run; it is enforced on the same poll cadence as the interrupt
 	// check, so the hot loop pays nothing extra for it.
 	budget uint64
+
+	// m, when non-nil, receives event/snapshot/restore counts; reported
+	// tracks how much of executed has been flushed into m.Events. Deltas
+	// flush when Run/RunUntil return, never per event (see metrics.go).
+	m        *Metrics
+	reported uint64
 }
 
 // NewKernel returns an empty kernel with the clock at t=0.
@@ -134,6 +140,8 @@ func (k *Kernel) Reset() {
 	k.checkEvery = 0
 	k.sinceCheck = 0
 	k.budget = 0
+	k.m = nil
+	k.reported = 0
 }
 
 // Now reports the current simulation time. During an event handler this
@@ -368,6 +376,7 @@ func (k *Kernel) step() bool {
 // Run executes events until the queue is empty, Stop is called, or the
 // interrupt check (SetInterruptCheck) reports an error.
 func (k *Kernel) Run() error {
+	defer k.flushMetrics()
 	k.stopped = false
 	for !k.stopped {
 		if !k.step() {
@@ -392,6 +401,7 @@ func (k *Kernel) RunUntil(limit Time) error {
 	if limit < k.now {
 		return fmt.Errorf("des: RunUntil(%v) is in the past (now %v)", limit, k.now)
 	}
+	defer k.flushMetrics()
 	k.stopped = false
 	for !k.stopped {
 		at, ok := k.peek()

@@ -1,0 +1,41 @@
+package des
+
+import "comfase/internal/obs"
+
+// Metrics is the kernel's observability hookup: obs counters the kernel
+// feeds without touching its event loop. Events is flushed as a delta at
+// the END of every Run/RunUntil (never per event — the hot loop's cost
+// is identical with metrics attached or not); Snapshots and Restores are
+// bumped on the equally coarse checkpoint operations. Any field may be
+// nil (obs metrics are nil-safe).
+type Metrics struct {
+	// Events counts delivered (non-canceled) events across runs.
+	Events *obs.Counter
+	// Snapshots counts Kernel.Snapshot calls.
+	Snapshots *obs.Counter
+	// Restores counts successful Kernel.Restore calls.
+	Restores *obs.Counter
+}
+
+// SetMetrics attaches the obs counters the kernel reports into (nil
+// detaches). Like the interrupt check and the event budget this is a
+// runtime knob, not simulation state: Reset clears it and checkpoint
+// snapshots do not capture it, so callers re-attach per run exactly as
+// they re-apply the other knobs.
+func (k *Kernel) SetMetrics(m *Metrics) {
+	k.m = m
+	k.reported = k.executed
+}
+
+// flushMetrics reports the events delivered since the last flush. It
+// runs (via defer) when Run/RunUntil return — a handful of times per
+// experiment — so per-event instrumentation cost is exactly zero.
+func (k *Kernel) flushMetrics() {
+	if k.m == nil {
+		return
+	}
+	if k.executed > k.reported {
+		k.m.Events.Add(k.executed - k.reported)
+	}
+	k.reported = k.executed
+}

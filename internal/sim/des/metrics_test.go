@@ -1,0 +1,95 @@
+package des
+
+import (
+	"testing"
+
+	"comfase/internal/obs"
+)
+
+// TestKernelMetricsFlushAtRunBoundaries pins the delta-flush contract:
+// the Events counter advances only when Run/RunUntil return, matches the
+// kernel's own executed count exactly, and stays correct across the
+// checkpoint fork cycle (snapshot, run, restore, run again) — forked
+// re-execution is counted as new work while the shared prefix is counted
+// once.
+func TestKernelMetricsFlushAtRunBoundaries(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := &Metrics{
+		Events:    reg.Counter("kernel.events_executed"),
+		Snapshots: reg.Counter("kernel.snapshots"),
+		Restores:  reg.Counter("kernel.restores"),
+	}
+	k := NewKernel()
+	k.SetMetrics(m)
+
+	for i := 1; i <= 3; i++ {
+		k.ScheduleAt(Time(i), func() {})
+	}
+	if err := k.RunUntil(3); err != nil {
+		t.Fatalf("prefix run: %v", err)
+	}
+	if got := m.Events.Load(); got != 3 {
+		t.Fatalf("after prefix: events = %d, want 3", got)
+	}
+
+	// Fork point: two pending events beyond the snapshot.
+	k.ScheduleAt(4, func() {})
+	k.ScheduleAt(5, func() {})
+	var state KernelState
+	k.Snapshot(&state)
+	if got := m.Snapshots.Load(); got != 1 {
+		t.Fatalf("snapshots = %d, want 1", got)
+	}
+
+	if err := k.RunUntil(10); err != nil {
+		t.Fatalf("first fork: %v", err)
+	}
+	if got := m.Events.Load(); got != 5 {
+		t.Fatalf("after first fork: events = %d, want 5", got)
+	}
+
+	if err := k.Restore(&state); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if got := m.Restores.Load(); got != 1 {
+		t.Fatalf("restores = %d, want 1", got)
+	}
+	if err := k.RunUntil(10); err != nil {
+		t.Fatalf("second fork: %v", err)
+	}
+	// 3 prefix + 2 per fork: the replayed sibling counts as new work.
+	if got := m.Events.Load(); got != 7 {
+		t.Fatalf("after second fork: events = %d, want 7", got)
+	}
+
+	// Reset detaches the metrics like every other runtime knob.
+	k.Reset()
+	k.ScheduleAt(1, func() {})
+	if err := k.Run(); err != nil {
+		t.Fatalf("post-reset run: %v", err)
+	}
+	if got := m.Events.Load(); got != 7 {
+		t.Fatalf("post-reset run leaked into detached metrics: events = %d, want 7", got)
+	}
+}
+
+// TestKernelSetMetricsMidLife pins that attaching metrics to a kernel
+// with history reports only subsequent events.
+func TestKernelSetMetricsMidLife(t *testing.T) {
+	k := NewKernel()
+	k.ScheduleAt(1, func() {})
+	if err := k.Run(); err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
+	reg := obs.NewRegistry()
+	m := &Metrics{Events: reg.Counter("events")}
+	k.SetMetrics(m)
+	k.ScheduleAt(2, func() {})
+	k.ScheduleAt(3, func() {})
+	if err := k.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := m.Events.Load(); got != 2 {
+		t.Fatalf("events = %d, want 2 (pre-attach history must not flush)", got)
+	}
+}

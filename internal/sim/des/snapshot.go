@@ -42,6 +42,9 @@ func (s *KernelState) Owner() *Kernel { return s.owner }
 // NOT captured, so the caller re-applies them per run (exactly like the
 // fresh-build path) before calling Restore.
 func (k *Kernel) Snapshot(into *KernelState) {
+	if k.m != nil {
+		k.m.Snapshots.Inc()
+	}
 	into.owner = k
 	into.now = k.now
 	into.nextSeq = k.nextSeq
@@ -75,6 +78,15 @@ func (k *Kernel) Restore(from *KernelState) error {
 	}
 	if from.owner != k {
 		return fmt.Errorf("%w", ErrForeignState)
+	}
+	if k.m != nil {
+		k.m.Restores.Inc()
+		// Rewinding executed below the flushed watermark must not make
+		// the next flush delta negative: the prefix's events were already
+		// reported, so reporting resumes from the restored count.
+		if k.reported > from.executed {
+			k.reported = from.executed
+		}
 	}
 	k.now = from.now
 	k.nextSeq = from.nextSeq

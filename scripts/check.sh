@@ -17,11 +17,16 @@ echo "==> chaos self-test (-race)"
 go test -race -run 'TestChaosCampaign' ./internal/runner
 echo "==> checkpoint equivalence self-test (-race)"
 go test -race -run 'TestCheckpointCampaignEquivalence' ./internal/runner
+echo "==> observability equivalence self-test (-race)"
+go test -race -run 'TestMetricsCampaignEquivalence' ./internal/runner
 echo "==> fuzz smoke (5s per target)"
 go test -run '^$' -fuzz 'FuzzParse$' -fuzztime 5s ./internal/config >/dev/null
 go test -run '^$' -fuzz 'FuzzKernelSchedule' -fuzztime 5s ./internal/sim/des >/dev/null
 go test -run '^$' -fuzz 'FuzzKernelSnapshot' -fuzztime 5s ./internal/sim/des >/dev/null
 go test -run '^$' -fuzz 'FuzzParseShard' -fuzztime 5s ./internal/runner >/dev/null
+go test -run '^$' -fuzz 'FuzzHeartbeatDecode' -fuzztime 5s ./internal/obs >/dev/null
+echo "==> coverage report + internal/obs floor"
+scripts/cover.sh
 echo "==> go test -bench . -benchtime 1x (sanity)"
 go test -run '^$' -bench . -benchtime 1x ./... >/dev/null
 echo "OK"
