@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race chaos checkpoint-equiv obs-equiv fuzz-smoke bench bench-sanity cover
+.PHONY: check build vet test race chaos checkpoint-equiv obs-equiv registry-equiv fuzz-smoke bench bench-sanity cover
 
 # Tier-1 verification gate: build + vet + race-enabled tests (which
 # include the chaos self-test exercising every failure-containment path),
@@ -9,7 +9,7 @@ GO ?= go
 # so the race detector is part of the default gate, not an optional
 # extra; the bench sanity run keeps the perf harness compiling and
 # executable without paying for a full measurement.
-check: build vet race chaos checkpoint-equiv obs-equiv fuzz-smoke cover bench-sanity
+check: build vet race chaos checkpoint-equiv obs-equiv registry-equiv fuzz-smoke cover bench-sanity
 
 build:
 	$(GO) build ./...
@@ -46,13 +46,23 @@ checkpoint-equiv:
 obs-equiv:
 	$(GO) test -race -run 'TestMetricsCampaignEquivalence' ./internal/runner
 
+# The registry-equivalence self-test by name, under the race detector:
+# campaigns resolved through the attack registry (by name) must emit
+# result CSVs byte-identical to the legacy kind/factory paths — healthy
+# and with chaos-injected failures — and matrix execution must stay
+# deterministic across sequential, parallel and sharded runs.
+registry-equiv:
+	$(GO) test -race -run 'TestRegistryCampaignEquivalence|TestRegistryChaosEquivalence|TestRunMatrixDeterminism' ./internal/runner
+
 # Short coverage-guided fuzz smoke on every fuzz target (the config
-# parser, the DES kernel scheduler and snapshot/restore, the shard
-# designator, the heartbeat snapshot decoder). 5s per target catches
+# parser, the matrix-section decoder, the DES kernel scheduler and
+# snapshot/restore, the shard designator, the heartbeat snapshot
+# decoder). 5s per target catches
 # corpus regressions without slowing the gate meaningfully; -run '^$$'
 # skips the unit tests the race step already ran.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzParse$$' -fuzztime 5s ./internal/config
+	$(GO) test -run '^$$' -fuzz 'FuzzMatrixConfigDecode' -fuzztime 5s ./internal/config
 	$(GO) test -run '^$$' -fuzz 'FuzzKernelSchedule' -fuzztime 5s ./internal/sim/des
 	$(GO) test -run '^$$' -fuzz 'FuzzKernelSnapshot' -fuzztime 5s ./internal/sim/des
 	$(GO) test -run '^$$' -fuzz 'FuzzParseShard' -fuzztime 5s ./internal/runner

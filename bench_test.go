@@ -20,6 +20,8 @@ import (
 	"comfase/internal/figures"
 	"comfase/internal/phy"
 	"comfase/internal/platoon"
+	"comfase/internal/registry"
+	"comfase/internal/registry/param"
 	"comfase/internal/runner"
 	"comfase/internal/safety"
 	"comfase/internal/scenario"
@@ -550,4 +552,62 @@ func BenchmarkCampaignParallel(b *testing.B) {
 			b.ReportMetric(float64(counts.Total()), "experiments")
 		})
 	}
+}
+
+// BenchmarkCampaignMatrix runs a registry-expanded scenario x attack
+// matrix (2 scenarios x 2 attack families on representative sub-grids)
+// through the flattened-grid matrix executor, covering per-cell golden
+// runs, engine reuse across same-scenario cells and per-cell
+// classification.
+func BenchmarkCampaignMatrix(b *testing.B) {
+	m := registry.Matrix{
+		Scenarios: []registry.MatrixScenario{
+			{Name: "paper-platoon"},
+			{Name: "platoon", Label: "platoon-8", Params: param.Params{"nrVehicles": 8}},
+		},
+		Attacks: []registry.MatrixAttack{
+			{
+				Name:      "delay",
+				Values:    []float64{0.6, 3.0},
+				Starts:    []des.Time{17 * des.Second, 21 * des.Second},
+				Durations: []des.Time{5 * des.Second},
+			},
+			{
+				Name:      "dos",
+				Values:    []float64{60},
+				Starts:    []des.Time{17 * des.Second, 21 * des.Second},
+				Durations: []des.Time{60 * des.Second},
+			},
+		},
+	}
+	expanded, err := m.Expand()
+	if err != nil {
+		b.Fatalf("Expand: %v", err)
+	}
+	cells := make([]runner.MatrixCell, len(expanded))
+	for i, c := range expanded {
+		cells[i] = runner.MatrixCell{
+			Scenario: c.Scenario,
+			Attack:   c.Attack,
+			Engine: core.EngineConfig{
+				Scenario:    c.Def.Traffic,
+				Comm:        c.Def.Comm,
+				Controllers: c.Def.Controllers,
+				Seed:        1,
+			},
+			Setup: c.Setup,
+		}
+	}
+	b.ResetTimer()
+	var res *runner.MatrixResult
+	for i := 0; i < b.N; i++ {
+		res, err = runner.RunMatrix(context.Background(), cells,
+			runner.Options{Workers: runtime.GOMAXPROCS(0)})
+		if err != nil {
+			b.Fatalf("RunMatrix: %v", err)
+		}
+	}
+	b.ReportMetric(float64(len(res.Cells)), "cells")
+	b.ReportMetric(float64(res.Counts.Severe), "severe")
+	b.ReportMetric(float64(res.Counts.Total()), "experiments")
 }

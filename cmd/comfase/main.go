@@ -44,6 +44,7 @@ import (
 	"comfase/internal/config"
 	"comfase/internal/core"
 	"comfase/internal/obs"
+	"comfase/internal/registry"
 	"comfase/internal/runner"
 	"comfase/internal/scenario"
 	"comfase/internal/trace"
@@ -115,6 +116,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		return runCampaign(ctx, args[1:], stdout)
 	case "merge":
 		return runMerge(args[1:], stdout)
+	case "list":
+		return runList(stdout)
 	case "-h", "--help", "help":
 		printUsage(stdout)
 		return nil
@@ -124,7 +127,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 }
 
 func usageError() error {
-	return fmt.Errorf("usage: comfase <golden|campaign|merge> [flags]; see comfase help")
+	return fmt.Errorf("usage: comfase <golden|campaign|merge|list> [flags]; see comfase help")
 }
 
 func printUsage(w io.Writer) {
@@ -157,6 +160,14 @@ Subcommands:
                         3 failure budget exceeded, 130 forced exit
   merge     merge per-shard result CSVs into one file ordered by expNr
             flags: -out FILE (required), then the shard CSV paths
+  list      print the registered scenario, attack and campaign families
+            with their parameter schemas — the names a config file's
+            campaign/matrix sections accept
+
+A config file may replace the single "campaign" section with a "matrix"
+section crossing registered scenarios with registered attacks; the grid
+is flattened into one contiguous expNr space, so -shard, -resume and
+merge work unchanged, and the results CSV gains a scenario column.
 `)
 }
 
@@ -391,8 +402,9 @@ func runCampaign(ctx context.Context, args []string, stdout io.Writer) error {
 			}
 		}
 	}
+	matrixMode := len(parsed.Cells) > 0
 	if results != "" {
-		sink, closeSink, err := openResultsSink(results, len(opts.Resume) > 0)
+		sink, closeSink, err := openResultsSink(results, len(opts.Resume) > 0, matrixMode)
 		if err != nil {
 			return err
 		}
@@ -455,15 +467,32 @@ func runCampaign(ctx context.Context, args []string, stdout io.Writer) error {
 		}
 	}
 
-	eng, err := core.NewEngine(parsed.Engine)
-	if err != nil {
-		return err
+	var res *core.CampaignResult
+	var mres *runner.MatrixResult
+	if matrixMode {
+		// Per-cell engines inherit the same flag overrides and metrics
+		// registry the single-campaign engine would get.
+		for i := range parsed.Cells {
+			if explicit["invariants"] {
+				parsed.Cells[i].Engine.Invariants = *invariants
+			}
+			if explicit["event-budget"] {
+				parsed.Cells[i].Engine.EventBudget = *eventBudget
+			}
+			parsed.Cells[i].Engine.Metrics = reg
+		}
+		mres, err = runner.RunMatrix(ctx, parsed.Cells, opts, sinks...)
+	} else {
+		eng, eerr := core.NewEngine(parsed.Engine)
+		if eerr != nil {
+			return eerr
+		}
+		r, rerr := runner.New(eng, opts, sinks...)
+		if rerr != nil {
+			return rerr
+		}
+		res, err = r.Run(ctx, parsed.Campaign)
 	}
-	r, err := runner.New(eng, opts, sinks...)
-	if err != nil {
-		return err
-	}
-	res, err := r.Run(ctx, parsed.Campaign)
 	if hb != nil {
 		// Stop after the run so the final snapshot carries the campaign's
 		// end state; a write failure is diagnostic, never fatal to results.
@@ -484,8 +513,21 @@ func runCampaign(ctx context.Context, args []string, stdout io.Writer) error {
 		}
 		return err
 	}
-	if n := res.FailureCounts.Total(); n > 0 {
-		fmt.Fprintf(stdout, "%d experiment(s) quarantined (%v)", n, res.FailureCounts)
+	var failCounts core.FailureCounts
+	var nDone, gridTotal int
+	if matrixMode {
+		failCounts = mres.FailureCounts
+		nDone = len(mres.Experiments)
+		for _, c := range parsed.Cells {
+			gridTotal += c.Setup.NumExperiments()
+		}
+	} else {
+		failCounts = res.FailureCounts
+		nDone = len(res.Experiments)
+		gridTotal = parsed.Campaign.NumExperiments()
+	}
+	if n := failCounts.Total(); n > 0 {
+		fmt.Fprintf(stdout, "%d experiment(s) quarantined (%v)", n, failCounts)
 		if quarantine != "" {
 			fmt.Fprintf(stdout, "; records in %s", quarantine)
 		}
@@ -503,24 +545,56 @@ func runCampaign(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 	if opts.Shard.Enabled() {
 		fmt.Fprintf(out, "shard %s: %d of the grid's %d experiments (merge shard files with: comfase merge)\n\n",
-			opts.Shard, len(res.Experiments), parsed.Campaign.NumExperiments())
+			opts.Shard, nDone, gridTotal)
+	}
+	if matrixMode {
+		return writeMatrixReport(out, mres)
 	}
 	return writeCampaignReport(out, res)
 }
 
+// writeMatrixReport renders the whole-matrix summary, the per-cell
+// classification table, and each cell's figure family.
+func writeMatrixReport(w io.Writer, res *runner.MatrixResult) error {
+	if _, err := fmt.Fprintf(w, "matrix campaign: %d cells, %d experiments: %v\n\n",
+		len(res.Cells), res.Counts.Total(), res.Counts); err != nil {
+		return err
+	}
+	groups := analysis.GroupCells(res.Experiments)
+	if err := analysis.WriteCellTable(w, groups); err != nil {
+		return err
+	}
+	for _, f := range analysis.CellFamilies(groups) {
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+		if err := analysis.WriteCellReport(w, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // openResultsSink opens the streaming CSV results file. A resume run
 // with prior rows appends; anything else starts fresh with a header.
-func openResultsSink(path string, appendTo bool) (runner.Sink, func() error, error) {
+// Matrix runs use the 11-column schema with the scenario column.
+func openResultsSink(path string, appendTo, matrix bool) (runner.Sink, func() error, error) {
 	if appendTo {
 		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return nil, nil, err
+		}
+		if matrix {
+			return runner.NewMatrixCSVAppendSink(f), f.Close, nil
 		}
 		return runner.NewCSVAppendSink(f), f.Close, nil
 	}
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, nil, err
+	}
+	if matrix {
+		return runner.NewMatrixCSVSink(f), f.Close, nil
 	}
 	return runner.NewCSVSink(f), f.Close, nil
 }
@@ -549,6 +623,46 @@ func runMerge(args []string, stdout io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(stdout, "merged %d result files into %s\n", fs.NArg(), *outPath)
+	return nil
+}
+
+// runList prints the registered scenario, attack and campaign families
+// with their parameter schemas — the authoritative answer to "what can
+// a config file's campaign/matrix sections name?".
+func runList(stdout io.Writer) error {
+	fmt.Fprintln(stdout, "scenarios:")
+	for _, name := range registry.ScenarioNames() {
+		entry, err := registry.LookupScenario(name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "  %-16s %s\n", entry.Name, entry.Desc)
+		for _, spec := range entry.Schema {
+			fmt.Fprintf(stdout, "    %s\n", spec.Doc())
+		}
+	}
+	fmt.Fprintln(stdout, "\nattacks:")
+	for _, name := range registry.AttackNames() {
+		entry, err := registry.LookupAttack(name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "  %-16s %s\n", entry.Name, entry.Desc)
+		if entry.ValueDoc != "" {
+			fmt.Fprintf(stdout, "    value: %s\n", entry.ValueDoc)
+		}
+		for _, spec := range entry.Schema {
+			fmt.Fprintf(stdout, "    %s\n", spec.Doc())
+		}
+	}
+	fmt.Fprintln(stdout, "\ncampaigns:")
+	for _, name := range registry.CampaignNames() {
+		entry, err := registry.LookupCampaign(name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "  %-16s %s\n", entry.Name, entry.Desc)
+	}
 	return nil
 }
 

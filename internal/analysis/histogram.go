@@ -91,7 +91,7 @@ func ExperimentCSVHeader() []string {
 func ExperimentCSVRecord(e core.ExperimentResult) []string {
 	return []string{
 		strconv.Itoa(e.Spec.Nr),
-		e.Spec.Kind.String(),
+		e.Spec.AttackLabel(),
 		strconv.FormatFloat(e.Spec.Value, 'g', -1, 64),
 		strconv.FormatFloat(e.Spec.Start.Seconds(), 'f', 3, 64),
 		strconv.FormatFloat(e.Spec.Duration.Seconds(), 'f', 3, 64),
@@ -119,4 +119,24 @@ func ExperimentsCSV(w io.Writer, exps []core.ExperimentResult) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// MatrixCSVHeader returns the per-experiment CSV schema of matrix
+// campaigns: the single-campaign schema with a scenario column after
+// expNr, so every row carries its cell identity.
+func MatrixCSVHeader() []string {
+	return []string{
+		"expNr", "scenario", "attack", "value", "start_s", "duration_s",
+		"outcome", "max_decel_mps2", "max_speed_dev_mps",
+		"collisions", "collider",
+	}
+}
+
+// MatrixCSVRecord encodes one experiment as a CSV record matching
+// MatrixCSVHeader; encoding matches ExperimentCSVRecord field for field.
+func MatrixCSVRecord(e core.ExperimentResult) []string {
+	rec := ExperimentCSVRecord(e)
+	out := make([]string, 0, len(rec)+1)
+	out = append(out, rec[0], e.Spec.Scenario)
+	return append(out, rec[1:]...)
 }

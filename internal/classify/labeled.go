@@ -1,0 +1,49 @@
+package classify
+
+import "sort"
+
+// LabeledCounts tallies outcomes per string label — the per-cell
+// classification tables of matrix campaigns, where a label is a
+// "scenario/attack" cell identity. Iteration helpers return labels in
+// first-added order (matrix grid order) or sorted, both deterministic.
+type LabeledCounts struct {
+	counts map[string]*Counts
+	order  []string
+}
+
+// Add tallies one outcome under the label.
+func (lc *LabeledCounts) Add(label string, o Outcome) {
+	if lc.counts == nil {
+		lc.counts = make(map[string]*Counts)
+	}
+	c, ok := lc.counts[label]
+	if !ok {
+		c = &Counts{}
+		lc.counts[label] = c
+		lc.order = append(lc.order, label)
+	}
+	c.Add(o)
+}
+
+// Get returns the tally for the label (zero Counts when absent).
+func (lc *LabeledCounts) Get(label string) Counts {
+	if c, ok := lc.counts[label]; ok {
+		return *c
+	}
+	return Counts{}
+}
+
+// Labels returns the labels in first-added order.
+func (lc *LabeledCounts) Labels() []string {
+	return append([]string(nil), lc.order...)
+}
+
+// SortedLabels returns the labels sorted lexicographically.
+func (lc *LabeledCounts) SortedLabels() []string {
+	out := lc.Labels()
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of distinct labels.
+func (lc *LabeledCounts) Len() int { return len(lc.order) }

@@ -1,0 +1,44 @@
+package classify
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestLabeledCounts(t *testing.T) {
+	var lc LabeledCounts
+	if lc.Len() != 0 {
+		t.Fatalf("zero value Len = %d", lc.Len())
+	}
+	if got := lc.Get("missing"); got != (Counts{}) {
+		t.Errorf("Get on empty = %+v, want zero", got)
+	}
+
+	lc.Add("b/delay", Severe)
+	lc.Add("a/dos", Benign)
+	lc.Add("b/delay", Severe)
+	lc.Add("b/delay", Negligible)
+
+	if lc.Len() != 2 {
+		t.Errorf("Len = %d, want 2", lc.Len())
+	}
+	// Labels preserves first-added (grid) order; SortedLabels sorts.
+	if got := lc.Labels(); !reflect.DeepEqual(got, []string{"b/delay", "a/dos"}) {
+		t.Errorf("Labels = %v, want first-added order", got)
+	}
+	if got := lc.SortedLabels(); !reflect.DeepEqual(got, []string{"a/dos", "b/delay"}) {
+		t.Errorf("SortedLabels = %v", got)
+	}
+	if got := lc.Get("b/delay"); got != (Counts{Severe: 2, Negligible: 1}) {
+		t.Errorf("Get(b/delay) = %+v", got)
+	}
+	if got := lc.Get("a/dos"); got != (Counts{Benign: 1}) {
+		t.Errorf("Get(a/dos) = %+v", got)
+	}
+	// Get returns a copy: mutating it must not leak back.
+	c := lc.Get("a/dos")
+	c.Add(Severe)
+	if lc.Get("a/dos").Severe != 0 {
+		t.Error("Get leaked a mutable reference")
+	}
+}

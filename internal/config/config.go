@@ -16,6 +16,7 @@ import (
 	"comfase/internal/core"
 	"comfase/internal/phy"
 	"comfase/internal/platoon"
+	"comfase/internal/registry/param"
 	"comfase/internal/runner"
 	"comfase/internal/safety"
 	"comfase/internal/scenario"
@@ -296,8 +297,13 @@ func (c CommConfig) Build() (scenario.CommModel, error) {
 
 // CampaignConfig describes the attack campaign grid.
 type CampaignConfig struct {
-	// Attack is "delay", "dos", "packet-loss" or "replay".
+	// Attack names a registered attack family — any name `comfase list`
+	// prints (delay, dos, packet-loss, replay, jamming, falsification,
+	// sybil, omission, corruption, calibration, ...). Default: delay.
 	Attack string `json:"attack"`
+	// Params are the family's extra parameters, validated against its
+	// registry schema.
+	Params map[string]any `json:"params,omitempty"`
 	// Targets are the attacked vehicle IDs (default: vehicle.2).
 	Targets []string `json:"targets,omitempty"`
 	// ValuesS is the attackValuesVector (seconds for delay/dos/replay,
@@ -309,15 +315,18 @@ type CampaignConfig struct {
 	DurationsS Vector `json:"durationsS"`
 }
 
-// Build expands the vectors into a CampaignSetup.
+// Build expands the vectors into a CampaignSetup. The attack name
+// resolves against the attack registry, so every registered family —
+// not just the enum kinds — is reachable, and unknown names carry the
+// registry's accepted-names list with a nearest-match suggestion.
 func (c CampaignConfig) Build() (core.CampaignSetup, error) {
 	name := c.Attack
 	if name == "" {
 		name = "delay"
 	}
-	kind, err := core.ParseAttackKind(name)
+	entry, err := core.LookupAttack(name)
 	if err != nil {
-		return core.CampaignSetup{}, fmt.Errorf("config: unknown attack %q", c.Attack)
+		return core.CampaignSetup{}, fmt.Errorf("config: unknown attack %q: %w", name, err)
 	}
 	targets := c.Targets
 	if len(targets) == 0 {
@@ -335,7 +344,13 @@ func (c CampaignConfig) Build() (core.CampaignSetup, error) {
 	if err != nil {
 		return core.CampaignSetup{}, fmt.Errorf("durations: %w", err)
 	}
-	setup := core.CampaignSetup{Attack: kind, Targets: targets, Values: values}
+	setup := core.CampaignSetup{
+		Attack:     entry.Kind,
+		AttackName: entry.Name,
+		Params:     param.Params(c.Params),
+		Targets:    targets,
+		Values:     values,
+	}
 	for _, s := range starts {
 		setup.Starts = append(setup.Starts, des.FromSeconds(s))
 	}
@@ -470,14 +485,21 @@ type File struct {
 	Scenario   ScenarioConfig `json:"scenario,omitempty"`
 	Comm       CommConfig     `json:"comm,omitempty"`
 	Campaign   CampaignConfig `json:"campaign,omitempty"`
-	Runtime    RuntimeConfig  `json:"runtime,omitempty"`
+	// Matrix sweeps registered attacks over registered scenarios in one
+	// run; mutually exclusive with Campaign and the top-level
+	// scenario/controller sections.
+	Matrix  *MatrixConfig `json:"matrix,omitempty"`
+	Runtime RuntimeConfig `json:"runtime,omitempty"`
 }
 
-// Parsed is the fully built experiment configuration.
+// Parsed is the fully built experiment configuration. Exactly one of
+// Campaign (with Engine) or Cells is populated: a matrix file yields
+// Cells and leaves Engine/Campaign zero.
 type Parsed struct {
 	Seed     uint64
 	Engine   core.EngineConfig
 	Campaign core.CampaignSetup
+	Cells    []runner.MatrixCell
 	Runtime  RuntimeSettings
 }
 
@@ -516,6 +538,17 @@ func BuildFile(f File) (*Parsed, error) {
 	seed := f.Seed
 	if seed == 0 {
 		seed = 1
+	}
+	if f.Matrix != nil {
+		cells, err := buildMatrix(f, seed)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := f.Runtime.Build()
+		if err != nil {
+			return nil, err
+		}
+		return &Parsed{Seed: seed, Cells: cells, Runtime: rt}, nil
 	}
 	ts, err := f.Scenario.Build()
 	if err != nil {

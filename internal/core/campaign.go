@@ -3,13 +3,16 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strings"
 
+	"comfase/internal/registry/param"
 	"comfase/internal/sim/des"
-	"comfase/internal/sim/rng"
 )
 
 // AttackKind selects a predefined attack model (the attackModel parameter
-// of Algorithm 1 line 4).
+// of Algorithm 1 line 4). It predates the attack registry and remains the
+// compact way to address the paper's five models; registry-only families
+// are addressed by name through CampaignSetup.AttackName.
 type AttackKind int
 
 // The shipped attack models.
@@ -44,22 +47,19 @@ func (k AttackKind) Valid() bool { return k >= AttackDelay && k <= AttackJamming
 
 // ParseAttackKind inverts String: it maps an attack name back to its
 // AttackKind. Both the JSON config layer and the campaign-resume path
-// round-trip attack kinds through this pair.
+// round-trip attack kinds through this pair. Names are resolved against
+// the attack registry, so unknown names carry a nearest-match suggestion
+// and the accepted-names list; registry-only families (no enum value)
+// are rejected here — address those via CampaignSetup.AttackName.
 func ParseAttackKind(s string) (AttackKind, error) {
-	switch s {
-	case "delay":
-		return AttackDelay, nil
-	case "dos":
-		return AttackDoS, nil
-	case "packet-loss":
-		return AttackPacketLoss, nil
-	case "replay":
-		return AttackReplay, nil
-	case "jamming":
-		return AttackJamming, nil
-	default:
-		return 0, fmt.Errorf("core: unknown attack kind %q", s)
+	e, err := LookupAttack(s)
+	if err != nil {
+		return 0, err
 	}
+	if e.Kind == 0 {
+		return 0, fmt.Errorf("core: attack %q has no AttackKind; reference it by name", s)
+	}
+	return e.Kind, nil
 }
 
 // ModelFactory builds a custom attack/fault model for one experiment.
@@ -74,16 +74,33 @@ type ModelFactory func(spec ExperimentSpec, horizon des.Time, seed uint64) (Atta
 // The experiment grid is the cross product Starts x Values x Durations,
 // exactly the paper's three nested loops.
 type CampaignSetup struct {
-	// Attack selects a predefined model. Ignored when Factory is set.
+	// Attack selects a predefined model by enum. Ignored when Factory or
+	// AttackName is set.
 	Attack AttackKind
+	// AttackName selects a registered attack family by name, reaching
+	// registry-only families the AttackKind enum cannot. It takes
+	// precedence over Attack and is the label written to result rows.
+	AttackName string
+	// Params are extra attack parameters validated against the family's
+	// registry schema (nil = all defaults).
+	Params param.Params
 	// Factory, when non-nil, builds a custom model per experiment,
-	// overriding Attack.
+	// overriding Attack and AttackName (which then only provide the
+	// result label).
 	Factory ModelFactory
+	// Scenario labels the scenario cell these experiments run in; matrix
+	// campaigns stamp it so sinks and classification can group per cell.
+	// Empty for plain single-scenario campaigns.
+	Scenario string
+	// Base offsets the experiment numbers: the grid is numbered
+	// Base..Base+NumExperiments()-1. Matrix campaigns use it to keep
+	// expNr globally unique across cells; zero for plain campaigns.
+	Base int
 	// Targets are the attacked vehicle IDs (paper: "vehicle.2").
 	Targets []string
 	// Values is the attackValuesVector. Unit depends on the model:
 	// seconds of propagation delay for delay/DoS/replay, drop
-	// probability for packet loss.
+	// probability for packet loss (see each registry entry's ValueDoc).
 	Values []float64
 	// Starts is the attackStartVector.
 	Starts []des.Time
@@ -94,11 +111,41 @@ type CampaignSetup struct {
 	Durations []des.Time
 }
 
+// attackName resolves the registry name the setup addresses, or "".
+func (c CampaignSetup) attackName() string {
+	if c.AttackName != "" {
+		return c.AttackName
+	}
+	if c.Attack.Valid() {
+		return c.Attack.String()
+	}
+	return ""
+}
+
 // Validate reports the first setup problem, or nil.
 func (c CampaignSetup) Validate() error {
+	// Resolve the attack family up front: named setups get schema and
+	// bounds checking here, before any simulation runs.
+	allowNegative := c.Attack == AttackJamming
+	if name := c.attackName(); name != "" {
+		entry, err := LookupAttack(name)
+		if err != nil {
+			return err
+		}
+		if c.AttackName != "" && c.Attack.Valid() && entry.Kind != c.Attack {
+			return fmt.Errorf("core: attack name %q conflicts with kind %v", c.AttackName, c.Attack)
+		}
+		if _, err := entry.Schema.Apply(c.Params); err != nil {
+			return fmt.Errorf("core: attack %q: %w", name, err)
+		}
+		allowNegative = entry.AllowNegativeValues
+	} else if c.Factory == nil {
+		return fmt.Errorf("core: unknown attack kind %v (known attacks: %s)",
+			c.Attack, strings.Join(AttackNames(), ", "))
+	}
 	switch {
-	case c.Factory == nil && !c.Attack.Valid():
-		return fmt.Errorf("core: unknown attack kind %v", c.Attack)
+	case c.Base < 0:
+		return fmt.Errorf("core: negative experiment base %d", c.Base)
 	case len(c.Targets) == 0:
 		return errors.New("core: campaign needs target vehicles")
 	case len(c.Values) == 0:
@@ -109,8 +156,8 @@ func (c CampaignSetup) Validate() error {
 		return errors.New("core: campaign needs attack durations")
 	}
 	// Jamming values are transmit powers in dBm and may legitimately be
-	// negative; all other kinds use non-negative seconds/probabilities.
-	if c.Attack != AttackJamming {
+	// negative; all other families use non-negative seconds/probabilities.
+	if !allowNegative {
 		for _, v := range c.Values {
 			if v < 0 {
 				return fmt.Errorf("core: negative attack value %v", v)
@@ -136,16 +183,19 @@ func (c CampaignSetup) NumExperiments() int {
 }
 
 // Experiments expands the grid in the paper's loop order (start, value,
-// duration).
+// duration), numbering from Base.
 func (c CampaignSetup) Experiments() []ExperimentSpec {
 	out := make([]ExperimentSpec, 0, c.NumExperiments())
-	n := 0
+	n := c.Base
 	for _, start := range c.Starts {
 		for _, value := range c.Values {
 			for _, dur := range c.Durations {
 				out = append(out, ExperimentSpec{
 					Nr:       n,
 					Kind:     c.Attack,
+					Attack:   c.AttackName,
+					Params:   c.Params,
+					Scenario: c.Scenario,
 					Factory:  c.Factory,
 					Targets:  c.Targets,
 					Value:    value,
@@ -161,12 +211,20 @@ func (c CampaignSetup) Experiments() []ExperimentSpec {
 
 // ExperimentSpec is one attack injection experiment of a campaign.
 type ExperimentSpec struct {
-	// Nr is the expNr of Algorithm 1.
+	// Nr is the expNr of Algorithm 1 (globally unique across the cells
+	// of a matrix campaign).
 	Nr int
-	// Kind is the attack model. Ignored when Factory is set.
+	// Kind is the attack model enum. Ignored when Factory or Attack is
+	// set.
 	Kind AttackKind
+	// Attack is the registry name of the attack family ("" = use Kind).
+	Attack string
+	// Params are the family's extra parameters (validated at build).
+	Params param.Params
+	// Scenario is the scenario-cell label ("" outside matrix campaigns).
+	Scenario string
 	// Factory builds a custom model for this experiment (overrides
-	// Kind).
+	// Kind and Attack).
 	Factory ModelFactory
 	// Targets are the attacked vehicles.
 	Targets []string
@@ -177,6 +235,16 @@ type ExperimentSpec struct {
 	// Duration is attackEndTime - attackStartTime before horizon
 	// clipping.
 	Duration des.Time
+}
+
+// AttackLabel is the attack name recorded in result rows: the registry
+// name when the experiment was addressed by name, the enum name
+// otherwise.
+func (e ExperimentSpec) AttackLabel() string {
+	if e.Attack != "" {
+		return e.Attack
+	}
+	return e.Kind.String()
 }
 
 // End returns the attackEndTime clipped at the horizon.
@@ -191,10 +259,11 @@ func (e ExperimentSpec) End(horizon des.Time) des.Time {
 // String renders a compact experiment label.
 func (e ExperimentSpec) String() string {
 	return fmt.Sprintf("#%d %s value=%g start=%v dur=%v targets=%s",
-		e.Nr, e.Kind, e.Value, e.Start, e.Duration, describeTargets(e.Targets))
+		e.Nr, e.AttackLabel(), e.Value, e.Start, e.Duration, describeTargets(e.Targets))
 }
 
-// buildModel instantiates the attack model for one experiment. horizon is
+// buildModel instantiates the attack model for one experiment through
+// the attack registry (or the experiment's custom Factory). horizon is
 // the totalSimTime (the DoS PD value); seed derives stochastic attack
 // streams.
 func (e ExperimentSpec) buildModel(horizon des.Time, seed uint64) (AttackModel, error) {
@@ -208,56 +277,27 @@ func (e ExperimentSpec) buildModel(horizon des.Time, seed uint64) (AttackModel, 
 		}
 		return model, nil
 	}
-	switch e.Kind {
-	case AttackDelay:
-		return NewDelayAttack(des.FromSeconds(e.Value), e.Targets...)
-	case AttackDoS:
-		return NewDoSAttack(horizon, e.Targets...)
-	case AttackPacketLoss:
-		stream := rng.New(seed, fmt.Sprintf("attack.loss.%d", e.Nr))
-		return NewPacketLossAttack(e.Value, stream, e.Targets...)
-	case AttackReplay:
-		return NewReplayAttack(des.FromSeconds(e.Value), e.Targets...)
-	case AttackJamming:
-		// Value is the jammer transmit power in dBm.
-		return NewJammingAttack(e.Value, e.Targets...)
-	default:
-		return nil, fmt.Errorf("core: unknown attack kind %v", e.Kind)
+	name := e.Attack
+	if name == "" {
+		if !e.Kind.Valid() {
+			return nil, fmt.Errorf("core: unknown attack kind %v", e.Kind)
+		}
+		name = e.Kind.String()
 	}
-}
-
-// PaperDelayCampaign returns Table II's delay campaign: PD values 0.2 to
-// 3.0 s (0.2 steps), start times 17.0 to 21.8 s (0.2 steps), durations 1
-// to 30 s (1 s steps) — 25*15*30 = 11250 experiments targeting Vehicle 2.
-func PaperDelayCampaign() CampaignSetup {
-	setup := CampaignSetup{
-		Attack:  AttackDelay,
-		Targets: []string{"vehicle.2"},
+	entry, err := LookupAttack(name)
+	if err != nil {
+		return nil, err
 	}
-	for v := 1; v <= 15; v++ {
-		setup.Values = append(setup.Values, float64(v)*0.2)
+	params, err := entry.Schema.Apply(e.Params)
+	if err != nil {
+		return nil, fmt.Errorf("core: attack %q: %w", name, err)
 	}
-	for s := 0; s < 25; s++ {
-		setup.Starts = append(setup.Starts, 17*des.Second+des.Time(s)*200*des.Millisecond)
+	model, err := entry.Build(AttackContext{Spec: e, Params: params, Horizon: horizon, Seed: seed})
+	if err != nil {
+		return nil, err
 	}
-	for d := 1; d <= 30; d++ {
-		setup.Durations = append(setup.Durations, des.Time(d)*des.Second)
+	if model == nil {
+		return nil, fmt.Errorf("core: attack %q builder returned nil", name)
 	}
-	return setup
-}
-
-// PaperDoSCampaign returns Table II's DoS campaign: 25 start times 17.0
-// to 21.8 s, PD pinned to the 60 s horizon, attack active until the end
-// of the simulation.
-func PaperDoSCampaign() CampaignSetup {
-	setup := CampaignSetup{
-		Attack:    AttackDoS,
-		Targets:   []string{"vehicle.2"},
-		Values:    []float64{60},
-		Durations: []des.Time{60 * des.Second},
-	}
-	for s := 0; s < 25; s++ {
-		setup.Starts = append(setup.Starts, 17*des.Second+des.Time(s)*200*des.Millisecond)
-	}
-	return setup
+	return model, nil
 }

@@ -1,0 +1,355 @@
+// Package param implements the typed parameter machinery shared by the
+// ComFASE registries (internal/registry, core's attack registry): named
+// parameter schemas with defaults, bounds and enum validation, plus a
+// generic name → entry set with duplicate-registration panics and
+// nearest-match suggestions in unknown-name errors.
+//
+// The package is dependency-free by design: core registers attack
+// entries against it while the registry facade registers scenarios, so
+// it must sit below both in the import graph.
+package param
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Kind is a parameter's value type.
+type Kind int
+
+// The supported parameter kinds. JSON configs decode numbers as
+// float64, so Int accepts integral float64 values too.
+const (
+	Float Kind = iota + 1
+	Int
+	Bool
+	String
+	Enum
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Float:
+		return "float"
+	case Int:
+		return "int"
+	case Bool:
+		return "bool"
+	case String:
+		return "string"
+	case Enum:
+		return "enum"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Spec describes one parameter of a registry entry.
+type Spec struct {
+	// Name is the parameter's JSON key.
+	Name string
+	// Kind is the value type.
+	Kind Kind
+	// Desc is a one-line human description for `comfase list`.
+	Desc string
+	// Default is the value applied when the parameter is absent. It must
+	// be valid under Kind and the bounds.
+	Default any
+	// Min/Max bound Float and Int parameters inclusively (nil = open).
+	Min, Max *float64
+	// Enum lists the accepted values of an Enum parameter.
+	Enum []string
+}
+
+// Bound is a convenience constructor for Min/Max pointers.
+func Bound(v float64) *float64 { return &v }
+
+// Doc renders a compact one-line schema entry ("name kind default=x
+// [min,max] desc") for listings.
+func (s Spec) Doc() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s", s.Name, s.Kind)
+	if s.Kind == Enum {
+		fmt.Fprintf(&b, "(%s)", strings.Join(s.Enum, "|"))
+	}
+	fmt.Fprintf(&b, " default=%v", s.Default)
+	if s.Min != nil || s.Max != nil {
+		lo, hi := "-inf", "+inf"
+		if s.Min != nil {
+			lo = fmt.Sprintf("%g", *s.Min)
+		}
+		if s.Max != nil {
+			hi = fmt.Sprintf("%g", *s.Max)
+		}
+		fmt.Fprintf(&b, " [%s,%s]", lo, hi)
+	}
+	if s.Desc != "" {
+		fmt.Fprintf(&b, "  %s", s.Desc)
+	}
+	return b.String()
+}
+
+// Params is a raw name → value map, typically decoded from JSON.
+type Params map[string]any
+
+// Float returns a numeric parameter. Apply guarantees presence and
+// type, so the zero value only surfaces on misuse.
+func (p Params) Float(name string) float64 {
+	switch v := p[name].(type) {
+	case float64:
+		return v
+	case int:
+		return float64(v)
+	}
+	return 0
+}
+
+// Int returns an integer parameter.
+func (p Params) Int(name string) int {
+	switch v := p[name].(type) {
+	case int:
+		return v
+	case float64:
+		return int(v)
+	}
+	return 0
+}
+
+// Bool returns a boolean parameter.
+func (p Params) Bool(name string) bool {
+	v, _ := p[name].(bool)
+	return v
+}
+
+// Str returns a string or enum parameter.
+func (p Params) Str(name string) string {
+	v, _ := p[name].(string)
+	return v
+}
+
+// Schema is an entry's full parameter schema. Order is the listing
+// order; names must be unique.
+type Schema []Spec
+
+// Apply validates raw parameters against the schema and returns a new
+// map with defaults filled in: unknown keys are rejected, values are
+// coerced to the declared kind, and bounds/enums are enforced. A nil
+// input is treated as empty.
+func (s Schema) Apply(p Params) (Params, error) {
+	out := make(Params, len(s))
+	for k := range p {
+		if s.find(k) == nil {
+			known := make([]string, 0, len(s))
+			for _, sp := range s {
+				known = append(known, sp.Name)
+			}
+			return nil, fmt.Errorf("param: unknown parameter %q%s", k, suggestClause(k, known))
+		}
+	}
+	for _, sp := range s {
+		raw, ok := p[sp.Name]
+		if !ok {
+			raw = sp.Default
+		}
+		v, err := sp.check(raw)
+		if err != nil {
+			return nil, err
+		}
+		out[sp.Name] = v
+	}
+	return out, nil
+}
+
+func (s Schema) find(name string) *Spec {
+	for i := range s {
+		if s[i].Name == name {
+			return &s[i]
+		}
+	}
+	return nil
+}
+
+// check coerces and validates one value against the spec.
+func (sp Spec) check(raw any) (any, error) {
+	switch sp.Kind {
+	case Float:
+		f, ok := toFloat(raw)
+		if !ok {
+			return nil, fmt.Errorf("param: %s: want float, got %T", sp.Name, raw)
+		}
+		if err := sp.checkBounds(f); err != nil {
+			return nil, err
+		}
+		return f, nil
+	case Int:
+		f, ok := toFloat(raw)
+		if !ok || f != math.Trunc(f) {
+			return nil, fmt.Errorf("param: %s: want integer, got %v", sp.Name, raw)
+		}
+		if err := sp.checkBounds(f); err != nil {
+			return nil, err
+		}
+		return int(f), nil
+	case Bool:
+		b, ok := raw.(bool)
+		if !ok {
+			return nil, fmt.Errorf("param: %s: want bool, got %T", sp.Name, raw)
+		}
+		return b, nil
+	case String:
+		str, ok := raw.(string)
+		if !ok {
+			return nil, fmt.Errorf("param: %s: want string, got %T", sp.Name, raw)
+		}
+		return str, nil
+	case Enum:
+		str, ok := raw.(string)
+		if !ok {
+			return nil, fmt.Errorf("param: %s: want one of %v, got %T", sp.Name, sp.Enum, raw)
+		}
+		for _, e := range sp.Enum {
+			if str == e {
+				return str, nil
+			}
+		}
+		return nil, fmt.Errorf("param: %s: %q is not one of %s%s",
+			sp.Name, str, strings.Join(sp.Enum, ", "), suggestClause(str, sp.Enum))
+	default:
+		return nil, fmt.Errorf("param: %s: invalid kind %v", sp.Name, sp.Kind)
+	}
+}
+
+func (sp Spec) checkBounds(f float64) error {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return fmt.Errorf("param: %s: value %v is not finite", sp.Name, f)
+	}
+	if sp.Min != nil && f < *sp.Min {
+		return fmt.Errorf("param: %s: %v below minimum %v", sp.Name, f, *sp.Min)
+	}
+	if sp.Max != nil && f > *sp.Max {
+		return fmt.Errorf("param: %s: %v above maximum %v", sp.Name, f, *sp.Max)
+	}
+	return nil
+}
+
+func toFloat(raw any) (float64, bool) {
+	switch v := raw.(type) {
+	case float64:
+		return v, true
+	case int:
+		return float64(v), true
+	case int64:
+		return float64(v), true
+	}
+	return 0, false
+}
+
+// Set is a name → entry registry. Registration is expected at package
+// init time; lookups are read-only afterwards, so the type carries no
+// lock. The zero value is not usable — construct with NewSet.
+type Set[T any] struct {
+	kind    string
+	entries map[string]T
+}
+
+// NewSet returns an empty registry whose error messages call the
+// entries "<kind>" (e.g. "attack", "scenario").
+func NewSet[T any](kind string) *Set[T] {
+	return &Set[T]{kind: kind, entries: make(map[string]T)}
+}
+
+// Register adds an entry. It panics on an empty name or a duplicate:
+// registries are assembled in init functions, where a clash is a
+// programming error that must not be silently resolved by load order.
+func (s *Set[T]) Register(name string, entry T) {
+	if name == "" {
+		panic(fmt.Sprintf("param: empty %s name", s.kind))
+	}
+	if _, dup := s.entries[name]; dup {
+		panic(fmt.Sprintf("param: duplicate %s %q", s.kind, name))
+	}
+	s.entries[name] = entry
+}
+
+// Lookup returns the named entry. Unknown names produce an error that
+// lists the accepted names and, when one is close, a nearest-match
+// suggestion.
+func (s *Set[T]) Lookup(name string) (T, error) {
+	if e, ok := s.entries[name]; ok {
+		return e, nil
+	}
+	var zero T
+	return zero, fmt.Errorf("param: unknown %s %q%s; known: %s",
+		s.kind, name, suggestClause(name, s.Names()), strings.Join(s.Names(), ", "))
+}
+
+// Has reports whether name is registered.
+func (s *Set[T]) Has(name string) bool {
+	_, ok := s.entries[name]
+	return ok
+}
+
+// Names returns all registered names, sorted.
+func (s *Set[T]) Names() []string {
+	out := make([]string, 0, len(s.entries))
+	for name := range s.entries {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Suggest returns the candidate closest to name by edit distance, or ""
+// when nothing is close enough to be a plausible typo (distance must be
+// at most half the name's length).
+func Suggest(name string, candidates []string) string {
+	best, bestDist := "", len(name)/2+1
+	for _, c := range candidates {
+		if d := editDistance(name, c); d < bestDist {
+			best, bestDist = c, d
+		}
+	}
+	return best
+}
+
+// suggestClause renders ` (did you mean "x"?)` or "".
+func suggestClause(name string, candidates []string) string {
+	if s := Suggest(name, candidates); s != "" {
+		return fmt.Sprintf(" (did you mean %q?)", s)
+	}
+	return ""
+}
+
+// editDistance is the Levenshtein distance between two short names.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

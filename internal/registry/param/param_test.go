@@ -1,0 +1,156 @@
+package param
+
+import (
+	"strings"
+	"testing"
+)
+
+func testSchema() Schema {
+	return Schema{
+		{Name: "nrVehicles", Kind: Int, Default: 4, Min: Bound(2), Max: Bound(32)},
+		{Name: "headwayS", Kind: Float, Default: 0.5, Min: Bound(0)},
+		{Name: "aeb", Kind: Bool, Default: false},
+		{Name: "controllers", Kind: String, Default: "cacc"},
+		{Name: "maneuver", Kind: Enum, Default: "sinusoidal", Enum: []string{"sinusoidal", "braking", "constant"}},
+	}
+}
+
+func TestSchemaApplyDefaults(t *testing.T) {
+	p, err := testSchema().Apply(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Int("nrVehicles"); got != 4 {
+		t.Errorf("nrVehicles default = %d, want 4", got)
+	}
+	if got := p.Float("headwayS"); got != 0.5 {
+		t.Errorf("headwayS default = %g, want 0.5", got)
+	}
+	if p.Bool("aeb") {
+		t.Error("aeb default should be false")
+	}
+	if got := p.Str("maneuver"); got != "sinusoidal" {
+		t.Errorf("maneuver default = %q", got)
+	}
+}
+
+func TestSchemaApplyCoercion(t *testing.T) {
+	// JSON decodes every number as float64; integral floats must pass
+	// Int parameters, fractional ones must not.
+	p, err := testSchema().Apply(Params{"nrVehicles": float64(8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Int("nrVehicles"); got != 8 {
+		t.Errorf("nrVehicles = %d, want 8", got)
+	}
+	if _, err := testSchema().Apply(Params{"nrVehicles": 2.5}); err == nil {
+		t.Error("fractional value accepted for int parameter")
+	}
+}
+
+func TestSchemaApplyBounds(t *testing.T) {
+	for _, p := range []Params{
+		{"nrVehicles": 1},
+		{"nrVehicles": 33},
+		{"headwayS": -0.1},
+	} {
+		if _, err := testSchema().Apply(p); err == nil {
+			t.Errorf("out-of-bounds params %v accepted", p)
+		}
+	}
+}
+
+func TestSchemaApplyUnknownKey(t *testing.T) {
+	_, err := testSchema().Apply(Params{"nrVehicle": 4})
+	if err == nil {
+		t.Fatal("unknown key accepted")
+	}
+	if !strings.Contains(err.Error(), `"nrVehicles"`) {
+		t.Errorf("error %q lacks nearest-match suggestion", err)
+	}
+}
+
+func TestSchemaApplyEnum(t *testing.T) {
+	_, err := testSchema().Apply(Params{"maneuver": "brakin"})
+	if err == nil {
+		t.Fatal("bad enum value accepted")
+	}
+	if !strings.Contains(err.Error(), `"braking"`) {
+		t.Errorf("error %q lacks enum suggestion", err)
+	}
+}
+
+func TestSetDuplicateRegistrationPanics(t *testing.T) {
+	s := NewSet[int]("thing")
+	s.Register("a", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	s.Register("a", 2)
+}
+
+func TestSetEmptyNamePanics(t *testing.T) {
+	s := NewSet[int]("thing")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty name registration did not panic")
+		}
+	}()
+	s.Register("", 1)
+}
+
+func TestSetLookupSuggestion(t *testing.T) {
+	s := NewSet[int]("attack")
+	s.Register("delay", 1)
+	s.Register("dos", 2)
+	s.Register("packet-loss", 3)
+	if _, err := s.Lookup("delay"); err != nil {
+		t.Fatalf("known name: %v", err)
+	}
+	_, err := s.Lookup("dely")
+	if err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	for _, want := range []string{`"dely"`, `"delay"`, "packet-loss"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q lacks %s", err, want)
+		}
+	}
+	// Nothing close: no suggestion clause, but the name list stays.
+	_, err = s.Lookup("zzzzzzzz")
+	if err == nil || strings.Contains(err.Error(), "did you mean") {
+		t.Errorf("far-off name got a suggestion: %v", err)
+	}
+}
+
+func TestSetNamesSorted(t *testing.T) {
+	s := NewSet[int]("x")
+	s.Register("b", 1)
+	s.Register("a", 2)
+	s.Register("c", 3)
+	got := s.Names()
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("Names() = %v, want sorted [a b c]", got)
+	}
+}
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "abc", 0},
+		{"abc", "abd", 1},
+		{"delay", "dely", 1},
+		{"dos", "delay", 4},
+	}
+	for _, c := range cases {
+		if got := editDistance(c.a, c.b); got != c.want {
+			t.Errorf("editDistance(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Package registry is the declarative front door to ComFASE's scenario
+// and attack space: named, parameterised builders for traffic scenarios
+// (paper platoon, arbitrary platoon sizes and controller mixes, AEB,
+// teleoperation) alongside the attack/fault families and campaign
+// presets registered in internal/core. Campaign matrices (Matrix) cross
+// scenarios with attacks into one deterministic experiment grid.
+//
+// Registration happens at init time and panics on duplicates; lookups
+// return errors with nearest-match suggestions. `comfase list` renders
+// the registries with their parameter schemas.
+package registry
+
+import (
+	"fmt"
+
+	"comfase/internal/core"
+	"comfase/internal/registry/param"
+	"comfase/internal/scenario"
+)
+
+// ScenarioDef is a fully resolved scenario cell: the Step-1 objects a
+// campaign engine needs.
+type ScenarioDef struct {
+	// Traffic is the setScenario configuration.
+	Traffic scenario.TrafficScenario
+	// Comm is the setCommunication configuration.
+	Comm scenario.CommModel
+	// Controllers builds the follower controllers (nil = CACC defaults).
+	Controllers scenario.ControllerFactory
+}
+
+// ScenarioEntry is one registered scenario family.
+type ScenarioEntry struct {
+	// Name is the registry key.
+	Name string
+	// Desc is a one-line description for `comfase list`.
+	Desc string
+	// Schema is the family's parameter schema (nil = none).
+	Schema param.Schema
+	// Build resolves validated parameters into a scenario definition.
+	Build func(p param.Params) (ScenarioDef, error)
+}
+
+var scenarios = param.NewSet[ScenarioEntry]("scenario")
+
+// RegisterScenario adds a scenario family; it panics on duplicates.
+func RegisterScenario(e ScenarioEntry) {
+	if e.Build == nil {
+		panic(fmt.Sprintf("registry: scenario %q has no builder", e.Name))
+	}
+	scenarios.Register(e.Name, e)
+}
+
+// LookupScenario returns the named scenario family, with nearest-match
+// suggestions on unknown names.
+func LookupScenario(name string) (ScenarioEntry, error) {
+	e, err := scenarios.Lookup(name)
+	if err != nil {
+		return ScenarioEntry{}, fmt.Errorf("registry: %w", err)
+	}
+	return e, nil
+}
+
+// ScenarioNames returns all registered scenario names, sorted.
+func ScenarioNames() []string { return scenarios.Names() }
+
+// BuildScenario resolves a named scenario with raw parameters: the
+// entry's schema is applied (defaults, bounds, unknown-key rejection)
+// before the builder runs.
+func BuildScenario(name string, p param.Params) (ScenarioDef, error) {
+	e, err := LookupScenario(name)
+	if err != nil {
+		return ScenarioDef{}, err
+	}
+	applied, err := e.Schema.Apply(p)
+	if err != nil {
+		return ScenarioDef{}, fmt.Errorf("registry: scenario %q: %w", name, err)
+	}
+	def, err := e.Build(applied)
+	if err != nil {
+		return ScenarioDef{}, err
+	}
+	if err := def.Traffic.Validate(); err != nil {
+		return ScenarioDef{}, err
+	}
+	if err := def.Comm.Validate(); err != nil {
+		return ScenarioDef{}, err
+	}
+	return def, nil
+}
+
+// AttackEntry aliases the attack families registered in internal/core;
+// the registry package is their discovery surface.
+type AttackEntry = core.AttackEntry
+
+// LookupAttack resolves a registered attack family by name.
+func LookupAttack(name string) (AttackEntry, error) { return core.LookupAttack(name) }
+
+// AttackNames returns all registered attack names, sorted.
+func AttackNames() []string { return core.AttackNames() }
+
+// CampaignEntry aliases the campaign presets registered in
+// internal/core (the paper's Table II grids).
+type CampaignEntry = core.CampaignEntry
+
+// LookupCampaign resolves a registered campaign preset by name.
+func LookupCampaign(name string) (CampaignEntry, error) { return core.LookupCampaign(name) }
+
+// CampaignNames returns all registered campaign-preset names, sorted.
+func CampaignNames() []string { return core.CampaignNames() }

@@ -1,0 +1,138 @@
+package registry
+
+import (
+	"fmt"
+	"strings"
+
+	"comfase/internal/platoon"
+	"comfase/internal/registry/param"
+	"comfase/internal/safety"
+	"comfase/internal/scenario"
+	"comfase/internal/sim/des"
+	"comfase/internal/teleop"
+	"comfase/internal/traffic"
+)
+
+// ControllerMix parses a comma-separated controller list ("cacc",
+// "acc,ploeg", ...) into a factory that assigns controllers to
+// followers round-robin: follower i (1-based platoon index) gets the
+// (i-1 mod len)-th entry. A single name gives every follower that
+// controller; heterogeneous platoons cycle through the list.
+func ControllerMix(spec string) (scenario.ControllerFactory, error) {
+	names := strings.Split(spec, ",")
+	ctors := make([]func() platoon.Controller, 0, len(names))
+	for _, raw := range names {
+		name := strings.TrimSpace(raw)
+		switch name {
+		case "", "cacc":
+			ctors = append(ctors, func() platoon.Controller { return platoon.DefaultCACC() })
+		case "acc":
+			ctors = append(ctors, func() platoon.Controller { return platoon.DefaultACC() })
+		case "ploeg":
+			ctors = append(ctors, func() platoon.Controller { return platoon.DefaultPloeg() })
+		default:
+			return nil, fmt.Errorf("registry: unknown controller %q%s; known: acc, cacc, ploeg",
+				name, suggestController(name))
+		}
+	}
+	return func(i int) platoon.Controller { return ctors[(i-1)%len(ctors)]() }, nil
+}
+
+func suggestController(name string) string {
+	if s := param.Suggest(name, []string{"cacc", "acc", "ploeg"}); s != "" {
+		return fmt.Sprintf(" (did you mean %q?)", s)
+	}
+	return ""
+}
+
+func init() {
+	RegisterScenario(ScenarioEntry{
+		Name: "paper-platoon",
+		Desc: "the paper's demonstration scenario (§IV-A): 4 CACC vehicles, sinusoidal maneuver, 60 s",
+		Build: func(param.Params) (ScenarioDef, error) {
+			return ScenarioDef{
+				Traffic:     scenario.PaperScenario(),
+				Comm:        scenario.PaperCommModel(),
+				Controllers: scenario.DefaultControllers(),
+			}, nil
+		},
+	})
+
+	RegisterScenario(ScenarioEntry{
+		Name: "platoon",
+		Desc: "parameterised platoon: size, controller mix, maneuver and optional AEB",
+		Schema: param.Schema{
+			{Name: "nrVehicles", Kind: param.Int, Default: 4, Min: param.Bound(2), Max: param.Bound(32),
+				Desc: "platoon size including the leader"},
+			{Name: "controllers", Kind: param.String, Default: "cacc",
+				Desc: "comma-separated follower controller cycle (cacc, acc, ploeg)"},
+			{Name: "maneuver", Kind: param.Enum, Default: "sinusoidal", Enum: []string{"sinusoidal", "braking", "constant"},
+				Desc: "leader maneuver"},
+			{Name: "aeb", Kind: param.Bool, Default: false,
+				Desc: "equip followers with the emergency-braking monitor"},
+			{Name: "totalSimTimeS", Kind: param.Float, Default: 60, Min: param.Bound(1), Max: param.Bound(600),
+				Desc: "simulation horizon in seconds"},
+		},
+		Build: func(p param.Params) (ScenarioDef, error) {
+			ts := scenario.PaperScenario()
+			ts.NrVehicles = p.Int("nrVehicles")
+			ts.TotalSimTime = des.FromSeconds(p.Float("totalSimTimeS"))
+			switch p.Str("maneuver") {
+			case "sinusoidal":
+				// The paper's maneuver, already set.
+			case "braking":
+				ts.Maneuver = traffic.Braking{CruiseSpeed: 27.78, FinalSpeed: 0, BrakeAt: 30, Decel: 4}
+			case "constant":
+				ts.Maneuver = traffic.ConstantSpeed{Speed: 27.78}
+			}
+			if p.Bool("aeb") {
+				aeb := safety.DefaultAEB()
+				if err := aeb.Validate(); err != nil {
+					return ScenarioDef{}, err
+				}
+				ts.AEB = aeb
+			}
+			factory, err := ControllerMix(p.Str("controllers"))
+			if err != nil {
+				return ScenarioDef{}, err
+			}
+			return ScenarioDef{
+				Traffic:     ts,
+				Comm:        scenario.PaperCommModel(),
+				Controllers: factory,
+			}, nil
+		},
+	})
+
+	RegisterScenario(ScenarioEntry{
+		Name: "teleop",
+		Desc: "teleoperated followers driven purely over V2V (operator relay), leader brakes mid-run",
+		Schema: param.Schema{
+			{Name: "nrVehicles", Kind: param.Int, Default: 2, Min: param.Bound(2), Max: param.Bound(8),
+				Desc: "vehicles including the (conventionally driven) leader"},
+			{Name: "watchdogS", Kind: param.Float, Default: 0.5, Min: param.Bound(0), Max: param.Bound(10),
+				Desc: "command-staleness safe-stop bound in seconds (0 = unprotected)"},
+			{Name: "brakeAtS", Kind: param.Float, Default: 30, Min: param.Bound(1), Max: param.Bound(590),
+				Desc: "when the leader starts braking"},
+			{Name: "totalSimTimeS", Kind: param.Float, Default: 60, Min: param.Bound(1), Max: param.Bound(600),
+				Desc: "simulation horizon in seconds"},
+		},
+		Build: func(p param.Params) (ScenarioDef, error) {
+			ts := scenario.PaperScenario()
+			ts.NrVehicles = p.Int("nrVehicles")
+			ts.TotalSimTime = des.FromSeconds(p.Float("totalSimTimeS"))
+			// A gentle mid-run braking maneuver: the safety question is
+			// whether the remote followers still track it when the link
+			// carrying their commands is attacked.
+			ts.Maneuver = traffic.Braking{CruiseSpeed: 27.78, FinalSpeed: 15, BrakeAt: p.Float("brakeAtS"), Decel: 2}
+			watchdog := p.Float("watchdogS")
+			return ScenarioDef{
+				Traffic: ts,
+				Comm:    scenario.PaperCommModel(),
+				Controllers: func(int) platoon.Controller {
+					return teleop.DefaultDrive(watchdog)
+				},
+			}, nil
+		},
+	})
+}

@@ -1,0 +1,79 @@
+package registry
+
+import (
+	"testing"
+
+	"comfase/internal/classify"
+	"comfase/internal/core"
+	"comfase/internal/registry/param"
+	"comfase/internal/sim/des"
+)
+
+func teleopEngine(t *testing.T, watchdogS float64) *core.Engine {
+	t.Helper()
+	def, err := BuildScenario("teleop", param.Params{"watchdogS": watchdogS})
+	if err != nil {
+		t.Fatalf("BuildScenario(teleop): %v", err)
+	}
+	eng, err := core.NewEngine(core.EngineConfig{
+		Scenario:    def.Traffic,
+		Comm:        def.Comm,
+		Controllers: def.Controllers,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	return eng
+}
+
+// TestTeleopScenarioSafety is the teleop scenario's acceptance test:
+// the attack-free golden run is collision-free, a DoS on the command
+// link during the braking phase is severe, and the watchdog bounds the
+// follower's reaction at the controlled safe-stop deceleration where
+// the unprotected controller ends up panic-braking much harder.
+func TestTeleopScenarioSafety(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 60 s simulations in -short mode")
+	}
+	dos := core.ExperimentSpec{
+		Attack:   "dos",
+		Targets:  []string{"vehicle.2"},
+		Value:    60,
+		Start:    25 * des.Second,
+		Duration: 60 * des.Second,
+	}
+
+	protected := teleopEngine(t, 0.5)
+	_, golden, err := protected.GoldenRun()
+	if err != nil {
+		t.Fatalf("golden run: %v", err)
+	}
+	if golden.MaxDecel >= 6 {
+		t.Errorf("golden max decel = %.2f, want < 6 (no safe stop without an attack)", golden.MaxDecel)
+	}
+	resProtected, err := protected.RunExperiment(dos)
+	if err != nil {
+		t.Fatalf("protected DoS run: %v", err)
+	}
+	if resProtected.Outcome != classify.Severe {
+		t.Errorf("protected DoS outcome = %v, want severe (hard stop)", resProtected.Outcome)
+	}
+	if len(resProtected.Collisions) != 0 {
+		t.Errorf("protected DoS collided: %v", resProtected.Collisions)
+	}
+	// The watchdog degrades to its configured controlled stop.
+	if resProtected.MaxDecel > 6.01 {
+		t.Errorf("protected DoS max decel = %.2f, want <= safe-stop 6", resProtected.MaxDecel)
+	}
+
+	unprotected := teleopEngine(t, 0)
+	resUnprotected, err := unprotected.RunExperiment(dos)
+	if err != nil {
+		t.Fatalf("unprotected DoS run: %v", err)
+	}
+	if resUnprotected.MaxDecel <= resProtected.MaxDecel {
+		t.Errorf("unprotected DoS max decel = %.2f, want > protected %.2f (late panic braking)",
+			resUnprotected.MaxDecel, resProtected.MaxDecel)
+	}
+}

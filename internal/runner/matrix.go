@@ -1,0 +1,185 @@
+package runner
+
+import (
+	"context"
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+
+	"comfase/internal/analysis"
+	"comfase/internal/classify"
+	"comfase/internal/core"
+)
+
+// MatrixCell is one (scenario, attack) cell of a matrix campaign: the
+// engine configuration of the scenario plus the cell's campaign grid.
+// Cells are produced by registry.Matrix.Expand (via the config layer);
+// the runner deliberately takes the flattened form so it does not
+// depend on the registry package.
+type MatrixCell struct {
+	// Scenario is the cell's scenario label (matches Setup.Scenario).
+	Scenario string
+	// Attack is the cell's attack family name.
+	Attack string
+	// Engine configures the scenario cell's engine (one golden run per
+	// distinct scenario).
+	Engine core.EngineConfig
+	// Setup is the cell's campaign grid; Setup.Base carries the global
+	// expNr offset, so shard/resume/merge work on the flattened grid.
+	Setup core.CampaignSetup
+}
+
+// CellResult is one cell's campaign outcome.
+type CellResult struct {
+	Scenario string
+	Attack   string
+	Result   *core.CampaignResult
+}
+
+// MatrixResult aggregates a full matrix run.
+type MatrixResult struct {
+	// Cells are the per-cell results in matrix order.
+	Cells []CellResult
+	// Experiments are all classified results in global grid order.
+	Experiments []core.ExperimentResult
+	// Counts is the overall outcome tally.
+	Counts classify.Counts
+	// CellCounts tallies outcomes per "scenario/attack" cell label.
+	CellCounts *classify.LabeledCounts
+	// Failures are the quarantined experiments across all cells.
+	Failures []core.ExperimentFailure
+	// FailureCounts tallies the failure classes.
+	FailureCounts core.FailureCounts
+}
+
+// RunMatrix executes the cells in matrix order against one Options set,
+// streaming all results to the shared sinks. Each distinct scenario
+// label gets one engine — its golden run is simulated once and its
+// workspace pool and prefix checkpoints are scoped to the cell, so the
+// checkpoint group key is effectively (scenario, attack start). Shard,
+// resume and quarantine semantics apply to the flattened global grid
+// exactly as they do to a single campaign: expNr is globally unique and
+// contiguous across cells, sinks receive rows in global grid order, and
+// Options.MaxFailures is a whole-matrix budget.
+func RunMatrix(ctx context.Context, cells []MatrixCell, opts Options, sinks ...Sink) (*MatrixResult, error) {
+	if len(cells) == 0 {
+		return nil, errors.New("runner: matrix has no cells")
+	}
+	// The global expNr space must be contiguous in cell order — sharding
+	// and merge correctness depend on it.
+	base := cells[0].Setup.Base
+	total := 0
+	for i, cell := range cells {
+		if cell.Setup.Base != base {
+			return nil, fmt.Errorf("runner: matrix cell %d (%s/%s) has base %d, want %d",
+				i, cell.Scenario, cell.Attack, cell.Setup.Base, base)
+		}
+		if err := cell.Setup.Validate(); err != nil {
+			return nil, fmt.Errorf("runner: matrix cell %s/%s: %w", cell.Scenario, cell.Attack, err)
+		}
+		n := cell.Setup.NumExperiments()
+		base += n
+		for nr := cell.Setup.Base; nr < cell.Setup.Base+n; nr++ {
+			if opts.Shard.Contains(nr) {
+				total++
+			}
+		}
+	}
+
+	out := &MatrixResult{CellCounts: &classify.LabeledCounts{}}
+	remainingFailures := opts.MaxFailures
+	doneOffset := 0
+	var eng *core.Engine
+	prevScenario := ""
+	for i, cell := range cells {
+		if eng == nil || cell.Scenario != prevScenario {
+			var err error
+			eng, err = core.NewEngine(cell.Engine)
+			if err != nil {
+				return nil, fmt.Errorf("runner: matrix cell %s/%s: %w", cell.Scenario, cell.Attack, err)
+			}
+			prevScenario = cell.Scenario
+		}
+		cellOpts := opts
+		cellOpts.MaxFailures = remainingFailures
+		if opts.Progress != nil {
+			offset := doneOffset
+			cellOpts.Progress = func(done, _ int) { opts.Progress(offset+done, total) }
+		}
+		r, err := New(eng, cellOpts, sinks...)
+		if err != nil {
+			return nil, err
+		}
+		res, err := r.Run(ctx, cell.Setup)
+		if err != nil {
+			return nil, fmt.Errorf("runner: matrix cell %d (%s/%s): %w", i, cell.Scenario, cell.Attack, err)
+		}
+		newFailures := 0
+		for _, f := range res.Failures {
+			if _, resumed := opts.ResumeFailures[f.Nr]; !resumed {
+				newFailures++
+			}
+		}
+		if remainingFailures >= 0 {
+			remainingFailures -= newFailures
+		}
+		doneOffset += len(res.Experiments) + len(res.Failures)
+		out.Cells = append(out.Cells, CellResult{Scenario: cell.Scenario, Attack: cell.Attack, Result: res})
+		out.Experiments = append(out.Experiments, res.Experiments...)
+		for _, e := range res.Experiments {
+			out.Counts.Add(e.Outcome)
+			out.CellCounts.Add(cell.Scenario+"/"+cell.Attack, e.Outcome)
+		}
+		out.Failures = append(out.Failures, res.Failures...)
+		for _, f := range res.Failures {
+			class, cerr := core.ParseFailureClass(f.Class)
+			if cerr != nil {
+				class = core.FailError
+			}
+			out.FailureCounts.Add(class)
+		}
+	}
+	return out, nil
+}
+
+// MatrixCSVSink streams one CSV row per result in the
+// analysis.MatrixCSVHeader schema (scenario column included), flushing
+// after every row like CSVSink.
+type MatrixCSVSink struct {
+	cw          *csv.Writer
+	writeHeader bool
+}
+
+// NewMatrixCSVSink returns a sink that writes the matrix header before
+// the first row.
+func NewMatrixCSVSink(w io.Writer) *MatrixCSVSink {
+	return &MatrixCSVSink{cw: csv.NewWriter(w), writeHeader: true}
+}
+
+// NewMatrixCSVAppendSink returns a matrix sink that writes rows only —
+// the resume path appending to a file that already carries a header.
+func NewMatrixCSVAppendSink(w io.Writer) *MatrixCSVSink {
+	return &MatrixCSVSink{cw: csv.NewWriter(w)}
+}
+
+// Put implements Sink.
+func (s *MatrixCSVSink) Put(res core.ExperimentResult) error {
+	if s.writeHeader {
+		if err := s.cw.Write(analysis.MatrixCSVHeader()); err != nil {
+			return err
+		}
+		s.writeHeader = false
+	}
+	if err := s.cw.Write(analysis.MatrixCSVRecord(res)); err != nil {
+		return err
+	}
+	s.cw.Flush()
+	return s.cw.Error()
+}
+
+// Flush implements Sink.
+func (s *MatrixCSVSink) Flush() error {
+	s.cw.Flush()
+	return s.cw.Error()
+}

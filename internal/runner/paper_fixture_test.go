@@ -1,0 +1,58 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"testing"
+
+	"comfase/internal/core"
+)
+
+// TestPaperCampaignsMatchSeedFixtures pins the registry-hosted paper
+// campaign presets to the committed full-campaign result files: the
+// rows the registry path produces must be byte-identical to the
+// corresponding rows of results/experiments_{delay,dos}.csv. The delay
+// campaign is checked on its first grid row-block (one start, one
+// value, all 30 durations = rows 0..29); the DoS campaign in full.
+func TestPaperCampaignsMatchSeedFixtures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 55 full-horizon experiments in -short mode")
+	}
+	run := func(setup core.CampaignSetup) []byte {
+		t.Helper()
+		var buf bytes.Buffer
+		r, err := New(newEngine(t), Options{Workers: 4}, NewCSVSink(&buf))
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		if _, err := r.Run(context.Background(), setup); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return buf.Bytes()
+	}
+	fixture := func(path string, lines int) []byte {
+		t.Helper()
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("fixture: %v", err)
+		}
+		split := bytes.SplitAfter(raw, []byte("\n"))
+		if len(split) < lines {
+			t.Fatalf("fixture %s has %d lines, want >= %d", path, len(split), lines)
+		}
+		return bytes.Join(split[:lines], nil)
+	}
+
+	delay := core.PaperDelayCampaign()
+	delay.Starts = delay.Starts[:1] // grid is start-major: this is rows 0..29
+	delay.Values = delay.Values[:1]
+	if got, want := run(delay), fixture("../../results/experiments_delay.csv", 31); !bytes.Equal(got, want) {
+		t.Errorf("registry paper-delay prefix differs from seed fixture:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	dos := core.PaperDoSCampaign()
+	if got, want := run(dos), fixture("../../results/experiments_dos.csv", 26); !bytes.Equal(got, want) {
+		t.Errorf("registry paper-dos differs from seed fixture:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -36,7 +36,6 @@ import (
 func ReadResults(r io.Reader) (map[int]core.ExperimentResult, error) {
 	tail := &tailTracker{r: r}
 	cr := csv.NewReader(tail)
-	cr.FieldsPerRecord = len(analysis.ExperimentCSVHeader())
 	header, err := cr.Read()
 	if err == io.EOF {
 		return map[int]core.ExperimentResult{}, nil
@@ -44,8 +43,9 @@ func ReadResults(r io.Reader) (map[int]core.ExperimentResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("runner: results header: %w", err)
 	}
-	if header[0] != "expNr" {
-		return nil, fmt.Errorf("runner: not a results file (header starts with %q)", header[0])
+	matrix, err := resultSchema(header)
+	if err != nil {
+		return nil, err
 	}
 	out := make(map[int]core.ExperimentResult)
 	// truncatedTail reports whether the malformed record just read is an
@@ -66,7 +66,7 @@ func ReadResults(r io.Reader) (map[int]core.ExperimentResult, error) {
 			}
 			return nil, fmt.Errorf("runner: results line %d: %w", line, err)
 		}
-		res, err := parseResultRecord(rec)
+		res, err := parseResultRecord(rec, matrix)
 		if err != nil {
 			if truncatedTail() {
 				return out, nil // drop the partial record
@@ -78,6 +78,19 @@ func ReadResults(r io.Reader) (map[int]core.ExperimentResult, error) {
 		}
 		out[res.Spec.Nr] = res
 	}
+}
+
+// equalHeader reports whether two CSV headers are identical.
+func equalHeader(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // tailTracker remembers the last byte delivered from the underlying
@@ -96,15 +109,51 @@ func (t *tailTracker) Read(p []byte) (int, error) {
 	return n, err
 }
 
-func parseResultRecord(rec []string) (core.ExperimentResult, error) {
+// resultSchema validates a results-file header and reports whether it
+// uses the matrix schema (scenario column after expNr) or the legacy
+// single-campaign schema.
+func resultSchema(header []string) (matrix bool, err error) {
+	if len(header) == 0 || header[0] != "expNr" {
+		return false, fmt.Errorf("runner: not a results file (header starts with %q)", first(header))
+	}
+	switch {
+	case len(header) == len(analysis.ExperimentCSVHeader()) && header[1] == "attack":
+		return false, nil
+	case len(header) == len(analysis.MatrixCSVHeader()) && header[1] == "scenario":
+		return true, nil
+	default:
+		return false, fmt.Errorf("runner: unrecognised results schema (%d columns)", len(header))
+	}
+}
+
+func first(header []string) string {
+	if len(header) == 0 {
+		return ""
+	}
+	return header[0]
+}
+
+func parseResultRecord(rec []string, matrix bool) (core.ExperimentResult, error) {
 	var res core.ExperimentResult
 	nr, err := strconv.Atoi(rec[0])
 	if err != nil {
 		return res, fmt.Errorf("expNr: %w", err)
 	}
-	kind, err := core.ParseAttackKind(rec[1])
+	scenarioLabel := ""
+	if matrix {
+		scenarioLabel = rec[1]
+		rec = rec[1:] // remaining columns match the legacy layout
+	}
+	// The attack column resolves through the registry: legacy enum names
+	// keep their AttackKind; registry-only family names are carried in
+	// Spec.Attack, so labels and cell grouping survive the round trip.
+	entry, err := core.LookupAttack(rec[1])
 	if err != nil {
 		return res, err
+	}
+	attackName := ""
+	if matrix || entry.Kind == 0 {
+		attackName = entry.Name
 	}
 	value, err := strconv.ParseFloat(rec[2], 64)
 	if err != nil {
@@ -140,7 +189,9 @@ func parseResultRecord(rec []string) (core.ExperimentResult, error) {
 	res = core.ExperimentResult{
 		Spec: core.ExperimentSpec{
 			Nr:       nr,
-			Kind:     kind,
+			Kind:     entry.Kind,
+			Attack:   attackName,
+			Scenario: scenarioLabel,
 			Value:    value,
 			Start:    des.FromSeconds(startS),
 			Duration: des.FromSeconds(durS),
@@ -174,14 +225,17 @@ func ReadResultsFile(path string) (map[int]core.ExperimentResult, error) {
 // MergeResultFiles recombines per-shard result CSVs into one canonical
 // file ordered by expNr. Because every shard writes rows with the shared
 // deterministic encoding, the merged output is byte-identical to the CSV
-// a single sequential run of the whole grid would have produced.
-// Duplicate expNrs across inputs (overlapping shards) are rejected.
+// a single sequential run of the whole grid would have produced. Both
+// the legacy and the matrix schema are accepted — all inputs must share
+// one header, which the merged file echoes. Duplicate expNrs across
+// inputs (overlapping shards) are rejected.
 func MergeResultFiles(w io.Writer, paths ...string) error {
 	type row struct {
 		nr  int
 		rec []string
 	}
 	var rows []row
+	var outHeader []string
 	seen := make(map[int]string)
 	for _, path := range paths {
 		f, err := os.Open(path)
@@ -189,7 +243,6 @@ func MergeResultFiles(w io.Writer, paths ...string) error {
 			return err
 		}
 		cr := csv.NewReader(f)
-		cr.FieldsPerRecord = len(analysis.ExperimentCSVHeader())
 		header, err := cr.Read()
 		if err != nil {
 			f.Close()
@@ -198,9 +251,15 @@ func MergeResultFiles(w io.Writer, paths ...string) error {
 			}
 			return fmt.Errorf("runner: %s: header: %w", path, err)
 		}
-		if header[0] != "expNr" {
+		if _, err := resultSchema(header); err != nil {
 			f.Close()
 			return fmt.Errorf("runner: %s is not a results file", path)
+		}
+		if outHeader == nil {
+			outHeader = header
+		} else if !equalHeader(outHeader, header) {
+			f.Close()
+			return fmt.Errorf("runner: %s: header differs from earlier shards (mixed schemas?)", path)
 		}
 		for {
 			rec, err := cr.Read()
@@ -226,8 +285,11 @@ func MergeResultFiles(w io.Writer, paths ...string) error {
 		f.Close()
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].nr < rows[j].nr })
+	if outHeader == nil {
+		outHeader = analysis.ExperimentCSVHeader() // every shard was empty
+	}
 	cw := csv.NewWriter(w)
-	if err := cw.Write(analysis.ExperimentCSVHeader()); err != nil {
+	if err := cw.Write(outHeader); err != nil {
 		return err
 	}
 	for _, r := range rows {

@@ -69,6 +69,7 @@ func (s *CSVSink) Flush() error {
 // sink projects the same fields the CSV schema persists.
 type jsonRow struct {
 	Nr          int     `json:"expNr"`
+	Scenario    string  `json:"scenario,omitempty"`
 	Attack      string  `json:"attack"`
 	Value       float64 `json:"value"`
 	StartS      float64 `json:"startS"`
@@ -94,7 +95,8 @@ func NewJSONSink(w io.Writer) *JSONSink {
 func (s *JSONSink) Put(res core.ExperimentResult) error {
 	return s.enc.Encode(jsonRow{
 		Nr:          res.Spec.Nr,
-		Attack:      res.Spec.Kind.String(),
+		Scenario:    res.Spec.Scenario,
+		Attack:      res.Spec.AttackLabel(),
 		Value:       res.Spec.Value,
 		StartS:      res.Spec.Start.Seconds(),
 		DurationS:   res.Spec.Duration.Seconds(),

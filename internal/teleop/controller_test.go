@@ -1,0 +1,104 @@
+package teleop
+
+import (
+	"testing"
+
+	"comfase/internal/platoon"
+	"comfase/internal/sim/des"
+)
+
+func predState(pos, speed float64, at des.Time) platoon.KinState {
+	return platoon.KinState{Pos: pos, Speed: speed, Length: 4, Time: at, Valid: true}
+}
+
+func selfSnap(pos, speed float64) platoon.Snapshot {
+	return platoon.Snapshot{Pos: pos, Speed: speed, Length: 4}
+}
+
+func TestDriveControllerTracksLeader(t *testing.T) {
+	c := DefaultDrive(0.5)
+	if c.Name() != "TELEOP" {
+		t.Fatalf("Name = %q", c.Name())
+	}
+	// Fresh command, correct gap, matched speed: no correction.
+	// Gap = predPos - predLength - selfPos = 29 - 4 - 20 = 5 = DesiredGap.
+	u := c.Update(0.01, selfSnap(20, 20), platoon.KinState{}, predState(29, 20, 0))
+	if u != 0 {
+		t.Errorf("steady state u = %v, want 0", u)
+	}
+	// Too-small gap commands deceleration; too-large commands acceleration.
+	if u := c.Update(0.01, selfSnap(24, 20), platoon.KinState{}, predState(29, 20, 0)); u >= 0 {
+		t.Errorf("closing gap u = %v, want < 0", u)
+	}
+	if u := c.Update(0.01, selfSnap(10, 20), platoon.KinState{}, predState(29, 20, 0)); u <= 0 {
+		t.Errorf("opened gap u = %v, want > 0", u)
+	}
+}
+
+func TestDriveControllerWatchdog(t *testing.T) {
+	c := DefaultDrive(0.5)
+	// Advance the internal clock 1 s past a command stamped at t=0: the
+	// 0.5 s watchdog must fire and command the safe-stop deceleration.
+	var u float64
+	for i := 0; i < 100; i++ {
+		u = c.Update(0.01, selfSnap(20, 20), platoon.KinState{}, predState(29, 20, 0))
+	}
+	if u != -c.SafeDecel {
+		t.Errorf("stale-command u = %v, want safe stop %v", u, -c.SafeDecel)
+	}
+	// A fresh command (stamped at the controller's current clock) clears it.
+	u = c.Update(0.01, selfSnap(20, 20), platoon.KinState{}, predState(29, 20, des.FromSeconds(1.01)))
+	if u == -c.SafeDecel {
+		t.Error("fresh command still safe-stopping")
+	}
+	// Watchdog 0 disables the staleness bound entirely.
+	unprotected := DefaultDrive(0)
+	for i := 0; i < 100; i++ {
+		u = unprotected.Update(0.01, selfSnap(20, 20), platoon.KinState{}, predState(29, 20, 0))
+	}
+	if u == -unprotected.SafeDecel {
+		t.Error("watchdog 0 still fired a safe stop")
+	}
+}
+
+func TestDriveControllerNoCommand(t *testing.T) {
+	c := DefaultDrive(0.5)
+	if u := c.Update(0.01, selfSnap(20, 20), platoon.KinState{}, platoon.KinState{}); u != 0 {
+		t.Errorf("no-command u = %v, want 0 (coast)", u)
+	}
+}
+
+func TestDriveControllerTargetSpeedNonNegative(t *testing.T) {
+	// A predecessor far behind the desired gap must never command the
+	// follower to reverse: target speed clamps at zero.
+	c := DefaultDrive(0)
+	u := c.Update(0.01, selfSnap(100, 5), platoon.KinState{}, predState(20, 0, 0))
+	// Target speed 0 → u = Gain*(0 - 5) = -10.
+	if want := c.Gain * -5; u != want {
+		t.Errorf("reversing-gap u = %v, want %v", u, want)
+	}
+}
+
+// TestDriveControllerStateRoundTrip: the checkpoint fork path snapshots
+// controller state; the staleness clock must survive the round trip.
+func TestDriveControllerStateRoundTrip(t *testing.T) {
+	var _ platoon.StatefulController = (*DriveController)(nil)
+	c := DefaultDrive(0.5)
+	for i := 0; i < 50; i++ {
+		c.Update(0.01, selfSnap(20, 20), platoon.KinState{}, predState(29, 20, 0))
+	}
+	st := c.SaveState()
+	if st.U < 0.499 || st.U > 0.501 { // 50 float steps of 0.01 accumulate rounding
+		t.Fatalf("saved clock = %v, want ~0.5", st.U)
+	}
+	fresh := DefaultDrive(0.5)
+	fresh.LoadState(st)
+	// One more step past the 0.5 s watchdog with a command stamped at 0.
+	if u := fresh.Update(0.01, selfSnap(20, 20), platoon.KinState{}, predState(29, 20, 0)); u != -fresh.SafeDecel {
+		t.Errorf("restored controller u = %v, want safe stop", u)
+	}
+	fresh.Reset()
+	if fresh.SaveState().U != 0 {
+		t.Error("Reset did not clear the staleness clock")
+	}
+}

@@ -19,8 +19,11 @@ echo "==> checkpoint equivalence self-test (-race)"
 go test -race -run 'TestCheckpointCampaignEquivalence' ./internal/runner
 echo "==> observability equivalence self-test (-race)"
 go test -race -run 'TestMetricsCampaignEquivalence' ./internal/runner
+echo "==> registry equivalence self-test (-race)"
+go test -race -run 'TestRegistryCampaignEquivalence|TestRegistryChaosEquivalence|TestRunMatrixDeterminism' ./internal/runner
 echo "==> fuzz smoke (5s per target)"
 go test -run '^$' -fuzz 'FuzzParse$' -fuzztime 5s ./internal/config >/dev/null
+go test -run '^$' -fuzz 'FuzzMatrixConfigDecode' -fuzztime 5s ./internal/config >/dev/null
 go test -run '^$' -fuzz 'FuzzKernelSchedule' -fuzztime 5s ./internal/sim/des >/dev/null
 go test -run '^$' -fuzz 'FuzzKernelSnapshot' -fuzztime 5s ./internal/sim/des >/dev/null
 go test -run '^$' -fuzz 'FuzzParseShard' -fuzztime 5s ./internal/runner >/dev/null
