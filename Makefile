@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race chaos checkpoint-equiv obs-equiv registry-equiv fuzz-smoke bench bench-sanity cover
+.PHONY: check build vet test race chaos checkpoint-equiv trie-equiv obs-equiv registry-equiv fuzz-smoke bench bench-sanity cover
 
 # Tier-1 verification gate: build + vet + race-enabled tests (which
 # include the chaos self-test exercising every failure-containment path),
@@ -9,7 +9,7 @@ GO ?= go
 # so the race detector is part of the default gate, not an optional
 # extra; the bench sanity run keeps the perf harness compiling and
 # executable without paying for a full measurement.
-check: build vet race chaos checkpoint-equiv obs-equiv registry-equiv fuzz-smoke cover bench-sanity
+check: build vet race chaos checkpoint-equiv trie-equiv obs-equiv registry-equiv fuzz-smoke cover bench-sanity
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,15 @@ chaos:
 # byte-identical result CSVs and matching quarantine records.
 checkpoint-equiv:
 	$(GO) test -race -run 'TestCheckpointCampaignEquivalence' ./internal/runner
+
+# The trie-equivalence self-test by name, under the race detector: the
+# same grid with checkpoint-trie duration chaining on and off — healthy,
+# sharded, under chaos injection, with early exit enabled, and with a
+# mid-chain panic poisoning one trie subtree — must emit byte-identical
+# result CSVs; and early termination on vs off must preserve every
+# classification and the rendered per-cell report bit-for-bit.
+trie-equiv:
+	$(GO) test -race -run 'TestTrieCampaignEquivalence|TestTrieEarlyExitClassificationEquivalence|TestOrderGroupChainsTotalOrder' ./internal/runner
 
 # The observability-equivalence self-test by name, under the race
 # detector: the same grid with the full metrics stack (registry +
@@ -66,6 +75,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzKernelSchedule' -fuzztime 5s ./internal/sim/des
 	$(GO) test -run '^$$' -fuzz 'FuzzKernelSnapshot' -fuzztime 5s ./internal/sim/des
 	$(GO) test -run '^$$' -fuzz 'FuzzParseShard' -fuzztime 5s ./internal/runner
+	$(GO) test -run '^$$' -fuzz 'FuzzTrieGroupKey' -fuzztime 5s ./internal/runner
 	$(GO) test -run '^$$' -fuzz 'FuzzHeartbeatDecode' -fuzztime 5s ./internal/obs
 
 # Per-package coverage report plus the internal/obs coverage floor: the

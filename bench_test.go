@@ -434,13 +434,18 @@ func BenchmarkExperimentCheckpointed(b *testing.B) {
 }
 
 // BenchmarkCampaignCheckpointed measures the campaign-level speedup of
-// prefix-checkpoint forking on a paper-shaped grid: 25 start times
-// (Table II's 17-21.8 s sweep) x 2 values x 5 durations = 250
+// the checkpoint stack on a paper-shaped grid: 25 start times (Table
+// II's 17-21.8 s sweep) x 2 values x 8 ascending durations = 400
 // experiments on a horizon that just covers the latest attack window.
-// "fresh" is the pre-checkpoint execution path (DisableCheckpoints);
-// "forked" simulates each start's fault-free prefix once per worker and
-// forks the 10 siblings from the snapshot. The outcome metric pins the
-// result shape: both modes classify identically.
+// (Table II sweeps 30 durations per value; eight keeps the benchmark's
+// wall clock short while still amortising each chain's shared attacked
+// interval the way the paper grid does.)
+// The modes peel the layers apart: "fresh" is the no-checkpoint path,
+// "forked" adds prefix-checkpoint forking only (trie disabled), "trie"
+// chains same-value experiments through mid-attack boundary snapshots so
+// each simulates just its unique duration suffix, and "trie+early-exit"
+// additionally stops every run once its verdict is decided. The outcome
+// metric pins the result shape: all four modes classify identically.
 func BenchmarkCampaignCheckpointed(b *testing.B) {
 	ts := scenario.PaperScenario()
 	// Clip the horizon to the latest attack end (21.8 s + 25 s): the
@@ -452,29 +457,35 @@ func BenchmarkCampaignCheckpointed(b *testing.B) {
 		Targets: []string{"vehicle.2"},
 		Values:  []float64{0.4, 2.0},
 		Durations: []des.Time{
-			2 * des.Second, 5 * des.Second, 10 * des.Second,
-			18 * des.Second, 25 * des.Second,
+			2 * des.Second, 4 * des.Second, 6 * des.Second,
+			9 * des.Second, 12 * des.Second, 16 * des.Second,
+			20 * des.Second, 25 * des.Second,
 		},
 	}
 	for s := 0; s < 25; s++ {
 		grid.Starts = append(grid.Starts, 17*des.Second+des.Time(s)*200*des.Millisecond)
 	}
 	for _, mode := range []struct {
-		name    string
-		disable bool
+		name               string
+		disableCheckpoints bool
+		disableTrie        bool
+		earlyExit          bool
 	}{
-		{name: "fresh", disable: true},
-		{name: "forked", disable: false},
+		{name: "fresh", disableCheckpoints: true, disableTrie: true},
+		{name: "forked", disableTrie: true},
+		{name: "trie"},
+		{name: "trie+early-exit", earlyExit: true},
 	} {
 		mode := mode
 		b.Run(mode.name, func(b *testing.B) {
-			eng := newEngine(b, core.EngineConfig{Scenario: ts})
+			eng := newEngine(b, core.EngineConfig{Scenario: ts, EarlyExit: mode.earlyExit})
 			b.ResetTimer()
 			var counts classify.Counts
 			for i := 0; i < b.N; i++ {
 				r, err := runner.New(eng, runner.Options{
 					Workers:            runtime.GOMAXPROCS(0),
-					DisableCheckpoints: mode.disable,
+					DisableCheckpoints: mode.disableCheckpoints,
+					DisableTrie:        mode.disableTrie,
 				})
 				if err != nil {
 					b.Fatalf("runner.New: %v", err)
@@ -557,8 +568,8 @@ func BenchmarkCampaignParallel(b *testing.B) {
 // BenchmarkCampaignMatrix runs a registry-expanded scenario x attack
 // matrix (2 scenarios x 2 attack families on representative sub-grids)
 // through the flattened-grid matrix executor, covering per-cell golden
-// runs, engine reuse across same-scenario cells and per-cell
-// classification.
+// runs, engine reuse across same-scenario cells, checkpoint-trie
+// duration chaining inside the delay cells and per-cell classification.
 func BenchmarkCampaignMatrix(b *testing.B) {
 	m := registry.Matrix{
 		Scenarios: []registry.MatrixScenario{
@@ -570,7 +581,7 @@ func BenchmarkCampaignMatrix(b *testing.B) {
 				Name:      "delay",
 				Values:    []float64{0.6, 3.0},
 				Starts:    []des.Time{17 * des.Second, 21 * des.Second},
-				Durations: []des.Time{5 * des.Second},
+				Durations: []des.Time{5 * des.Second, 10 * des.Second, 18 * des.Second},
 			},
 			{
 				Name:      "dos",

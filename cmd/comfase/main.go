@@ -47,6 +47,7 @@ import (
 	"comfase/internal/registry"
 	"comfase/internal/runner"
 	"comfase/internal/scenario"
+	"comfase/internal/sim/des"
 	"comfase/internal/trace"
 )
 
@@ -149,6 +150,9 @@ Subcommands:
                    -event-budget N (per-experiment kernel event cap),
                    -invariants (runtime NaN/position/overlap checks),
                    -checkpoints=false (disable prefix-checkpoint forking),
+                   -checkpoint-trie=false (disable duration chaining within a group),
+                   -early-exit (stop experiments once their verdict is decided),
+                   -early-exit-tolerance T, -early-exit-hold D (stability window),
                    -quarantine FILE (append persistent failures as JSON lines),
                    -heartbeat FILE (publish periodic JSON metrics snapshots),
                    -heartbeat-interval D (snapshot period, default 5s),
@@ -279,6 +283,10 @@ func runCampaign(ctx context.Context, args []string, stdout io.Writer) error {
 	eventBudget := fs.Uint64("event-budget", 0, "per-experiment kernel event cap (0 = unlimited)")
 	invariants := fs.Bool("invariants", false, "enable runtime invariant checks in every simulation step")
 	checkpoints := fs.Bool("checkpoints", true, "fork same-start experiments from a prefix checkpoint (results are bit-identical either way)")
+	checkpointTrie := fs.Bool("checkpoint-trie", true, "chain same-value experiments through mid-attack boundary snapshots (results are bit-identical either way)")
+	earlyExit := fs.Bool("early-exit", false, "stop an experiment once its classification is decided (classification-identical; truncates raw kinematics)")
+	earlyExitTolerance := fs.Float64("early-exit-tolerance", 0, "early-exit re-stabilisation speed tolerance in m/s (0 = 0.001 default)")
+	earlyExitHold := fs.Duration("early-exit-hold", 0, "how long the platoon must hold within tolerance before exiting early (0 = 5s default)")
 	quarantinePath := fs.String("quarantine", "", "append persistent-failure records to this JSON-lines file")
 	heartbeatPath := fs.String("heartbeat", "", "periodically publish a JSON metrics snapshot to this file (atomic rename)")
 	heartbeatInterval := fs.Duration("heartbeat-interval", 0, "heartbeat snapshot period (0 = 5s default)")
@@ -325,6 +333,7 @@ func runCampaign(ctx context.Context, args []string, stdout io.Writer) error {
 		ExperimentTimeout:  parsed.Runtime.ExperimentTimeout,
 		MaxFailures:        parsed.Runtime.MaxFailures,
 		DisableCheckpoints: parsed.Runtime.DisableCheckpoints,
+		DisableTrie:        parsed.Runtime.DisableTrie,
 	}
 	explicit := map[string]bool{}
 	fs.Visit(func(fl *flag.Flag) { explicit[fl.Name] = true })
@@ -351,11 +360,23 @@ func runCampaign(ctx context.Context, args []string, stdout io.Writer) error {
 	if explicit["checkpoints"] {
 		opts.DisableCheckpoints = !*checkpoints
 	}
+	if explicit["checkpoint-trie"] {
+		opts.DisableTrie = !*checkpointTrie
+	}
 	if explicit["invariants"] {
 		parsed.Engine.Invariants = *invariants
 	}
 	if explicit["event-budget"] {
 		parsed.Engine.EventBudget = *eventBudget
+	}
+	if explicit["early-exit"] {
+		parsed.Engine.EarlyExit = *earlyExit
+	}
+	if explicit["early-exit-tolerance"] {
+		parsed.Engine.EarlyExitTolerance = *earlyExitTolerance
+	}
+	if explicit["early-exit-hold"] {
+		parsed.Engine.EarlyExitHold = des.FromSeconds(earlyExitHold.Seconds())
 	}
 	quarantine := parsed.Runtime.QuarantineFile
 	if explicit["quarantine"] {
@@ -478,6 +499,15 @@ func runCampaign(ctx context.Context, args []string, stdout io.Writer) error {
 			}
 			if explicit["event-budget"] {
 				parsed.Cells[i].Engine.EventBudget = *eventBudget
+			}
+			if explicit["early-exit"] {
+				parsed.Cells[i].Engine.EarlyExit = *earlyExit
+			}
+			if explicit["early-exit-tolerance"] {
+				parsed.Cells[i].Engine.EarlyExitTolerance = *earlyExitTolerance
+			}
+			if explicit["early-exit-hold"] {
+				parsed.Cells[i].Engine.EarlyExitHold = des.FromSeconds(earlyExitHold.Seconds())
 			}
 			parsed.Cells[i].Engine.Metrics = reg
 		}

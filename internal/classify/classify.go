@@ -139,6 +139,41 @@ func Classify(t Thresholds, obs Observation) Outcome {
 	}
 }
 
+// Decided reports whether the classification of a still-running
+// experiment can no longer change, so the simulation tail may be skipped
+// (verdict-aware early termination). It is derived from the monotonicity
+// of Classify's inputs: MaxDecel and MaxSpeedDev only grow as a run
+// progresses, and a recorded collision is permanent, so
+//
+//   - a collision decides Severe immediately (and the collider column is
+//     fixed by the FIRST collision, which is already recorded);
+//   - once the attack window is over and the platoon has re-converged
+//     onto the golden trajectory (stabilized: every per-sample speed
+//     deviation stayed within the caller's stability tolerance for the
+//     caller's hold period), the remaining tail tracks the golden run and
+//     cannot move the observation across a class boundary.
+//
+// The one non-monotone trap is the non-effective class: while MaxSpeedDev
+// is still within SpeedDevEpsilon the run classifies non-effective, but a
+// future deviation of up to stabilityTol could push it past epsilon and
+// demote it to negligible — so a non-effective-so-far run is only decided
+// when the stability tolerance itself is within epsilon. Severe-by-
+// deceleration is deliberately NOT decided here: a later collision would
+// still change the collider attribution even though the class could not
+// change.
+func Decided(t Thresholds, obs Observation, attackOver, stabilized bool, stabilityTol float64) bool {
+	if obs.Collided {
+		return true
+	}
+	if !attackOver || !stabilized {
+		return false
+	}
+	if obs.MaxSpeedDev <= t.SpeedDevEpsilon && stabilityTol > t.SpeedDevEpsilon {
+		return false
+	}
+	return true
+}
+
 // Counts tallies outcomes per category.
 type Counts struct {
 	NonEffective int `json:"nonEffective"`

@@ -410,6 +410,29 @@ type RuntimeConfig struct {
 	// way; omitted or true leaves forking on (the default), false forces
 	// every experiment onto the fresh-build path.
 	Checkpoints *bool `json:"checkpoints,omitempty"`
+	// CheckpointTrie toggles duration chaining on top of checkpoint
+	// forking: same-value experiments run in ascending-duration order and
+	// each forks from the previous sibling's mid-attack boundary snapshot
+	// instead of re-simulating the shared attacked interval. Results are
+	// bit-identical either way; omitted or true leaves chaining on (the
+	// default, effective only while checkpoints are on), false degrades
+	// every experiment to a plain prefix fork.
+	CheckpointTrie *bool `json:"checkpointTrie,omitempty"`
+	// EarlyExit enables verdict-aware early termination: an experiment
+	// stops simulating once its classification can no longer change (a
+	// collision was recorded, or the attack window is over and the
+	// platoon re-converged onto the golden trajectory). Classifications
+	// and collider attribution are identical either way; the raw
+	// kinematic summaries of truncated runs cover a shorter window
+	// (DESIGN.md §10). Off by default.
+	EarlyExit bool `json:"earlyExit,omitempty"`
+	// EarlyExitToleranceMps is the re-stabilisation speed tolerance in
+	// m/s (0 = the engine default of 1e-3; only meaningful with EarlyExit).
+	EarlyExitToleranceMps float64 `json:"earlyExitToleranceMps,omitempty"`
+	// EarlyExitHoldS is how long in seconds the platoon must hold within
+	// the tolerance before the verdict counts as decided (0 = the engine
+	// default of 5 s; only meaningful with EarlyExit).
+	EarlyExitHoldS float64 `json:"earlyExitHoldS,omitempty"`
 
 	// HeartbeatFile periodically publishes a JSON metrics snapshot to this
 	// path via atomic rename (internal/obs heartbeat). Empty disables the
@@ -451,6 +474,13 @@ func (r RuntimeConfig) Build() (RuntimeSettings, error) {
 	out.MaxFailures = r.MaxFailures
 	out.QuarantineFile = r.QuarantineFile
 	out.DisableCheckpoints = r.Checkpoints != nil && !*r.Checkpoints
+	out.DisableTrie = r.CheckpointTrie != nil && !*r.CheckpointTrie
+	if r.EarlyExitToleranceMps < 0 {
+		return RuntimeSettings{}, fmt.Errorf("config: negative earlyExitToleranceMps %g", r.EarlyExitToleranceMps)
+	}
+	if r.EarlyExitHoldS < 0 {
+		return RuntimeSettings{}, fmt.Errorf("config: negative earlyExitHoldS %g", r.EarlyExitHoldS)
+	}
 	out.HeartbeatFile = r.HeartbeatFile
 	if r.HeartbeatIntervalS < 0 {
 		return RuntimeSettings{}, fmt.Errorf("config: negative heartbeatIntervalS %g", r.HeartbeatIntervalS)
@@ -471,6 +501,7 @@ type RuntimeSettings struct {
 	MaxFailures        int
 	QuarantineFile     string
 	DisableCheckpoints bool
+	DisableTrie        bool
 	HeartbeatFile      string
 	HeartbeatInterval  time.Duration
 	MetricsAddr        string
@@ -573,13 +604,16 @@ func BuildFile(f File) (*Parsed, error) {
 	return &Parsed{
 		Seed: seed,
 		Engine: core.EngineConfig{
-			Scenario:          ts,
-			Comm:              cm,
-			Controllers:       factory,
-			Seed:              seed,
-			CancelCheckEvents: f.Runtime.CancelCheckEvents,
-			Invariants:        f.Runtime.Invariants,
-			EventBudget:       f.Runtime.EventBudget,
+			Scenario:           ts,
+			Comm:               cm,
+			Controllers:        factory,
+			Seed:               seed,
+			CancelCheckEvents:  f.Runtime.CancelCheckEvents,
+			Invariants:         f.Runtime.Invariants,
+			EventBudget:        f.Runtime.EventBudget,
+			EarlyExit:          f.Runtime.EarlyExit,
+			EarlyExitTolerance: f.Runtime.EarlyExitToleranceMps,
+			EarlyExitHold:      des.FromSeconds(f.Runtime.EarlyExitHoldS),
 		},
 		Campaign: setup,
 		Runtime:  rt,

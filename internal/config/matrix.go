@@ -104,13 +104,16 @@ func (m MatrixConfig) Build(seed uint64, comm *CommConfig, rt RuntimeConfig) ([]
 			Scenario: c.Scenario,
 			Attack:   c.Attack,
 			Engine: core.EngineConfig{
-				Scenario:          c.Def.Traffic,
-				Comm:              cm,
-				Controllers:       c.Def.Controllers,
-				Seed:              seed,
-				CancelCheckEvents: rt.CancelCheckEvents,
-				Invariants:        rt.Invariants,
-				EventBudget:       rt.EventBudget,
+				Scenario:           c.Def.Traffic,
+				Comm:               cm,
+				Controllers:        c.Def.Controllers,
+				Seed:               seed,
+				CancelCheckEvents:  rt.CancelCheckEvents,
+				Invariants:         rt.Invariants,
+				EventBudget:        rt.EventBudget,
+				EarlyExit:          rt.EarlyExit,
+				EarlyExitTolerance: rt.EarlyExitToleranceMps,
+				EarlyExitHold:      des.FromSeconds(rt.EarlyExitHoldS),
 			},
 			Setup: c.Setup,
 		})

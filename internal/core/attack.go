@@ -31,6 +31,24 @@ type AttackModel interface {
 	Targets() []string
 }
 
+// ChainableModel marks attack models whose interception behaviour is a
+// pure function of the intercepted frame (time, src, dst, payload): no
+// internal mutable state, no random stream, no dependence on the
+// experiment number. Two instances built from specs that differ only in
+// attack duration then behave identically over the shared part of the
+// attacked interval, which lets the checkpoint trie reuse a mid-attack
+// snapshot taken under one sibling's model for the next, longer sibling
+// (GroupSession.RunExperimentChained). Models with per-experiment
+// randomness (packet loss, corruption — their RNG streams are keyed by
+// experiment number) or physical-layer installation (Installer) must NOT
+// implement it.
+type ChainableModel interface {
+	AttackModel
+	// ChainableAcrossDurations is a marker method; implementations
+	// promise the purity contract documented on ChainableModel.
+	ChainableAcrossDurations()
+}
+
 // targetSet answers membership for the targetVehicles parameter.
 type targetSet map[string]bool
 
@@ -77,7 +95,11 @@ type DelayAttack struct {
 var (
 	_ AttackModel     = (*DelayAttack)(nil)
 	_ nic.Interceptor = (*DelayAttack)(nil)
+	_ ChainableModel  = (*DelayAttack)(nil)
 )
+
+// ChainableAcrossDurations marks the delay attack as a pure interceptor.
+func (a *DelayAttack) ChainableAcrossDurations() {}
 
 // NewDelayAttack builds a delay attack with the given PD attack value.
 func NewDelayAttack(delay des.Time, targets ...string) (*DelayAttack, error) {
@@ -120,7 +142,11 @@ type DoSAttack struct {
 var (
 	_ AttackModel     = (*DoSAttack)(nil)
 	_ nic.Interceptor = (*DoSAttack)(nil)
+	_ ChainableModel  = (*DoSAttack)(nil)
 )
+
+// ChainableAcrossDurations marks the DoS attack as a pure interceptor.
+func (a *DoSAttack) ChainableAcrossDurations() {}
 
 // NewDoSAttack builds a DoS attack. horizon is the totalSimTime whose
 // value the propagation delay is pinned to (60 s in the paper).
@@ -206,7 +232,14 @@ type FalsificationAttack struct {
 var (
 	_ AttackModel     = (*FalsificationAttack)(nil)
 	_ nic.Interceptor = (*FalsificationAttack)(nil)
+	_ ChainableModel  = (*FalsificationAttack)(nil)
 )
+
+// ChainableAcrossDurations marks the falsification attack as chainable.
+// This extends the Falsifier contract: fn must be a pure rewrite of the
+// beacon it is given (no captured mutable state, no randomness), which
+// every registry-built falsifier satisfies.
+func (a *FalsificationAttack) ChainableAcrossDurations() {}
 
 // NewFalsificationAttack builds a falsification attack. Only frames SENT
 // by a target are falsified (the attacker impersonates the target).
@@ -252,7 +285,11 @@ type ReplayAttack struct {
 var (
 	_ AttackModel     = (*ReplayAttack)(nil)
 	_ nic.Interceptor = (*ReplayAttack)(nil)
+	_ ChainableModel  = (*ReplayAttack)(nil)
 )
+
+// ChainableAcrossDurations marks the replay attack as a pure interceptor.
+func (a *ReplayAttack) ChainableAcrossDurations() {}
 
 // NewReplayAttack builds a replay attack that serves state age seconds
 // stale.

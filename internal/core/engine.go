@@ -52,6 +52,26 @@ type EngineConfig struct {
 	// attack-free golden run is exempt, so a budget sized for the
 	// attacked grid can never kill the reference it is compared against.
 	EventBudget uint64
+	// EarlyExit enables verdict-aware early termination: experiments stop
+	// simulating as soon as their classification is decided (a collision
+	// is recorded, or the attack window is over and the platoon has
+	// re-stabilised onto the golden trajectory within EarlyExitTolerance
+	// for EarlyExitHold). Classification output — class, collider
+	// attribution, outcome counts — is identical with the flag on or off;
+	// the raw kinematic extrema of a truncated run only cover the
+	// simulated part of the horizon (DESIGN.md §10). Off by default: the
+	// zero value preserves full-horizon kinematics bit-for-bit.
+	EarlyExit bool
+	// EarlyExitTolerance is the per-sample speed-deviation band (m/s)
+	// within which the platoon counts as re-stabilised onto the golden
+	// trajectory. Zero selects DefaultEarlyExitTolerance. Only consulted
+	// when EarlyExit is set.
+	EarlyExitTolerance float64
+	// EarlyExitHold is how long every vehicle must stay within
+	// EarlyExitTolerance after the attack window before the verdict
+	// counts as decided. Zero selects DefaultEarlyExitHold. Only
+	// consulted when EarlyExit is set.
+	EarlyExitHold des.Time
 	// Metrics, when non-nil, receives the engine's observability counters
 	// (experiments started/completed, workspace-pool hits/misses,
 	// checkpoint forks vs fresh builds, the per-experiment wall-clock
@@ -62,6 +82,20 @@ type EngineConfig struct {
 	Metrics *obs.Registry
 }
 
+// Early-exit defaults and cadence. The hold period defaults to one full
+// cycle of the paper maneuver's 0.2 Hz sinusoid, so "stable for the
+// hold" means the platoon tracked the golden run through a complete
+// speed oscillation, not just a flat segment of it. Decision checks run
+// on a fixed absolute-time grid (multiples of earlyExitCheckInterval
+// since t=0) so fresh, forked and chained executions of the same
+// experiment stop at the identical instant regardless of where their
+// simulation segment began.
+const (
+	DefaultEarlyExitTolerance          = 1e-3
+	DefaultEarlyExitHold               = 5 * des.Second
+	earlyExitCheckInterval    des.Time = 500 * des.Millisecond
+)
+
 // Engine is the ComFASE engine: it owns a validated configuration and
 // executes Algorithm 1.
 type Engine struct {
@@ -69,6 +103,11 @@ type Engine struct {
 	golden     *trace.FullLog
 	goldenRes  *GoldenResult
 	thresholds classify.Thresholds
+
+	// eeTol/eeHold are the resolved early-exit knobs (defaults applied);
+	// meaningful only when cfg.EarlyExit is set.
+	eeTol  float64
+	eeHold des.Time
 
 	// pool recycles per-worker simulation workspaces: each experiment
 	// checks one out, rebuilds the retained components in place and
@@ -99,6 +138,14 @@ type engineMetrics struct {
 	forks       *obs.Counter   // experiment attempts forked from a checkpoint
 	prefixes    *obs.Counter   // group prefix simulations checkpointed
 	wall        *obs.Histogram // successful experiment wall-clock seconds
+
+	trieBoundaries *obs.Counter // mid-attack boundary snapshots taken
+	trieForks      *obs.Counter // experiment attempts forked from a boundary
+	trieSavedMs    *obs.Counter // simulated milliseconds skipped via boundary forks
+	trieDepth      *obs.Gauge   // depth of the most recently extended value chain
+	groupRebuilds  *obs.Counter // tainted group sessions healed by a prefix rebuild
+	earlyExits     *obs.Counter // experiments stopped once their verdict was decided
+	earlySavedMs   *obs.Counter // simulated milliseconds skipped via early exit
 }
 
 // newEngineMetrics resolves the engine's metric handles. A nil registry
@@ -114,6 +161,14 @@ func newEngineMetrics(reg *obs.Registry) engineMetrics {
 		forks:       reg.Counter("engine.checkpoint_forks"),
 		prefixes:    reg.Counter("engine.checkpoint_prefixes"),
 		wall:        reg.Histogram("engine.experiment_wall_seconds", obs.DurationBounds()...),
+
+		trieBoundaries: reg.Counter("engine.trie_boundary_snapshots"),
+		trieForks:      reg.Counter("engine.trie_suffix_forks"),
+		trieSavedMs:    reg.Counter("engine.trie_sim_millis_saved"),
+		trieDepth:      reg.Gauge("engine.trie_chain_depth"),
+		groupRebuilds:  reg.Counter("engine.group_rebuilds"),
+		earlyExits:     reg.Counter("engine.early_exits"),
+		earlySavedMs:   reg.Counter("engine.early_exit_sim_millis_saved"),
 	}
 }
 
@@ -214,11 +269,25 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 			return nil, err
 		}
 	}
+	if cfg.EarlyExitTolerance < 0 {
+		return nil, errors.New("core: early-exit tolerance must be non-negative")
+	}
+	if cfg.EarlyExitHold < 0 {
+		return nil, errors.New("core: early-exit hold must be non-negative")
+	}
 	// The engine-level flag fans out through the scenario config so every
 	// workspace build (golden run and experiments alike) checks the same
 	// invariants.
 	cfg.Scenario.Invariants = cfg.Scenario.Invariants || cfg.Invariants
 	e := &Engine{cfg: cfg}
+	e.eeTol = cfg.EarlyExitTolerance
+	if e.eeTol == 0 {
+		e.eeTol = DefaultEarlyExitTolerance
+	}
+	e.eeHold = cfg.EarlyExitHold
+	if e.eeHold == 0 {
+		e.eeHold = DefaultEarlyExitHold
+	}
 	e.met = newEngineMetrics(cfg.Metrics)
 	if cfg.Metrics != nil {
 		e.km = &des.Metrics{
@@ -412,6 +481,9 @@ func (e *Engine) runExperiment(ctx context.Context, spec ExperimentSpec, withLog
 	sim.AttachContext(ctx, e.cfg.CancelCheckEvents)
 	summary := u.summary
 	summary.Reset(len(sim.Members), e.golden)
+	if e.cfg.EarlyExit {
+		summary.TrackStability(e.eeTol)
+	}
 	sim.AddRecorder(summary)
 	if withLog {
 		full = trace.NewFullLog(sim.VehicleIDs())
@@ -427,21 +499,30 @@ func (e *Engine) runExperiment(ctx context.Context, spec ExperimentSpec, withLog
 	}
 	end := spec.End(horizon)
 
-	// Algorithm 1 lines 12-14: the three SimUntil phases.
+	// Algorithm 1 lines 12-14: the three SimUntil phases (the attacked
+	// window and tail run through the early-exit-aware helper).
 	if err := sim.RunUntil(start); err != nil {
 		return ExperimentResult{}, nil, err
 	}
 	if err := applyAttack(sim, model); err != nil {
 		return ExperimentResult{}, nil, err
 	}
-	if err := sim.RunUntil(end); err != nil {
+	decided, stopAt, err := e.runDecidable(sim, summary, start, end, end, false)
+	if err != nil {
 		return ExperimentResult{}, nil, err
 	}
-	if err := removeAttack(sim, model); err != nil {
-		return ExperimentResult{}, nil, err
+	if !decided {
+		if err := removeAttack(sim, model); err != nil {
+			return ExperimentResult{}, nil, err
+		}
+		decided, stopAt, err = e.runDecidable(sim, summary, end, horizon, end, true)
+		if err != nil {
+			return ExperimentResult{}, nil, err
+		}
 	}
-	if err := sim.RunUntil(horizon); err != nil {
-		return ExperimentResult{}, nil, err
+	if decided {
+		e.met.earlyExits.Inc()
+		e.met.earlySavedMs.Add(uint64((horizon - stopAt) / des.Millisecond))
 	}
 
 	res, err = e.finishExperiment(sim, summary, spec)
@@ -453,6 +534,53 @@ func (e *Engine) runExperiment(ctx context.Context, spec ExperimentSpec, withLog
 		e.met.wall.ObserveDuration(time.Since(wallStart))
 	}
 	return res, full, nil
+}
+
+// runDecidable advances the simulation from `from` to `to`, stopping
+// early once the experiment's classification is decided (verdict-aware
+// early termination). With EarlyExit off it degenerates to a single
+// RunUntil. With it on, the run proceeds in chunks clipped to absolute
+// multiples of earlyExitCheckInterval — the same instants for every
+// execution path of the same experiment — and after each chunk consults
+// classify.Decided. During the attacked window (tail=false) only a
+// collision decides; during the tail (tail=true) re-stabilisation onto
+// the golden run for the hold period decides too. It returns whether the
+// verdict was decided and the simulation time reached.
+//
+// attackEnd is the end of the attacked window; the hold period can only
+// begin once both the attack is over and the summary saw its last
+// out-of-tolerance sample.
+func (e *Engine) runDecidable(sim *scenario.Simulation, summary *trace.Summary, from, to, attackEnd des.Time, tail bool) (bool, des.Time, error) {
+	if !e.cfg.EarlyExit {
+		return false, to, sim.RunUntil(to)
+	}
+	for cur := from; cur < to; {
+		next := (cur/earlyExitCheckInterval + 1) * earlyExitCheckInterval
+		if next > to {
+			next = to
+		}
+		if err := sim.RunUntil(next); err != nil {
+			return false, cur, err
+		}
+		cur = next
+		stabilized := false
+		if tail {
+			since := summary.LastUnstable()
+			if attackEnd > since {
+				since = attackEnd
+			}
+			stabilized = cur >= since.Add(e.eeHold)
+		}
+		obsv := classify.Observation{
+			MaxDecel:    summary.MaxDecelOverall(),
+			MaxSpeedDev: summary.MaxSpeedDev,
+			Collided:    sim.Traffic.CollisionCount() > 0,
+		}
+		if classify.Decided(e.thresholds, obsv, tail, stabilized, e.eeTol) {
+			return true, cur, nil
+		}
+	}
+	return false, to, nil
 }
 
 // finishExperiment validates a completed attack run and assembles the

@@ -27,7 +27,11 @@ type OmissionFault struct {
 var (
 	_ AttackModel     = (*OmissionFault)(nil)
 	_ nic.Interceptor = (*OmissionFault)(nil)
+	_ ChainableModel  = (*OmissionFault)(nil)
 )
+
+// ChainableAcrossDurations marks the omission fault as a pure interceptor.
+func (f *OmissionFault) ChainableAcrossDurations() {}
 
 // NewOmissionFault builds an omission fault for the target transmitters.
 func NewOmissionFault(targets ...string) (*OmissionFault, error) {
@@ -132,7 +136,11 @@ type CalibrationFault struct {
 var (
 	_ AttackModel     = (*CalibrationFault)(nil)
 	_ nic.Interceptor = (*CalibrationFault)(nil)
+	_ ChainableModel  = (*CalibrationFault)(nil)
 )
+
+// ChainableAcrossDurations marks the bias fault as a pure interceptor.
+func (f *CalibrationFault) ChainableAcrossDurations() {}
 
 // NewCalibrationFault builds a bias fault with per-field offsets.
 func NewCalibrationFault(offPos, offSpeed, offAccel float64, targets ...string) (*CalibrationFault, error) {

@@ -7,6 +7,7 @@ import (
 	"reflect"
 	"testing"
 
+	"comfase/internal/nic"
 	"comfase/internal/phy"
 	"comfase/internal/platoon"
 	"comfase/internal/scenario"
@@ -208,10 +209,12 @@ func TestBeginGroupRejectsOpaqueController(t *testing.T) {
 	}
 }
 
-func TestGroupPoisonOnPanicFallsBack(t *testing.T) {
-	// A model that panics during install poisons the session; the group
-	// wrapper retries fresh, where it panics again and surfaces as a
-	// PanicError — identical to the fresh path's containment.
+func TestGroupPanicTaintsAndHeals(t *testing.T) {
+	// A model that panics during install taints the session — its
+	// workspace may be corrupted, so it is discarded — but the session
+	// stays healthy: the next fork rebuilds the prefix from scratch and
+	// runs normally. The panic itself surfaces as a PanicError, identical
+	// to the fresh path's containment.
 	boom := func(spec ExperimentSpec, horizon des.Time, seed uint64) (AttackModel, error) {
 		return panicOnInstallModel{}, nil
 	}
@@ -233,11 +236,22 @@ func TestGroupPoisonOnPanicFallsBack(t *testing.T) {
 	if !errors.As(err, &pe) {
 		t.Fatalf("err = %v, want PanicError", err)
 	}
-	if gs.Healthy() {
-		t.Error("session still healthy after panic")
+	if !gs.Healthy() {
+		t.Fatal("panic must taint, not poison: session should stay healthy")
 	}
-	if _, err := gs.RunExperiment(context.Background(), setup.Experiments()[0]); !errors.Is(err, ErrGroupPoisoned) {
-		t.Errorf("err = %v, want ErrGroupPoisoned", err)
+
+	// The healed session must reproduce fresh results bit-for-bit.
+	good := groupSpecs(19 * des.Second)[0]
+	want, err := groupEngine(t, nil).RunExperiment(good)
+	if err != nil {
+		t.Fatalf("fresh %v: %v", good, err)
+	}
+	got, err := gs.RunExperiment(context.Background(), good)
+	if err != nil {
+		t.Fatalf("healed forked %v: %v", good, err)
+	}
+	if !resultsEqual(got, want) {
+		t.Errorf("healed session diverged:\nfresh  %+v\nforked %+v", want, got)
 	}
 }
 
@@ -255,6 +269,138 @@ func TestGroupRejectsWrongStart(t *testing.T) {
 	if !gs.Healthy() {
 		t.Error("wrong-start rejection must not poison the session")
 	}
+}
+
+func TestGroupChainMatchesFreshRuns(t *testing.T) {
+	// The checkpoint trie: per-value duration chains must reproduce fresh
+	// runs bit-for-bit. groupSpecs expands value-major with ascending
+	// durations, so consecutive same-value specs form the chains.
+	specs := groupSpecs(19 * des.Second)
+
+	fresh := groupEngine(t, nil)
+	want := make([]ExperimentResult, len(specs))
+	for i, spec := range specs {
+		res, err := fresh.RunExperiment(spec)
+		if err != nil {
+			t.Fatalf("fresh %v: %v", spec, err)
+		}
+		want[i] = res
+	}
+
+	forked := groupEngine(t, nil)
+	gs, err := forked.BeginGroup(context.Background(), specs[0].Start)
+	if err != nil {
+		t.Fatalf("BeginGroup: %v", err)
+	}
+	defer gs.Close()
+	for i, spec := range specs {
+		retain := i+1 < len(specs) && specs[i+1].Value == spec.Value
+		res, err := gs.RunExperimentChained(context.Background(), spec, retain)
+		if err != nil {
+			t.Fatalf("chained %v: %v", spec, err)
+		}
+		if !resultsEqual(res, want[i]) {
+			t.Errorf("experiment %d diverged:\nfresh   %+v\nchained %+v", spec.Nr, want[i], res)
+		}
+	}
+	if !gs.Healthy() {
+		t.Error("session unexpectedly poisoned")
+	}
+}
+
+func TestGroupTriePanicPoisonsSubtreeOnly(t *testing.T) {
+	// A panic at an inner trie node (a chained sibling's segment) must
+	// fail only that subtree: the failing experiment surfaces a
+	// PanicError exactly as the fresh path would, and the session heals
+	// so the NEXT value chain reproduces fresh results bit-for-bit.
+	const (
+		start   = 19 * des.Second
+		trigger = start + 3*des.Second // inside the 5s duration, past the 2s one
+	)
+	factory := func(spec ExperimentSpec, horizon des.Time, seed uint64) (AttackModel, error) {
+		delay, err := NewDelayAttack(des.Time(spec.Value*float64(des.Second)), spec.Targets...)
+		if err != nil {
+			return nil, err
+		}
+		if spec.Value == 2.0 {
+			return timeBombModel{inner: delay, trigger: trigger}, nil
+		}
+		return delay, nil
+	}
+	setup := CampaignSetup{
+		Factory:   factory,
+		Targets:   []string{"vehicle.2"},
+		Values:    []float64{2.0, 0.4}, // bombed chain first, healthy chain second
+		Starts:    []des.Time{start},
+		Durations: []des.Time{2 * des.Second, 5 * des.Second},
+	}
+	specs := setup.Experiments()
+
+	fresh := groupEngine(t, nil)
+	want := make([]ExperimentResult, len(specs))
+	for i, spec := range specs {
+		res, err := fresh.RunExperiment(spec)
+		if i == 1 {
+			// The bomb triggers inside this spec's attacked window on the
+			// fresh path too — parity with the chained failure below.
+			var pe *PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("fresh %v: err = %v, want PanicError", spec, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("fresh %v: %v", spec, err)
+		}
+		want[i] = res
+	}
+
+	forked := groupEngine(t, nil)
+	gs, err := forked.BeginGroup(context.Background(), start)
+	if err != nil {
+		t.Fatalf("BeginGroup: %v", err)
+	}
+	defer gs.Close()
+	for i, spec := range specs {
+		retain := i+1 < len(specs) && specs[i+1].Value == spec.Value
+		res, err := gs.RunExperimentChained(context.Background(), spec, retain)
+		if i == 1 {
+			var pe *PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("chained %v: err = %v, want PanicError", spec, err)
+			}
+			if !gs.Healthy() {
+				t.Fatal("inner-node panic must taint, not poison, the session")
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("chained %v: %v", spec, err)
+		}
+		if !resultsEqual(res, want[i]) {
+			t.Errorf("experiment %d diverged:\nfresh   %+v\nchained %+v", spec.Nr, want[i], res)
+		}
+	}
+}
+
+// timeBombModel is a chainable interceptor that panics as soon as it
+// intercepts a frame at or past its trigger time. The panic is a pure
+// function of simulation time, so fresh, forked and chained executions of
+// the same spec fail identically — the ChainableModel contract holds even
+// for the failure.
+type timeBombModel struct {
+	inner   *DelayAttack
+	trigger des.Time
+}
+
+func (m timeBombModel) Name() string              { return "time-bomb" }
+func (m timeBombModel) Targets() []string         { return m.inner.Targets() }
+func (m timeBombModel) ChainableAcrossDurations() {}
+func (m timeBombModel) Intercept(t des.Time, src, dst string, payload any) nic.Verdict {
+	if t >= m.trigger {
+		panic("time-bomb")
+	}
+	return m.inner.Intercept(t, src, dst, payload)
 }
 
 // panicOnInstallModel panics when the engine installs it.

@@ -26,13 +26,19 @@
 //     (core.GroupSession). The grid is start-major, so sharding and
 //     resume keep siblings contiguous, and the release frontier still
 //     emits rows in grid order — checkpointed and fresh campaigns
-//     produce byte-identical outputs.
+//     produce byte-identical outputs. Within a group, siblings sharing
+//     an attack value are additionally ordered into duration chains
+//     (ascending duration, experiment number as the tie-break — a total
+//     order, so every schedule and shard derives the same trie shape)
+//     and executed through the session's checkpoint trie: each sibling
+//     simulates only the suffix past the previous duration boundary.
 package runner
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -170,6 +176,16 @@ type Options struct {
 	// checkpoint layer cannot capture (fading channels, opaque custom
 	// controllers) fall back to the fresh path automatically.
 	DisableCheckpoints bool
+	// DisableTrie turns off duration chaining within checkpoint groups:
+	// every sibling then forks from the group's prefix checkpoint in grid
+	// order (the pre-trie behaviour). Only meaningful while checkpoints
+	// are enabled. The zero value — trie enabled — buckets each group
+	// into per-value chains sorted by ascending duration and shares the
+	// attacked interval between chain members; results are bit-identical
+	// either way, and models that cannot chain (stochastic ones,
+	// physical-layer Installers) fall back to prefix forking
+	// automatically.
+	DisableTrie bool
 }
 
 // Runner executes campaign grids against a core.Engine.
@@ -358,15 +374,26 @@ func (r *Runner) Run(ctx context.Context, setup core.CampaignSetup) (*core.Campa
 					return cerr
 				}
 			}
-			for _, idx := range group {
-				res, attempts, runErr := r.runWithRetry(ctx, specs[idx], gs)
-				if runErr != nil && ctx.Err() != nil {
-					// Campaign-level cancellation, not an experiment failure.
-					return fmt.Errorf("experiment %v: %w", specs[idx], runErr)
-				}
-				wc.Inc()
-				if cerr := complete(idx, res, attempts, runErr); cerr != nil {
-					return cerr
+			// With a live session and the trie enabled, execute the group as
+			// per-value duration chains; otherwise keep the grid-order walk.
+			// Either way the release frontier restores grid order on output.
+			chained := gs != nil && !r.opts.DisableTrie
+			order := [][]int{group}
+			if chained {
+				order = orderGroupChains(specs, group)
+			}
+			for _, chain := range order {
+				for i, idx := range chain {
+					retain := chained && i+1 < len(chain)
+					res, attempts, runErr := r.runWithRetry(ctx, specs[idx], gs, chained, retain)
+					if runErr != nil && ctx.Err() != nil {
+						// Campaign-level cancellation, not an experiment failure.
+						return fmt.Errorf("experiment %v: %w", specs[idx], runErr)
+					}
+					wc.Inc()
+					if cerr := complete(idx, res, attempts, runErr); cerr != nil {
+						return cerr
+					}
 				}
 			}
 			return nil
@@ -433,6 +460,40 @@ func groupByStart(specs []core.ExperimentSpec, todo []int) [][]int {
 	return groups
 }
 
+// orderGroupChains buckets one same-start group into the value chains of
+// the checkpoint trie: one bucket per attack value, buckets in
+// first-appearance (grid) order, each bucket sorted by ascending attack
+// duration with the experiment number as the tie-break. The sort key
+// (duration, expNr) is a total order over the group, so sequential,
+// parallel, sharded and resumed runs all derive the identical chain shape
+// from whatever subset of the grid they hold. Values are compared as
+// float64 bit patterns via ==; a NaN attack value never equals itself and
+// therefore forms single-element buckets, which degrade to plain prefix
+// forks rather than corrupt a chain.
+func orderGroupChains(specs []core.ExperimentSpec, group []int) [][]int {
+	byValue := make(map[float64]int)
+	var chains [][]int
+	for _, idx := range group {
+		v := specs[idx].Value
+		b, ok := byValue[v]
+		if !ok {
+			b = len(chains)
+			byValue[v] = b
+			chains = append(chains, nil)
+		}
+		chains[b] = append(chains[b], idx)
+	}
+	for _, c := range chains {
+		sort.Slice(c, func(i, j int) bool {
+			if specs[c[i]].Duration != specs[c[j]].Duration {
+				return specs[c[i]].Duration < specs[c[j]].Duration
+			}
+			return specs[c[i]].Nr < specs[c[j]].Nr
+		})
+	}
+	return chains
+}
+
 // beginGroup checkpoints the fault-free prefix at start, applying the
 // same wall-clock watchdog a fresh attempt would get. Any error — a
 // non-checkpointable configuration, a prefix failure, a prefix timeout —
@@ -455,14 +516,16 @@ func (r *Runner) beginGroup(ctx context.Context, start des.Time) *core.GroupSess
 // runWithRetry executes one grid point with the per-attempt wall-clock
 // watchdog and the retry policy: up to 1+Retries attempts with linear
 // backoff between them. When the worker holds a healthy group session,
-// the first attempt forks from its prefix checkpoint; retries — and the
-// first attempt once a sibling has poisoned the session — run on a fresh
-// workspace, so transient corruption does not leak between attempts and
-// attempt counts match the checkpoint-disabled path exactly. It returns
-// the result of the first successful attempt, or — after exhausting
-// every attempt — the final error. Campaign-level cancellation surfaces
-// as an error too; the caller distinguishes it via ctx.Err().
-func (r *Runner) runWithRetry(ctx context.Context, spec core.ExperimentSpec, gs *core.GroupSession) (core.ExperimentResult, int, error) {
+// the first attempt forks from its checkpoint (through the duration
+// chain when chained is set; retain asks the session to keep a boundary
+// snapshot for the next chain member); retries — and the first attempt
+// once a sibling has poisoned the session — run on a fresh workspace, so
+// transient corruption does not leak between attempts and attempt counts
+// match the checkpoint-disabled path exactly. It returns the result of
+// the first successful attempt, or — after exhausting every attempt —
+// the final error. Campaign-level cancellation surfaces as an error too;
+// the caller distinguishes it via ctx.Err().
+func (r *Runner) runWithRetry(ctx context.Context, spec core.ExperimentSpec, gs *core.GroupSession, chained, retain bool) (core.ExperimentResult, int, error) {
 	attempts := 1 + r.opts.Retries
 	if attempts < 1 {
 		attempts = 1
@@ -482,7 +545,11 @@ func (r *Runner) runWithRetry(ctx context.Context, spec core.ExperimentSpec, gs 
 		var res core.ExperimentResult
 		var err error
 		if a == 1 && gs != nil && gs.Healthy() {
-			res, err = gs.RunExperiment(attemptCtx, spec)
+			if chained {
+				res, err = gs.RunExperimentChained(attemptCtx, spec, retain)
+			} else {
+				res, err = gs.RunExperiment(attemptCtx, spec)
+			}
 		} else {
 			res, err = r.eng.RunExperimentCtx(attemptCtx, spec)
 		}

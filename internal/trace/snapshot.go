@@ -1,15 +1,19 @@
 package trace
 
+import "comfase/internal/sim/des"
+
 // SummaryState is a restorable snapshot of a Summary's accumulated
-// extrema. The reference log is configuration (set by Reset for the whole
-// experiment group) and is not captured. The zero value is ready to use;
-// the extrema buffer grows on first SaveState and is reused afterwards.
+// extrema. The reference log and the stability tolerance are
+// configuration (set by Reset/TrackStability for the whole experiment
+// group) and are not captured. The zero value is ready to use; the
+// extrema buffer grows on first SaveState and is reused afterwards.
 type SummaryState struct {
-	maxDecel    []float64
-	maxSpeedDev float64
-	samples     int
-	idx         int
-	misaligned  bool
+	maxDecel     []float64
+	maxSpeedDev  float64
+	samples      int
+	idx          int
+	misaligned   bool
+	lastUnstable des.Time
 }
 
 // SaveState captures the summary's accumulated state into st, reusing
@@ -20,6 +24,7 @@ func (s *Summary) SaveState(st *SummaryState) {
 	st.samples = s.Samples
 	st.idx = s.idx
 	st.misaligned = s.Misaligned
+	st.lastUnstable = s.lastUnstable
 }
 
 // LoadState rewinds the summary to state captured by SaveState. The
@@ -31,4 +36,5 @@ func (s *Summary) LoadState(st *SummaryState) {
 	s.Samples = st.samples
 	s.idx = st.idx
 	s.Misaligned = st.misaligned
+	s.lastUnstable = st.lastUnstable
 }

@@ -195,6 +195,12 @@ type Summary struct {
 	ref *FullLog
 	idx int
 
+	// stabilityTol, when positive, enables convergence tracking against
+	// the reference: lastUnstable remembers the most recent sample whose
+	// deviation exceeded the tolerance (see TrackStability).
+	stabilityTol float64
+	lastUnstable des.Time
+
 	// MaxDecel is the strongest deceleration (positive magnitude) per
 	// vehicle.
 	MaxDecel []float64
@@ -233,7 +239,22 @@ func (s *Summary) Reset(n int, ref *FullLog) {
 	s.MaxSpeedDev = 0
 	s.Samples = 0
 	s.Misaligned = false
+	s.stabilityTol = 0
+	s.lastUnstable = 0
 }
+
+// TrackStability enables convergence tracking against the reference log:
+// every sample whose maximum speed deviation exceeds tol (m/s) updates
+// LastUnstable. Call it after Reset; Reset disables tracking again.
+// Samples that cannot be compared against the reference — no reference,
+// reference exhausted, misaligned — conservatively count as unstable, so
+// LastUnstable never under-reports.
+func (s *Summary) TrackStability(tol float64) { s.stabilityTol = tol }
+
+// LastUnstable reports the time of the most recent sample that deviated
+// from the reference by more than the TrackStability tolerance (zero if
+// every tracked sample stayed within it).
+func (s *Summary) LastUnstable() des.Time { return s.lastUnstable }
 
 // CopyMaxDecel returns a fresh copy of the per-vehicle deceleration
 // extrema, safe to retain after the summary is Reset for the next run.
@@ -255,17 +276,29 @@ func (s *Summary) OnSample(t des.Time, states []VehicleSample) {
 	if s.ref != nil && s.idx < s.ref.Len() {
 		if s.ref.Time(s.idx) != t || s.ref.NumVehicles() != len(states) {
 			s.Misaligned = true
+			if s.stabilityTol > 0 {
+				s.lastUnstable = t
+			}
 		} else {
+			var sampleDev float64
 			for v, st := range states {
 				d := st.Speed - s.ref.At(s.idx, v).Speed
 				if d < 0 {
 					d = -d
 				}
-				if d > s.MaxSpeedDev {
-					s.MaxSpeedDev = d
+				if d > sampleDev {
+					sampleDev = d
 				}
 			}
+			if sampleDev > s.MaxSpeedDev {
+				s.MaxSpeedDev = sampleDev
+			}
+			if s.stabilityTol > 0 && sampleDev > s.stabilityTol {
+				s.lastUnstable = t
+			}
 		}
+	} else if s.stabilityTol > 0 {
+		s.lastUnstable = t
 	}
 	s.idx++
 	s.Samples++

@@ -212,6 +212,11 @@ func (s *Simulator) Collisions() []Collision {
 	return out
 }
 
+// CollisionCount reports the number of recorded collision incidents
+// without copying the log — cheap enough for high-cadence polling (the
+// engine's early-exit decision checks).
+func (s *Simulator) CollisionCount() int { return len(s.collisions) }
+
 // StepLength reports the dynamics step period.
 func (s *Simulator) StepLength() des.Time { return s.stepLen }
 

@@ -11,7 +11,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-10}"
-BENCH="${BENCH:-BenchmarkExperiment\$|BenchmarkKernelThroughput\$|BenchmarkFig4GoldenRun\$|BenchmarkExperimentCheckpointed|BenchmarkCampaignCheckpointed}"
+BENCH="${BENCH:-BenchmarkExperiment\$|BenchmarkKernelThroughput\$|BenchmarkFig4GoldenRun\$|BenchmarkExperimentCheckpointed|BenchmarkCampaignCheckpointed|BenchmarkCampaignMatrix}"
 DATE="$(date +%Y-%m-%d)"
 mkdir -p bench
 TXT="bench/BENCH_${DATE}.txt"

@@ -82,6 +82,9 @@ func main() {
 		}
 		diff(os.Stdout, base, rep)
 	}
+	if *out != "" || *compare != "" {
+		modeDiff(os.Stdout, rep)
+	}
 	if *out == "" && *compare == "" {
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -207,6 +210,56 @@ func diff(w io.Writer, base, cur Report) {
 			}
 			fmt.Fprintf(w, "%-36s %-12s %14s %14s %9s %8s\n",
 				b.Name, unit, formatVal(ov), formatVal(nv), delta, speedup)
+		}
+	}
+}
+
+// modePairs lists within-run sub-benchmark comparisons worth quoting.
+// The campaign benchmarks run the same grid under several execution
+// modes ("fresh", "forked", "trie", "trie+early-exit"); each pair below
+// isolates one optimisation layer, so the ratio old/new is the speedup
+// that layer buys on THIS machine — unlike the old-vs-baseline column,
+// it never mixes measurements from two different hosts.
+var modePairs = []struct{ old, new, label string }{
+	{"fresh", "forked", "prefix checkpoint fork"},
+	{"forked", "trie", "checkpoint trie"},
+	{"trie", "trie+early-exit", "verdict-aware early exit"},
+	{"fresh", "trie+early-exit", "all layers"},
+}
+
+// modeDiff prints the cross-mode speedup table for every benchmark in
+// the report that has the paired sub-benchmarks, using ns/op medians.
+func modeDiff(w io.Writer, rep Report) {
+	byName := map[string]Benchmark{}
+	var parents []string
+	seen := map[string]bool{}
+	for _, b := range rep.Benchmarks {
+		byName[b.Name] = b
+		if i := strings.LastIndexByte(b.Name, '/'); i > 0 {
+			if p := b.Name[:i]; !seen[p] {
+				seen[p] = true
+				parents = append(parents, p)
+			}
+		}
+	}
+	headed := false
+	for _, p := range parents {
+		for _, mp := range modePairs {
+			o, okOld := byName[p+"/"+mp.old]
+			n, okNew := byName[p+"/"+mp.new]
+			if !okOld || !okNew {
+				continue
+			}
+			ov, nv := o.Metrics["ns/op"], n.Metrics["ns/op"]
+			if ov == 0 || nv == 0 {
+				continue
+			}
+			if !headed {
+				fmt.Fprintf(w, "\n%-28s %-42s %8s\n", "benchmark", "mode comparison", "speedup")
+				headed = true
+			}
+			fmt.Fprintf(w, "%-28s %-42s %7.2fx\n",
+				p, fmt.Sprintf("%s vs %s (%s)", mp.old, mp.new, mp.label), ov/nv)
 		}
 	}
 }

@@ -17,6 +17,8 @@ echo "==> chaos self-test (-race)"
 go test -race -run 'TestChaosCampaign' ./internal/runner
 echo "==> checkpoint equivalence self-test (-race)"
 go test -race -run 'TestCheckpointCampaignEquivalence' ./internal/runner
+echo "==> trie + early-exit equivalence self-test (-race)"
+go test -race -run 'TestTrieCampaignEquivalence|TestTrieEarlyExitClassificationEquivalence|TestOrderGroupChainsTotalOrder' ./internal/runner
 echo "==> observability equivalence self-test (-race)"
 go test -race -run 'TestMetricsCampaignEquivalence' ./internal/runner
 echo "==> registry equivalence self-test (-race)"
@@ -27,6 +29,7 @@ go test -run '^$' -fuzz 'FuzzMatrixConfigDecode' -fuzztime 5s ./internal/config 
 go test -run '^$' -fuzz 'FuzzKernelSchedule' -fuzztime 5s ./internal/sim/des >/dev/null
 go test -run '^$' -fuzz 'FuzzKernelSnapshot' -fuzztime 5s ./internal/sim/des >/dev/null
 go test -run '^$' -fuzz 'FuzzParseShard' -fuzztime 5s ./internal/runner >/dev/null
+go test -run '^$' -fuzz 'FuzzTrieGroupKey' -fuzztime 5s ./internal/runner >/dev/null
 go test -run '^$' -fuzz 'FuzzHeartbeatDecode' -fuzztime 5s ./internal/obs >/dev/null
 echo "==> coverage report + internal/obs floor"
 scripts/cover.sh
