@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race chaos checkpoint-equiv trie-equiv obs-equiv registry-equiv fuzz-smoke bench bench-sanity cover
+.PHONY: check build vet test race chaos checkpoint-equiv trie-equiv obs-equiv registry-equiv fabric-equiv fuzz-smoke bench bench-sanity cover
 
 # Tier-1 verification gate: build + vet + race-enabled tests (which
 # include the chaos self-test exercising every failure-containment path),
@@ -9,7 +9,7 @@ GO ?= go
 # so the race detector is part of the default gate, not an optional
 # extra; the bench sanity run keeps the perf harness compiling and
 # executable without paying for a full measurement.
-check: build vet race chaos checkpoint-equiv trie-equiv obs-equiv registry-equiv fuzz-smoke cover bench-sanity
+check: build vet race chaos checkpoint-equiv trie-equiv obs-equiv registry-equiv fabric-equiv fuzz-smoke cover bench-sanity
 
 build:
 	$(GO) build ./...
@@ -63,6 +63,15 @@ obs-equiv:
 registry-equiv:
 	$(GO) test -race -run 'TestRegistryCampaignEquivalence|TestRegistryChaosEquivalence|TestRunMatrixDeterminism' ./internal/runner
 
+# The fabric-equivalence chaos drill by name, under the race detector:
+# a distributed campaign with a worker killed mid-lease (its ranges
+# expire and are re-leased to survivors) and a fully healthy 3-worker
+# run must both merge result CSVs and quarantine files byte-identical
+# to a sequential run; late completions from the presumed-dead worker
+# must be rejected by the lease generation counter, exactly once.
+fabric-equiv:
+	$(GO) test -race -run 'TestFabricChaosEquivalence|TestFabricDistributedEquivalence|TestCoordinatorStaleCompletionExactlyOnce|TestRangeSplitEquivalence' ./internal/fabric ./internal/runner
+
 # Short coverage-guided fuzz smoke on every fuzz target (the config
 # parser, the matrix-section decoder, the DES kernel scheduler and
 # snapshot/restore, the shard designator, the heartbeat snapshot
@@ -77,6 +86,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzParseShard' -fuzztime 5s ./internal/runner
 	$(GO) test -run '^$$' -fuzz 'FuzzTrieGroupKey' -fuzztime 5s ./internal/runner
 	$(GO) test -run '^$$' -fuzz 'FuzzHeartbeatDecode' -fuzztime 5s ./internal/obs
+	$(GO) test -run '^$$' -fuzz 'FuzzLeaseProtocolDecode' -fuzztime 5s ./internal/fabric
 
 # Per-package coverage report plus the internal/obs coverage floor: the
 # observability layer is pure bookkeeping whose failures would corrupt

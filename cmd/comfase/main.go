@@ -28,21 +28,27 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"sync/atomic"
 	"syscall"
+	"time"
 
 	"comfase/internal/analysis"
 	"comfase/internal/config"
 	"comfase/internal/core"
+	"comfase/internal/fabric"
 	"comfase/internal/obs"
 	"comfase/internal/registry"
 	"comfase/internal/runner"
@@ -115,6 +121,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		return runGolden(args[1:], stdout)
 	case "campaign":
 		return runCampaign(ctx, args[1:], stdout)
+	case "serve":
+		return runServe(ctx, args[1:], stdout)
+	case "work":
+		return runWork(ctx, args[1:], stdout)
 	case "merge":
 		return runMerge(args[1:], stdout)
 	case "list":
@@ -128,7 +138,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 }
 
 func usageError() error {
-	return fmt.Errorf("usage: comfase <golden|campaign|merge|list> [flags]; see comfase help")
+	return fmt.Errorf("usage: comfase <golden|campaign|serve|work|merge|list> [flags]; see comfase help")
 }
 
 func printUsage(w io.Writer) {
@@ -162,8 +172,36 @@ Subcommands:
             cleanly; a second SIGINT force-exits immediately.
             exit codes: 0 complete, 1 error, 2 interrupted,
                         3 failure budget exceeded, 130 forced exit
-  merge     merge per-shard result CSVs into one file ordered by expNr
-            flags: -out FILE (required), then the shard CSV paths
+  serve     coordinate a distributed campaign: own the grid, lease
+            contiguous expNr ranges to "comfase work" processes over
+            HTTP, re-lease ranges whose worker dies, and stream the
+            merged results CSV in grid order — byte-identical to a
+            sequential run even when workers crash mid-range
+            flags: -config FILE (required), -results FILE (required),
+                   -addr HOST:PORT (listen address; "127.0.0.1:0" picks
+                   a port), -quarantine FILE (merged failure records),
+                   -lease-size N (grid points per lease),
+                   -lease-ttl D (dead-worker detection window),
+                   -resume (trust the merged prefix already on disk),
+                   -max-failures N (campaign failure budget),
+                   -heartbeat FILE, -heartbeat-interval D,
+                   -metrics-addr HOST:PORT, -v (log fabric events)
+            the first SIGINT drains (finish what's leased, lease nothing
+            new) and exits 2 with a -resume hint; a second force-exits.
+  work      execute leased ranges for a "comfase serve" coordinator; the
+            campaign config arrives from the coordinator at registration
+            flags: -coordinator URL (required unless -config supplies
+                   fabric.addr), -config FILE (optional local defaults),
+                   -workers N (local experiment pool; 0 = all cores),
+                   -max-coordinator-retries N (consecutive failed calls
+                   tolerated before giving up),
+                   -retry-base D (backoff base; capped exponential with
+                   jitter), -v (log lease progress)
+  merge     merge per-shard result CSVs into one file ordered by expNr,
+            and/or per-worker quarantine.jsonl files likewise
+            flags: -out FILE (required with CSV inputs), then the shard
+                   CSV paths; -quarantine FILE (repeatable quarantine
+                   inputs) with -quarantine-out FILE
   list      print the registered scenario, attack and campaign families
             with their parameter schemas — the names a config file's
             campaign/matrix sections accept
@@ -629,30 +667,364 @@ func openResultsSink(path string, appendTo, matrix bool) (runner.Sink, func() er
 	return runner.NewCSVSink(f), f.Close, nil
 }
 
-func runMerge(args []string, stdout io.Writer) error {
-	fs := flag.NewFlagSet("merge", flag.ContinueOnError)
-	outPath := fs.String("out", "", "merged CSV output path (required)")
+// runServe is the fabric coordinator: it owns the campaign grid, leases
+// contiguous ranges to `comfase work` processes, re-leases ranges whose
+// worker goes silent past the TTL, and streams the merged results CSV
+// (and quarantine) in grid order — byte-identical to a sequential run.
+func runServe(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	cfgPath := fs.String("config", "", "JSON experiment configuration (required); served to workers at registration")
+	addr := fs.String("addr", "", `HTTP listen address (default config fabric.addr, else "127.0.0.1:0")`)
+	resultsPath := fs.String("results", "", "merged results CSV (required; also the -resume source)")
+	quarantinePath := fs.String("quarantine", "", "merged quarantine JSON-lines file")
+	leaseSize := fs.Int("lease-size", 0, "grid points per worker lease (0 = config fabric.leaseSize, else 16)")
+	leaseTTL := fs.Duration("lease-ttl", 0, "worker lease TTL; silence past it re-leases the range (0 = config fabric.leaseTTLS, else 15s)")
+	resume := fs.Bool("resume", false, "trust the merged prefix already in -results/-quarantine and serve only the rest")
+	maxFailures := fs.Int("max-failures", 0, "persistent failures tolerated before aborting (0 = fail fast, negative = unlimited)")
+	verbose := fs.Bool("v", false, "log fabric events (registrations, leases, expiries)")
+	heartbeatPath := fs.String("heartbeat", "", "periodically publish a JSON metrics snapshot to this file (atomic rename)")
+	heartbeatInterval := fs.Duration("heartbeat-interval", 0, "heartbeat snapshot period (0 = 5s default)")
+	metricsAddr := fs.String("metrics-addr", "", `serve live metrics over HTTP: /metrics, /debug/vars, /debug/pprof ("127.0.0.1:0" picks a port)`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *outPath == "" {
-		return fmt.Errorf("merge: -out is required")
+	if *cfgPath == "" {
+		return fmt.Errorf("serve: -config is required")
 	}
-	if fs.NArg() == 0 {
-		return fmt.Errorf("merge: no input result files")
+	if *resultsPath == "" {
+		return fmt.Errorf("serve: -results is required")
 	}
-	f, err := os.Create(*outPath)
+	cfgJSON, err := os.ReadFile(*cfgPath)
 	if err != nil {
 		return err
 	}
-	if err := runner.MergeResultFiles(f, fs.Args()...); err != nil {
+	parsed, err := config.Parse(bytes.NewReader(cfgJSON))
+	if err != nil {
+		return err
+	}
+	explicit := map[string]bool{}
+	fs.Visit(func(fl *flag.Flag) { explicit[fl.Name] = true })
+
+	matrixMode := len(parsed.Cells) > 0
+	base, total := 0, 0
+	if matrixMode {
+		base = parsed.Cells[0].Setup.Base
+		for _, cell := range parsed.Cells {
+			total += cell.Setup.NumExperiments()
+		}
+	} else {
+		base = parsed.Campaign.Base
+		total = parsed.Campaign.NumExperiments()
+	}
+	if total == 0 {
+		return fmt.Errorf("serve: the config describes an empty campaign grid")
+	}
+
+	listenAddr := parsed.Fabric.Addr
+	if explicit["addr"] {
+		listenAddr = *addr
+	}
+	if listenAddr == "" {
+		listenAddr = "127.0.0.1:0"
+	}
+	size := parsed.Fabric.LeaseSize
+	if explicit["lease-size"] {
+		size = *leaseSize
+	}
+	ttl := parsed.Fabric.LeaseTTL
+	if explicit["lease-ttl"] {
+		ttl = *leaseTTL
+	}
+	budget := parsed.Runtime.MaxFailures
+	if explicit["max-failures"] {
+		budget = *maxFailures
+	}
+
+	// Resume: the coordinator's release frontier writes a contiguous grid
+	// prefix, so "done so far" is exactly the rows + quarantine records
+	// below the first missing expNr. A mid-write coordinator crash leaves
+	// at most one partial trailing line in each file; chop it before
+	// appending so the resumed stream stays parseable.
+	prefix := 0
+	if *resume {
+		if err := truncateToLastNewline(*resultsPath); err != nil {
+			return err
+		}
+		if *quarantinePath != "" {
+			if err := truncateToLastNewline(*quarantinePath); err != nil {
+				return err
+			}
+		}
+		rows, err := runner.ReadResultsFile(*resultsPath)
+		if err != nil {
+			return err
+		}
+		fails := map[int]core.ExperimentFailure{}
+		if *quarantinePath != "" {
+			if fails, err = runner.ReadQuarantineFile(*quarantinePath); err != nil {
+				return err
+			}
+		}
+		for prefix < total {
+			nr := base + prefix
+			_, inRows := rows[nr]
+			_, inFails := fails[nr]
+			if !inRows && !inFails {
+				break
+			}
+			prefix++
+		}
+		if len(rows)+len(fails) != prefix {
+			return fmt.Errorf("serve: -results/-quarantine hold %d records but only a %d-point contiguous prefix — not a coordinator output (shard files need `comfase merge` first)",
+				len(rows)+len(fails), prefix)
+		}
+	}
+
+	appendMode := false
+	if *resume {
+		if st, err := os.Stat(*resultsPath); err == nil && st.Size() > 0 {
+			appendMode = true
+		}
+	}
+	openOut := func(path string) (*os.File, error) {
+		mode := os.O_CREATE | os.O_WRONLY | os.O_TRUNC
+		if appendMode {
+			mode = os.O_CREATE | os.O_WRONLY | os.O_APPEND
+		}
+		return os.OpenFile(path, mode, 0o644)
+	}
+	resultsFile, err := openOut(*resultsPath)
+	if err != nil {
+		return err
+	}
+	defer resultsFile.Close()
+	var quarantineOut io.Writer
+	if *quarantinePath != "" {
+		qf, err := openOut(*quarantinePath)
+		if err != nil {
+			return err
+		}
+		defer qf.Close()
+		quarantineOut = qf
+	}
+
+	reg := obs.NewRegistry()
+	if *metricsAddr != "" {
+		srv, err := obs.NewServer(*metricsAddr, reg)
+		if err != nil {
+			return fmt.Errorf("serve: metrics listener: %w", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(stdout, "metrics: http://%s/metrics (pprof at /debug/pprof/)\n", srv.Addr())
+	}
+	var hb *obs.Heartbeat
+	if *heartbeatPath != "" {
+		hb = obs.NewHeartbeat(*heartbeatPath, *heartbeatInterval, reg.Snapshot)
+		if err := hb.Start(); err != nil {
+			return fmt.Errorf("serve: heartbeat: %w", err)
+		}
+		defer func() {
+			if herr := hb.Stop(); herr != nil {
+				fmt.Fprintln(os.Stderr, "comfase: heartbeat:", herr)
+			}
+		}()
+	}
+	var logf func(string, ...any)
+	if *verbose {
+		logf = func(format string, a ...any) { fmt.Fprintf(stdout, "serve: "+format+"\n", a...) }
+	}
+
+	coord, err := fabric.NewCoordinator(fabric.CoordinatorOptions{
+		ConfigJSON:   cfgJSON,
+		Base:         base,
+		Total:        total,
+		Matrix:       matrixMode,
+		LeaseSize:    size,
+		LeaseTTL:     ttl,
+		Results:      resultsFile,
+		NoHeader:     appendMode,
+		Quarantine:   quarantineOut,
+		ResumePrefix: prefix,
+		MaxFailures:  budget,
+		Metrics:      reg,
+		Logf:         logf,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return fmt.Errorf("serve: listen: %w", err)
+	}
+	httpSrv := &http.Server{Handler: coord.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	fmt.Fprintf(stdout, "fabric coordinator on http://%s: %d grid points (%d resumed), lease TTL %v\n",
+		ln.Addr(), total, prefix, ttlOrDefault(ttl))
+	fmt.Fprintf(stdout, "start workers with: comfase work -coordinator http://%s\n", ln.Addr())
+
+	err = coord.Wait(ctx)
+	// Keep the socket up until live workers have been told the run is
+	// over (bounded by one TTL); killing it mid-poll would make a clean
+	// finish look like a dead coordinator on their side.
+	coord.Linger()
+	switch {
+	case errors.Is(err, fabric.ErrDrained):
+		fmt.Fprintf(stdout, "campaign drained: %d/%d grid points merged to %s; continue with -resume\n",
+			coord.Merged(), total, *resultsPath)
+		return errInterrupted
+	case err != nil:
+		return err
+	}
+	fmt.Fprintf(stdout, "campaign complete: %d grid points merged to %s (%d quarantined)\n",
+		coord.Merged(), *resultsPath, coord.Failures())
+	return nil
+}
+
+// ttlOrDefault mirrors the coordinator's TTL defaulting for log output.
+func ttlOrDefault(ttl time.Duration) time.Duration {
+	if ttl <= 0 {
+		return fabric.DefaultLeaseTTL
+	}
+	return ttl
+}
+
+// truncateToLastNewline chops a partial trailing line (a crash mid-write)
+// off a line-oriented output file so appending to it stays parseable.
+// Missing files are fine; a file with no newline at all is emptied.
+func truncateToLastNewline(path string) error {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 || data[len(data)-1] == '\n' {
+		return nil
+	}
+	idx := bytes.LastIndexByte(data, '\n')
+	return os.Truncate(path, int64(idx+1))
+}
+
+// runWork is a fabric worker: it registers with a coordinator, receives
+// the campaign config, and executes leased ranges until the grid is done
+// or the coordinator drains.
+func runWork(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("work", flag.ContinueOnError)
+	coordURL := fs.String("coordinator", "", "coordinator base URL, e.g. http://host:7440 (required unless -config supplies fabric.addr)")
+	cfgPath := fs.String("config", "", "optional local config supplying fabric worker defaults")
+	workers := fs.Int("workers", 0, "local parallel experiment workers (0 = the coordinator config's setting, else all cores)")
+	maxRetries := fs.Int("max-coordinator-retries", 0, "consecutive failed coordinator calls tolerated per request (0 = config fabric.maxCoordinatorRetries, else 8)")
+	retryBase := fs.Duration("retry-base", 0, "base of the capped jittered exponential backoff between retries (0 = config fabric.retryBaseMS, else 200ms)")
+	verbose := fs.Bool("v", false, "log lease progress")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	url := *coordURL
+	retries := *maxRetries
+	base := *retryBase
+	if *cfgPath != "" {
+		f, err := os.Open(*cfgPath)
+		if err != nil {
+			return err
+		}
+		parsed, err := config.Parse(f)
 		f.Close()
+		if err != nil {
+			return err
+		}
+		if url == "" && parsed.Fabric.Addr != "" {
+			url = "http://" + parsed.Fabric.Addr
+		}
+		if retries == 0 {
+			retries = parsed.Fabric.MaxCoordinatorRetries
+		}
+		if base == 0 {
+			base = parsed.Fabric.RetryBase
+		}
+	}
+	if url == "" {
+		return fmt.Errorf("work: -coordinator is required (or a -config with fabric.addr)")
+	}
+	var logf func(string, ...any)
+	if *verbose {
+		logf = func(format string, a ...any) { fmt.Fprintf(stdout, "work: "+format+"\n", a...) }
+	}
+	w, err := fabric.NewWorker(fabric.WorkerOptions{
+		Coordinator: url,
+		Workers:     *workers,
+		MaxRetries:  retries,
+		RetryBase:   base,
+		Metrics:     obs.NewRegistry(),
+		Logf:        logf,
+	})
+	if err != nil {
 		return err
 	}
-	if err := f.Close(); err != nil {
+	err = w.Run(ctx)
+	if errors.Is(err, context.Canceled) && ctx.Err() != nil {
+		fmt.Fprintln(stdout, "worker interrupted; unfinished leases will expire and be re-leased")
+		return errInterrupted
+	}
+	return err
+}
+
+// stringList is a repeatable flag collecting its values in order.
+type stringList []string
+
+func (s *stringList) String() string { return strings.Join(*s, ",") }
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func runMerge(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("merge", flag.ContinueOnError)
+	outPath := fs.String("out", "", "merged CSV output path (required with CSV inputs)")
+	var quarantineIn stringList
+	fs.Var(&quarantineIn, "quarantine", "per-worker quarantine.jsonl input (repeatable)")
+	quarantineOut := fs.String("quarantine-out", "", "merged quarantine output path (required with -quarantine)")
+	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "merged %d result files into %s\n", fs.NArg(), *outPath)
+	if fs.NArg() == 0 && len(quarantineIn) == 0 {
+		return fmt.Errorf("merge: nothing to merge (pass shard CSVs and/or -quarantine inputs)")
+	}
+	if fs.NArg() > 0 {
+		if *outPath == "" {
+			return fmt.Errorf("merge: -out is required with CSV inputs")
+		}
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		if err := runner.MergeResultFiles(f, fs.Args()...); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "merged %d result files into %s\n", fs.NArg(), *outPath)
+	}
+	if len(quarantineIn) > 0 {
+		if *quarantineOut == "" {
+			return fmt.Errorf("merge: -quarantine-out is required with -quarantine inputs")
+		}
+		f, err := os.Create(*quarantineOut)
+		if err != nil {
+			return err
+		}
+		if err := runner.MergeQuarantineFiles(f, quarantineIn...); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "merged %d quarantine files into %s\n", len(quarantineIn), *quarantineOut)
+	}
 	return nil
 }
 

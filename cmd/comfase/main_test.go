@@ -26,7 +26,8 @@ func TestRunUsage(t *testing.T) {
 	if err := run(bg(), []string{"help"}, &sb); err != nil {
 		t.Errorf("help: %v", err)
 	}
-	for _, want := range []string{"golden", "campaign", "merge", "-shard", "-resume"} {
+	for _, want := range []string{"golden", "campaign", "serve", "work", "merge",
+		"-shard", "-resume", "-coordinator", "-lease-ttl", "-quarantine-out"} {
 		if !strings.Contains(sb.String(), want) {
 			t.Errorf("usage output missing %q: %q", want, sb.String())
 		}

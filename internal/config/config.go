@@ -507,6 +507,64 @@ type RuntimeSettings struct {
 	MetricsAddr        string
 }
 
+// FabricConfig configures the distributed campaign fabric
+// (internal/fabric): how a `comfase serve` coordinator leases the grid
+// to `comfase work` processes. Command-line flags override these
+// settings. The section rides inside the ordinary config file, which the
+// coordinator serves verbatim to registering workers — so one file
+// configures the whole fleet.
+type FabricConfig struct {
+	// Addr is the coordinator's HTTP listen address for `comfase serve`
+	// ("127.0.0.1:0" picks a free port).
+	Addr string `json:"addr,omitempty"`
+	// LeaseSize is the number of contiguous grid points per worker lease
+	// (0 = the fabric default of 16).
+	LeaseSize int `json:"leaseSize,omitempty"`
+	// LeaseTTLS is the lease time-to-live in seconds: a worker that does
+	// not report within it is presumed dead and its range is re-leased
+	// (0 = the fabric default of 15 s).
+	LeaseTTLS float64 `json:"leaseTTLS,omitempty"`
+	// MaxCoordinatorRetries bounds consecutive failed coordinator calls
+	// on the worker side before it gives up (0 = the fabric default).
+	MaxCoordinatorRetries int `json:"maxCoordinatorRetries,omitempty"`
+	// RetryBaseMS is the base of the worker's capped jittered exponential
+	// backoff in milliseconds (0 = the fabric default of 200 ms).
+	RetryBaseMS int `json:"retryBaseMS,omitempty"`
+}
+
+// Build validates the fabric settings.
+func (f FabricConfig) Build() (FabricSettings, error) {
+	var out FabricSettings
+	out.Addr = f.Addr
+	if f.LeaseSize < 0 {
+		return FabricSettings{}, fmt.Errorf("config: negative fabric leaseSize %d", f.LeaseSize)
+	}
+	out.LeaseSize = f.LeaseSize
+	if f.LeaseTTLS < 0 {
+		return FabricSettings{}, fmt.Errorf("config: negative fabric leaseTTLS %g", f.LeaseTTLS)
+	}
+	out.LeaseTTL = time.Duration(f.LeaseTTLS * float64(time.Second))
+	if f.MaxCoordinatorRetries < 0 {
+		return FabricSettings{}, fmt.Errorf("config: negative fabric maxCoordinatorRetries %d", f.MaxCoordinatorRetries)
+	}
+	out.MaxCoordinatorRetries = f.MaxCoordinatorRetries
+	if f.RetryBaseMS < 0 {
+		return FabricSettings{}, fmt.Errorf("config: negative fabric retryBaseMS %d", f.RetryBaseMS)
+	}
+	out.RetryBase = time.Duration(f.RetryBaseMS) * time.Millisecond
+	return out, nil
+}
+
+// FabricSettings is the validated fabric configuration. Zero values mean
+// "use the fabric package default".
+type FabricSettings struct {
+	Addr                  string
+	LeaseSize             int
+	LeaseTTL              time.Duration
+	MaxCoordinatorRetries int
+	RetryBase             time.Duration
+}
+
 // File is a complete experiment description.
 type File struct {
 	// Seed drives all randomness (default 1).
@@ -521,6 +579,9 @@ type File struct {
 	// scenario/controller sections.
 	Matrix  *MatrixConfig `json:"matrix,omitempty"`
 	Runtime RuntimeConfig `json:"runtime,omitempty"`
+	// Fabric configures distributed execution with `comfase serve` and
+	// `comfase work`; ignored by the single-process subcommands.
+	Fabric FabricConfig `json:"fabric,omitempty"`
 }
 
 // Parsed is the fully built experiment configuration. Exactly one of
@@ -532,6 +593,7 @@ type Parsed struct {
 	Campaign core.CampaignSetup
 	Cells    []runner.MatrixCell
 	Runtime  RuntimeSettings
+	Fabric   FabricSettings
 }
 
 // ControllerFactory maps a controller name to a factory.
@@ -570,6 +632,10 @@ func BuildFile(f File) (*Parsed, error) {
 	if seed == 0 {
 		seed = 1
 	}
+	fb, err := f.Fabric.Build()
+	if err != nil {
+		return nil, err
+	}
 	if f.Matrix != nil {
 		cells, err := buildMatrix(f, seed)
 		if err != nil {
@@ -579,7 +645,7 @@ func BuildFile(f File) (*Parsed, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Parsed{Seed: seed, Cells: cells, Runtime: rt}, nil
+		return &Parsed{Seed: seed, Cells: cells, Runtime: rt, Fabric: fb}, nil
 	}
 	ts, err := f.Scenario.Build()
 	if err != nil {
@@ -617,5 +683,6 @@ func BuildFile(f File) (*Parsed, error) {
 		},
 		Campaign: setup,
 		Runtime:  rt,
+		Fabric:   fb,
 	}, nil
 }

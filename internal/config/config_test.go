@@ -239,6 +239,62 @@ func TestParseFullDocument(t *testing.T) {
 	}
 }
 
+func TestParseFabricSection(t *testing.T) {
+	doc := `{
+	  "campaign": {
+	    "attack": "delay",
+	    "valuesS": {"values": [1]},
+	    "startTimesS": {"values": [17]},
+	    "durationsS": {"values": [2]}
+	  },
+	  "fabric": {
+	    "addr": "127.0.0.1:7440",
+	    "leaseSize": 8,
+	    "leaseTTLS": 2.5,
+	    "maxCoordinatorRetries": 4,
+	    "retryBaseMS": 50
+	  }
+	}`
+	p, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	fb := p.Fabric
+	if fb.Addr != "127.0.0.1:7440" || fb.LeaseSize != 8 {
+		t.Errorf("fabric = %+v", fb)
+	}
+	if fb.LeaseTTL != 2500*time.Millisecond {
+		t.Errorf("leaseTTL = %v", fb.LeaseTTL)
+	}
+	if fb.MaxCoordinatorRetries != 4 || fb.RetryBase != 50*time.Millisecond {
+		t.Errorf("worker retry settings = %+v", fb)
+	}
+	// An absent section yields all-zero settings (fabric defaults apply).
+	p2, err := Parse(strings.NewReader(`{"campaign": {
+	  "attack": "delay",
+	  "valuesS": {"values": [1]},
+	  "startTimesS": {"values": [17]},
+	  "durationsS": {"values": [2]}
+	}}`))
+	if err != nil {
+		t.Fatalf("Parse without fabric: %v", err)
+	}
+	if p2.Fabric != (FabricSettings{}) {
+		t.Errorf("absent fabric section = %+v, want zero", p2.Fabric)
+	}
+	for _, bad := range []string{
+		`{"fabric": {"leaseSize": -1}}`,
+		`{"fabric": {"leaseTTLS": -2}}`,
+		`{"fabric": {"maxCoordinatorRetries": -3}}`,
+		`{"fabric": {"retryBaseMS": -4}}`,
+		`{"fabric": {"bogus": true}}`,
+	} {
+		if _, err := Parse(strings.NewReader(bad)); err == nil {
+			t.Errorf("%s accepted", bad)
+		}
+	}
+}
+
 func TestParseRejectsUnknownFields(t *testing.T) {
 	if _, err := Parse(strings.NewReader(`{"sneed": 1}`)); err == nil {
 		t.Error("unknown field accepted")

@@ -1,0 +1,326 @@
+package fabric
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"comfase/internal/obs"
+)
+
+// fakeClock is an advanceable clock for expiry tests — no sleeping.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestNewLeaseTableChunking(t *testing.T) {
+	cases := []struct {
+		base, total, size int
+		wantChunks        int
+		wantLastFrom      int
+		wantLastTo        int
+	}{
+		{0, 10, 3, 4, 9, 10},
+		{0, 10, 10, 1, 0, 10},
+		{0, 10, 100, 1, 0, 10},
+		{5, 7, 2, 4, 11, 12},
+		{0, 1, 1, 1, 0, 1},
+	}
+	for _, tc := range cases {
+		tab, err := NewLeaseTable(tc.base, tc.total, tc.size, time.Second, nil, nil)
+		if err != nil {
+			t.Fatalf("NewLeaseTable(%d,%d,%d): %v", tc.base, tc.total, tc.size, err)
+		}
+		if got := tab.NumChunks(); got != tc.wantChunks {
+			t.Errorf("base=%d total=%d size=%d: %d chunks, want %d", tc.base, tc.total, tc.size, got, tc.wantChunks)
+		}
+		from, to, err := tab.Bounds(tab.NumChunks() - 1)
+		if err != nil || from != tc.wantLastFrom || to != tc.wantLastTo {
+			t.Errorf("base=%d total=%d size=%d: last chunk [%d,%d) err=%v, want [%d,%d)",
+				tc.base, tc.total, tc.size, from, to, err, tc.wantLastFrom, tc.wantLastTo)
+		}
+	}
+	for _, bad := range []struct{ base, total, size int }{
+		{0, 0, 1}, {0, -3, 1}, {0, 5, 0}, {0, 5, -2},
+	} {
+		if _, err := NewLeaseTable(bad.base, bad.total, bad.size, time.Second, nil, nil); err == nil {
+			t.Errorf("NewLeaseTable(%d,%d,%d) accepted", bad.base, bad.total, bad.size)
+		}
+	}
+	if _, err := NewLeaseTable(0, 4, 2, 0, nil, nil); err == nil {
+		t.Error("zero TTL accepted")
+	}
+}
+
+// TestLeaseLifecycle drives the lease state machine through scripted
+// grant / renew / expire / re-lease scenarios — the generation-counter
+// rejection paths in particular.
+func TestLeaseLifecycle(t *testing.T) {
+	const ttl = 10 * time.Second
+	type step struct {
+		name string
+		// op: acquire | renew | complete | advance | sweep | drain
+		op     string
+		worker string
+		chunk  int
+		gen    uint64
+		d      time.Duration
+
+		wantStatus AcquireStatus
+		wantLease  Lease
+		wantErr    error
+		wantSwept  int
+	}
+	cases := []struct {
+		name  string
+		steps []step
+	}{
+		{
+			name: "grant renew complete",
+			steps: []step{
+				{op: "acquire", worker: "w1", wantStatus: AcquireGranted, wantLease: Lease{Chunk: 0, From: 0, To: 2, Gen: 1}},
+				{op: "advance", d: ttl / 2},
+				{op: "renew", worker: "w1", chunk: 0, gen: 1},
+				{op: "advance", d: ttl / 2}, // only alive thanks to the renew
+				{op: "complete", worker: "w1", chunk: 0, gen: 1},
+			},
+		},
+		{
+			name: "grants ascend and exhaust",
+			steps: []step{
+				{op: "acquire", worker: "w1", wantStatus: AcquireGranted, wantLease: Lease{Chunk: 0, From: 0, To: 2, Gen: 1}},
+				{op: "acquire", worker: "w2", wantStatus: AcquireGranted, wantLease: Lease{Chunk: 1, From: 2, To: 4, Gen: 1}},
+				{op: "acquire", worker: "w3", wantStatus: AcquireEmpty},
+			},
+		},
+		{
+			name: "expiry re-leases with a higher generation",
+			steps: []step{
+				{op: "acquire", worker: "w1", wantStatus: AcquireGranted, wantLease: Lease{Chunk: 0, From: 0, To: 2, Gen: 1}},
+				{op: "advance", d: ttl + time.Second},
+				{op: "sweep", wantSwept: 1},
+				{op: "acquire", worker: "w2", wantStatus: AcquireGranted, wantLease: Lease{Chunk: 0, From: 0, To: 2, Gen: 2}},
+				// The presumed-dead worker's late operations are stale.
+				{op: "renew", worker: "w1", chunk: 0, gen: 1, wantErr: ErrStaleLease},
+				{op: "complete", worker: "w1", chunk: 0, gen: 1, wantErr: ErrStaleLease},
+				// The re-lease itself is live.
+				{op: "complete", worker: "w2", chunk: 0, gen: 2},
+			},
+		},
+		{
+			name: "acquire sweeps expired leases inline",
+			steps: []step{
+				{op: "acquire", worker: "w1", wantStatus: AcquireGranted, wantLease: Lease{Chunk: 0, From: 0, To: 2, Gen: 1}},
+				{op: "acquire", worker: "w2", wantStatus: AcquireGranted, wantLease: Lease{Chunk: 1, From: 2, To: 4, Gen: 1}},
+				{op: "advance", d: ttl + time.Second},
+				// No explicit sweep: Acquire must reclaim chunk 0 itself.
+				{op: "acquire", worker: "w3", wantStatus: AcquireGranted, wantLease: Lease{Chunk: 0, From: 0, To: 2, Gen: 2}},
+			},
+		},
+		{
+			name: "lazy expiry rejects a late renew without a sweep",
+			steps: []step{
+				{op: "acquire", worker: "w1", wantStatus: AcquireGranted, wantLease: Lease{Chunk: 0, From: 0, To: 2, Gen: 1}},
+				{op: "advance", d: ttl + time.Second},
+				{op: "renew", worker: "w1", chunk: 0, gen: 1, wantErr: ErrStaleLease},
+				// The chunk went back to pending; the next grant bumps gen.
+				{op: "acquire", worker: "w1", wantStatus: AcquireGranted, wantLease: Lease{Chunk: 0, From: 0, To: 2, Gen: 2}},
+			},
+		},
+		{
+			name: "wrong worker and wrong generation are stale",
+			steps: []step{
+				{op: "acquire", worker: "w1", wantStatus: AcquireGranted, wantLease: Lease{Chunk: 0, From: 0, To: 2, Gen: 1}},
+				{op: "renew", worker: "w2", chunk: 0, gen: 1, wantErr: ErrStaleLease},
+				{op: "renew", worker: "w1", chunk: 0, gen: 2, wantErr: ErrStaleLease},
+				{op: "renew", worker: "w1", chunk: 9, gen: 1, wantErr: ErrUnknownChunk},
+				{op: "renew", worker: "w1", chunk: 0, gen: 1},
+			},
+		},
+		{
+			name: "double completion is stale",
+			steps: []step{
+				{op: "acquire", worker: "w1", wantStatus: AcquireGranted, wantLease: Lease{Chunk: 0, From: 0, To: 2, Gen: 1}},
+				{op: "complete", worker: "w1", chunk: 0, gen: 1},
+				{op: "complete", worker: "w1", chunk: 0, gen: 1, wantErr: ErrStaleLease},
+				{op: "renew", worker: "w1", chunk: 0, gen: 1, wantErr: ErrStaleLease},
+			},
+		},
+		{
+			name: "draining grants nothing new but leased work finishes",
+			steps: []step{
+				{op: "acquire", worker: "w1", wantStatus: AcquireGranted, wantLease: Lease{Chunk: 0, From: 0, To: 2, Gen: 1}},
+				{op: "drain"},
+				{op: "acquire", worker: "w2", wantStatus: AcquireDraining},
+				{op: "renew", worker: "w1", chunk: 0, gen: 1},
+				{op: "complete", worker: "w1", chunk: 0, gen: 1},
+				{op: "acquire", worker: "w1", wantStatus: AcquireDraining},
+			},
+		},
+		{
+			name: "done wins over draining",
+			steps: []step{
+				{op: "acquire", worker: "w1", wantStatus: AcquireGranted, wantLease: Lease{Chunk: 0, From: 0, To: 2, Gen: 1}},
+				{op: "acquire", worker: "w1", wantStatus: AcquireGranted, wantLease: Lease{Chunk: 1, From: 2, To: 4, Gen: 1}},
+				{op: "complete", worker: "w1", chunk: 0, gen: 1},
+				{op: "complete", worker: "w1", chunk: 1, gen: 1},
+				{op: "drain"},
+				{op: "acquire", worker: "w2", wantStatus: AcquireDone},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			clock := newFakeClock()
+			tab, err := NewLeaseTable(0, 4, 2, ttl, clock.Now, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, s := range tc.steps {
+				switch s.op {
+				case "acquire":
+					lease, status := tab.Acquire(s.worker)
+					if status != s.wantStatus {
+						t.Fatalf("step %d (%s): Acquire status %v, want %v", i, s.op, status, s.wantStatus)
+					}
+					if status == AcquireGranted && lease != s.wantLease {
+						t.Fatalf("step %d: lease %+v, want %+v", i, lease, s.wantLease)
+					}
+				case "renew":
+					if err := tab.Renew(s.worker, s.chunk, s.gen); !errors.Is(err, s.wantErr) {
+						t.Fatalf("step %d: Renew err %v, want %v", i, err, s.wantErr)
+					}
+				case "complete":
+					if err := tab.Complete(s.worker, s.chunk, s.gen); !errors.Is(err, s.wantErr) {
+						t.Fatalf("step %d: Complete err %v, want %v", i, err, s.wantErr)
+					}
+				case "advance":
+					clock.Advance(s.d)
+				case "sweep":
+					if n := tab.Sweep(); n != s.wantSwept {
+						t.Fatalf("step %d: Sweep = %d, want %d", i, n, s.wantSwept)
+					}
+				case "drain":
+					tab.Drain()
+				default:
+					t.Fatalf("step %d: unknown op %q", i, s.op)
+				}
+			}
+		})
+	}
+}
+
+func TestLeaseTableMarkDonePrefix(t *testing.T) {
+	clock := newFakeClock()
+	tab, err := NewLeaseTable(0, 10, 3, time.Second, clock.Now, nil) // [0,3) [3,6) [6,9) [9,10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.MarkDonePrefix(5) // chunk 0 done; chunk 1 trimmed to [5,6)
+	if got := tab.DoneChunks(); got != 1 {
+		t.Fatalf("DoneChunks = %d, want 1", got)
+	}
+	lease, status := tab.Acquire("w1")
+	if status != AcquireGranted || lease.From != 5 || lease.To != 6 {
+		t.Fatalf("first grant after prefix = %+v (%v), want [5,6)", lease, status)
+	}
+	// Completing everything ends the table.
+	if err := tab.Complete("w1", lease.Chunk, lease.Gen); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		l, s := tab.Acquire("w1")
+		if s == AcquireDone {
+			break
+		}
+		if s != AcquireGranted {
+			t.Fatalf("Acquire = %v mid-drain-down", s)
+		}
+		if err := tab.Complete("w1", l.Chunk, l.Gen); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !tab.Done() {
+		t.Error("table not done after completing every chunk")
+	}
+}
+
+func TestLeaseTableIdle(t *testing.T) {
+	clock := newFakeClock()
+	tab, err := NewLeaseTable(0, 4, 2, time.Second, clock.Now, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tab.Idle() {
+		t.Error("fresh table not idle")
+	}
+	lease, _ := tab.Acquire("w1")
+	if tab.Idle() {
+		t.Error("table idle with an outstanding lease")
+	}
+	// Expiry makes it idle again (Idle sweeps internally).
+	clock.Advance(2 * time.Second)
+	if !tab.Idle() {
+		t.Error("table not idle after the lease expired")
+	}
+	_ = lease
+}
+
+func TestLeaseTableMetrics(t *testing.T) {
+	clock := newFakeClock()
+	reg := obs.NewRegistry()
+	tab, err := NewLeaseTable(0, 4, 2, time.Second, clock.Now, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, _ := tab.Acquire("w1") // grant 1
+	clock.Advance(2 * time.Second)
+	tab.Sweep()                                               // expire 1
+	if err := tab.Renew("w1", l1.Chunk, l1.Gen); err == nil { // stale 1
+		t.Fatal("stale renew accepted")
+	}
+	l2, _ := tab.Acquire("w2") // grant 2 = re-lease 1
+	if err := tab.Complete("w2", l2.Chunk, l2.Gen); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	wantCounters := map[string]uint64{
+		"fabric.leases_granted":  2,
+		"fabric.leases_expired":  1,
+		"fabric.leases_released": 1,
+		"fabric.stale_rejected":  1,
+	}
+	for name, want := range wantCounters {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	wantGauges := map[string]int64{
+		"fabric.chunks_pending": 1,
+		"fabric.chunks_leased":  0,
+		"fabric.chunks_done":    1,
+	}
+	for name, want := range wantGauges {
+		if got := snap.Gauges[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+}

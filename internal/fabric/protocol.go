@@ -1,0 +1,289 @@
+// Package fabric is the distributed campaign runtime of the ComFASE
+// reproduction: a coordinator process (`comfase serve`) that owns an
+// expanded campaign/matrix grid and leases contiguous expNr ranges to
+// worker processes (`comfase work`) over a small HTTP+JSON protocol,
+// plus the failure machinery that makes the distribution trustworthy —
+// lease TTLs renewed from the workers' obs heartbeat snapshots,
+// dead-worker detection with automatic re-lease of unfinished ranges, a
+// per-lease generation counter that rejects late results from a
+// presumed-dead worker idempotently, bounded worker-side retry with
+// jittered exponential backoff for coordinator blips, and a draining
+// mode that finishes what is leased while leasing nothing new.
+//
+// The coordinator streams merged rows in grid order through a release
+// frontier, so the final results CSV (and the merged quarantine.jsonl)
+// is byte-identical to a sequential single-process run even when
+// workers crash mid-range and their leases are re-executed elsewhere.
+package fabric
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"comfase/internal/obs"
+)
+
+// ProtocolVersion is the fabric wire-protocol version. Register fails
+// when coordinator and worker disagree, so a fleet never silently mixes
+// incompatible binaries.
+const ProtocolVersion = 1
+
+// Paths of the coordinator's HTTP endpoints.
+const (
+	PathRegister = "/v1/register"
+	PathLease    = "/v1/lease"
+	PathReport   = "/v1/report"
+	PathComplete = "/v1/complete"
+	PathStatus   = "/v1/status"
+)
+
+// RegisterRequest introduces a worker to the coordinator. Host and PID
+// are diagnostic only; identity is the coordinator-assigned WorkerID in
+// the response.
+type RegisterRequest struct {
+	Host string `json:"host,omitempty"`
+	PID  int    `json:"pid,omitempty"`
+}
+
+// RegisterResponse hands the worker everything it needs to execute
+// leases: the campaign configuration (the raw JSON config file the
+// coordinator was started with — workers need no config of their own),
+// the grid geometry, and the lease TTL it must renew within.
+type RegisterResponse struct {
+	Version  int    `json:"version"`
+	WorkerID string `json:"workerID"`
+	// Config is the coordinator's raw JSON config file; the worker
+	// parses it with the ordinary config loader.
+	Config json.RawMessage `json:"config"`
+	// Base is the first expNr of the grid; Total the number of points.
+	Base  int `json:"base"`
+	Total int `json:"total"`
+	// LeaseTTLMS is the lease time-to-live in milliseconds. A worker
+	// that does not report within it is presumed dead and its range is
+	// re-leased.
+	LeaseTTLMS int64 `json:"leaseTTLMS"`
+}
+
+// LeaseRequest asks for the next unleased range.
+type LeaseRequest struct {
+	WorkerID string `json:"workerID"`
+}
+
+// LeaseResponse grants a range, or explains why none was granted.
+type LeaseResponse struct {
+	// Granted reports whether Chunk/From/To/Gen carry a lease.
+	Granted bool `json:"granted"`
+	// Chunk is the coordinator's range index; echo it on report/complete.
+	Chunk int `json:"chunk"`
+	// From/To is the half-open expNr interval [From, To) to execute.
+	From int `json:"from"`
+	To   int `json:"to"`
+	// Gen is the lease generation. A range re-leased after a presumed
+	// worker death carries a higher generation; reports with a stale
+	// generation are rejected.
+	Gen uint64 `json:"gen"`
+	// Done: every range is complete — the worker should exit cleanly.
+	Done bool `json:"done"`
+	// Draining: the coordinator is shutting down and leases nothing new.
+	Draining bool `json:"draining"`
+	// RetryMS, when no lease was granted and the grid is not done,
+	// suggests when to ask again (outstanding leases may yet expire).
+	RetryMS int64 `json:"retryMS,omitempty"`
+}
+
+// ReportRequest is the combined progress report + lease renewal + worker
+// heartbeat: receiving it extends the lease TTL, and the embedded obs
+// snapshot (the same document the worker's heartbeat file would carry)
+// gives the coordinator per-worker liveness and throughput data.
+type ReportRequest struct {
+	WorkerID string `json:"workerID"`
+	Chunk    int    `json:"chunk"`
+	Gen      uint64 `json:"gen"`
+	// Done is how many grid points of the leased range have finished.
+	Done int `json:"done,omitempty"`
+	// Snapshot is the worker's obs registry capture.
+	Snapshot *obs.Snapshot `json:"snapshot,omitempty"`
+}
+
+// ReportResponse acknowledges a report.
+type ReportResponse struct {
+	OK bool `json:"ok"`
+	// Cancel tells the worker its lease is gone (expired and re-leased,
+	// or the range completed elsewhere): abandon the work, ask anew.
+	Cancel bool `json:"cancel,omitempty"`
+	// Draining mirrors the coordinator's drain flag so long-running
+	// workers learn about a shutdown without a lease round-trip.
+	Draining bool `json:"draining,omitempty"`
+}
+
+// ResultRow is one classified experiment in wire form: the expNr plus
+// the exact CSV record fields the sequential run would have written.
+// Shipping the encoded fields (rather than a re-parsed struct) is what
+// lets the coordinator guarantee byte-identical merged output.
+type ResultRow struct {
+	Nr     int      `json:"nr"`
+	Fields []string `json:"fields"`
+}
+
+// FailureRow is one quarantined experiment in wire form: the expNr plus
+// the exact JSON line the sequential quarantine sink would have written.
+type FailureRow struct {
+	Nr     int             `json:"nr"`
+	Record json.RawMessage `json:"record"`
+}
+
+// CompleteRequest reports a fully executed range: every expNr in
+// [From, To) appears exactly once, either as a result row or as a
+// quarantine record.
+type CompleteRequest struct {
+	WorkerID string       `json:"workerID"`
+	Chunk    int          `json:"chunk"`
+	Gen      uint64       `json:"gen"`
+	Rows     []ResultRow  `json:"rows"`
+	Failures []FailureRow `json:"failures,omitempty"`
+}
+
+// CompleteResponse acknowledges a completion.
+type CompleteResponse struct {
+	OK bool `json:"ok"`
+	// Stale: the lease generation was superseded (the range was — or is
+	// being — re-executed elsewhere); the payload was discarded. This is
+	// the idempotent rejection of a late report from a presumed-dead
+	// worker: not an error, just "your work was no longer wanted".
+	Stale bool `json:"stale,omitempty"`
+	// Done: this completion finished the grid. The worker should exit
+	// without polling for another lease — the coordinator is about to
+	// shut down, so a follow-up lease request would only see a dead
+	// socket and burn its retry budget.
+	Done bool `json:"done,omitempty"`
+}
+
+// StatusResponse is the GET /v1/status document — a human/tooling view
+// of the coordinator, separate from the obs snapshot.
+type StatusResponse struct {
+	Version    int            `json:"version"`
+	Total      int            `json:"total"`
+	Merged     int            `json:"merged"` // grid points written out
+	Chunks     int            `json:"chunks"`
+	ChunksDone int            `json:"chunksDone"`
+	Draining   bool           `json:"draining"`
+	Workers    []WorkerStatus `json:"workers,omitempty"`
+}
+
+// WorkerStatus is one registered worker's liveness view.
+type WorkerStatus struct {
+	ID           string `json:"id"`
+	Host         string `json:"host,omitempty"`
+	PID          int    `json:"pid,omitempty"`
+	LastSeenUnix int64  `json:"lastSeenUnix"`
+	Live         bool   `json:"live"`
+}
+
+// ErrProtocol wraps every decode/validation failure of the wire
+// messages, so handlers can map them to 400s with one errors.Is check.
+var ErrProtocol = errors.New("fabric: protocol error")
+
+// maxMessageBytes bounds a single protocol message. Complete payloads
+// carry whole ranges of CSV rows, so the bound is generous; everything
+// else is tiny.
+const maxMessageBytes = 64 << 20
+
+// decodeStrict parses exactly one JSON document into dst, rejecting
+// unknown fields, trailing garbage and oversized payloads. It is the
+// single entry point for every protocol message, which keeps the fuzz
+// surface (FuzzLeaseProtocolDecode) honest: malformed, truncated or
+// field-duplicated inputs must error cleanly, never panic.
+func decodeStrict(data []byte, dst any) error {
+	if len(data) > maxMessageBytes {
+		return fmt.Errorf("%w: message of %d bytes exceeds limit", ErrProtocol, len(data))
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("%w: %v", ErrProtocol, err)
+	}
+	var trailing json.RawMessage
+	if err := dec.Decode(&trailing); !errors.Is(err, io.EOF) {
+		return fmt.Errorf("%w: trailing data after message", ErrProtocol)
+	}
+	return nil
+}
+
+// DecodeRegisterRequest parses and validates a RegisterRequest.
+func DecodeRegisterRequest(data []byte) (RegisterRequest, error) {
+	var m RegisterRequest
+	if err := decodeStrict(data, &m); err != nil {
+		return RegisterRequest{}, err
+	}
+	if m.PID < 0 {
+		return RegisterRequest{}, fmt.Errorf("%w: negative pid %d", ErrProtocol, m.PID)
+	}
+	return m, nil
+}
+
+// DecodeLeaseRequest parses and validates a LeaseRequest.
+func DecodeLeaseRequest(data []byte) (LeaseRequest, error) {
+	var m LeaseRequest
+	if err := decodeStrict(data, &m); err != nil {
+		return LeaseRequest{}, err
+	}
+	if m.WorkerID == "" {
+		return LeaseRequest{}, fmt.Errorf("%w: empty workerID", ErrProtocol)
+	}
+	return m, nil
+}
+
+// DecodeReportRequest parses and validates a ReportRequest.
+func DecodeReportRequest(data []byte) (ReportRequest, error) {
+	var m ReportRequest
+	if err := decodeStrict(data, &m); err != nil {
+		return ReportRequest{}, err
+	}
+	if m.WorkerID == "" {
+		return ReportRequest{}, fmt.Errorf("%w: empty workerID", ErrProtocol)
+	}
+	if m.Chunk < 0 {
+		return ReportRequest{}, fmt.Errorf("%w: negative chunk %d", ErrProtocol, m.Chunk)
+	}
+	if m.Done < 0 {
+		return ReportRequest{}, fmt.Errorf("%w: negative done %d", ErrProtocol, m.Done)
+	}
+	return m, nil
+}
+
+// DecodeCompleteRequest parses and validates a CompleteRequest. Row
+// ordering and range coverage are the coordinator's to check (they need
+// the lease table); this layer guarantees structural sanity only.
+func DecodeCompleteRequest(data []byte) (CompleteRequest, error) {
+	var m CompleteRequest
+	if err := decodeStrict(data, &m); err != nil {
+		return CompleteRequest{}, err
+	}
+	if m.WorkerID == "" {
+		return CompleteRequest{}, fmt.Errorf("%w: empty workerID", ErrProtocol)
+	}
+	if m.Chunk < 0 {
+		return CompleteRequest{}, fmt.Errorf("%w: negative chunk %d", ErrProtocol, m.Chunk)
+	}
+	for i, row := range m.Rows {
+		if row.Nr < 0 {
+			return CompleteRequest{}, fmt.Errorf("%w: row %d: negative expNr %d", ErrProtocol, i, row.Nr)
+		}
+		if len(row.Fields) == 0 {
+			return CompleteRequest{}, fmt.Errorf("%w: row %d (expNr %d): no fields", ErrProtocol, i, row.Nr)
+		}
+	}
+	for i, f := range m.Failures {
+		if f.Nr < 0 {
+			return CompleteRequest{}, fmt.Errorf("%w: failure %d: negative expNr %d", ErrProtocol, i, f.Nr)
+		}
+		trimmed := bytes.TrimSpace(f.Record)
+		if len(trimmed) == 0 || trimmed[0] != '{' || !json.Valid(trimmed) {
+			return CompleteRequest{}, fmt.Errorf("%w: failure %d (expNr %d): record is not a JSON object", ErrProtocol, i, f.Nr)
+		}
+	}
+	return m, nil
+}

@@ -70,6 +70,7 @@ func RunMatrix(ctx context.Context, cells []MatrixCell, opts Options, sinks ...S
 	// and merge correctness depend on it.
 	base := cells[0].Setup.Base
 	total := 0
+	selected := make([]int, len(cells)) // shard+range-selected points per cell
 	for i, cell := range cells {
 		if cell.Setup.Base != base {
 			return nil, fmt.Errorf("runner: matrix cell %d (%s/%s) has base %d, want %d",
@@ -81,10 +82,11 @@ func RunMatrix(ctx context.Context, cells []MatrixCell, opts Options, sinks ...S
 		n := cell.Setup.NumExperiments()
 		base += n
 		for nr := cell.Setup.Base; nr < cell.Setup.Base+n; nr++ {
-			if opts.Shard.Contains(nr) {
-				total++
+			if opts.Shard.Contains(nr) && opts.Range.Contains(nr) {
+				selected[i]++
 			}
 		}
+		total += selected[i]
 	}
 
 	out := &MatrixResult{CellCounts: &classify.LabeledCounts{}}
@@ -93,6 +95,17 @@ func RunMatrix(ctx context.Context, cells []MatrixCell, opts Options, sinks ...S
 	var eng *core.Engine
 	prevScenario := ""
 	for i, cell := range cells {
+		if selected[i] == 0 {
+			// No grid point of this cell survives the shard/range filter:
+			// skip its engine (and golden run) entirely. The empty
+			// CellResult keeps the matrix shape intact for reporting.
+			out.Cells = append(out.Cells, CellResult{
+				Scenario: cell.Scenario,
+				Attack:   cell.Attack,
+				Result:   &core.CampaignResult{Setup: cell.Setup},
+			})
+			continue
+		}
 		if eng == nil || cell.Scenario != prevScenario {
 			var err error
 			eng, err = core.NewEngine(cell.Engine)

@@ -91,6 +91,45 @@ func (s Shard) Validate() error {
 // Enabled reports whether the shard restricts the grid.
 func (s Shard) Enabled() bool { return s.Count > 0 }
 
+// Range restricts execution to the contiguous expNr interval [From, To).
+// It is the selection primitive of the fabric layer: a coordinator leases
+// contiguous grid ranges to worker processes, and each worker runs its
+// lease as Options.Range. The zero value disables the restriction. Range
+// composes with Shard (both filters apply), though the fabric uses Range
+// alone.
+type Range struct {
+	// From is the first expNr included.
+	From int
+	// To is the first expNr excluded; To > From for a non-empty range.
+	To int
+}
+
+// Enabled reports whether the range restricts the grid.
+func (r Range) Enabled() bool { return r.From != 0 || r.To != 0 }
+
+// Validate reports whether the range designator is well-formed.
+func (r Range) Validate() error {
+	if !r.Enabled() {
+		return nil
+	}
+	if r.From < 0 || r.To < r.From {
+		return fmt.Errorf("runner: invalid range [%d,%d)", r.From, r.To)
+	}
+	return nil
+}
+
+// Contains reports whether the grid point with the given expNr belongs
+// to this range.
+func (r Range) Contains(nr int) bool {
+	if !r.Enabled() {
+		return true
+	}
+	return nr >= r.From && nr < r.To
+}
+
+// String renders the half-open interval.
+func (r Range) String() string { return fmt.Sprintf("[%d,%d)", r.From, r.To) }
+
 // Contains reports whether the grid point with the given expNr belongs
 // to this shard.
 func (s Shard) Contains(nr int) bool {
@@ -116,6 +155,11 @@ type Options struct {
 	// Shard restricts execution to a deterministic grid slice; the zero
 	// value runs the whole grid.
 	Shard Shard
+	// Range restricts execution to the contiguous expNr interval
+	// [From, To) — the unit a fabric coordinator leases to one worker.
+	// The zero value runs the whole grid; when both Shard and Range are
+	// set, a grid point must satisfy both.
+	Range Range
 	// Progress, when set, receives (done, total) after every completed
 	// experiment. done is monotonically increasing and counts resumed
 	// grid points; total is the shard's grid size. Invocation order is
@@ -206,6 +250,9 @@ func New(eng *core.Engine, opts Options, sinks ...Sink) (*Runner, error) {
 	if err := opts.Shard.Validate(); err != nil {
 		return nil, err
 	}
+	if err := opts.Range.Validate(); err != nil {
+		return nil, err
+	}
 	return &Runner{eng: eng, opts: opts, sinks: sinks, met: newRunnerMetrics(opts.Metrics)}, nil
 }
 
@@ -242,7 +289,7 @@ func (r *Runner) Run(ctx context.Context, setup core.CampaignSetup) (*core.Campa
 
 	var specs []core.ExperimentSpec
 	for _, spec := range setup.Experiments() {
-		if r.opts.Shard.Contains(spec.Nr) {
+		if r.opts.Shard.Contains(spec.Nr) && r.opts.Range.Contains(spec.Nr) {
 			specs = append(specs, spec)
 		}
 	}
