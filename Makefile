@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race chaos checkpoint-equiv trie-equiv obs-equiv registry-equiv fabric-equiv fuzz-smoke bench bench-sanity cover
+.PHONY: check build vet test race chaos checkpoint-equiv trie-equiv obs-equiv registry-equiv fabric-equiv fuzz-smoke bench bench-diff bench-sanity profile cover
 
 # Tier-1 verification gate: build + vet + race-enabled tests (which
 # include the chaos self-test exercising every failure-containment path),
@@ -101,6 +101,21 @@ cover:
 bench:
 	scripts/bench.sh
 
+# Bench regression gate: a fresh, shorter run of the regression trio that
+# FAILS on >25% ns/op regression — or any allocs/op increase beyond
+# measurement grain — against the committed bench/BENCH_baseline.json.
+# WARN_ONLY=1 downgrades failures to warnings on noisy hosts. Unlike
+# `bench`, it writes no dated artifact.
+bench-diff:
+	scripts/benchdiff.sh
+
 # Smoke-run every benchmark exactly once so the suite cannot rot.
 bench-sanity:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# CPU+heap profile capture on the campaign benchmarks, distilled to
+# pprof -top text under profiles/ and diffed (scripts/profdiff.go)
+# against the committed bench/PROFILE_baseline_{cpu,mem}.txt captures.
+# UPDATE_BASELINE=1 refreshes the committed baselines instead.
+profile:
+	scripts/profile.sh

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strings"
 
+	"comfase/internal/mac"
 	"comfase/internal/msg"
 	"comfase/internal/nic"
 	"comfase/internal/sim/des"
@@ -123,7 +124,7 @@ func (a *DelayAttack) Targets() []string { return a.targets.sorted() }
 func (a *DelayAttack) Delay() des.Time { return a.delay }
 
 // Intercept implements nic.Interceptor.
-func (a *DelayAttack) Intercept(_ des.Time, src, dst string, _ any) nic.Verdict {
+func (a *DelayAttack) Intercept(_ des.Time, src, dst string, _ mac.Frame) nic.Verdict {
 	if !a.targets.involves(src, dst) {
 		return nic.Verdict{}
 	}
@@ -168,7 +169,7 @@ func (a *DoSAttack) Name() string { return "dos" }
 func (a *DoSAttack) Targets() []string { return a.targets.sorted() }
 
 // Intercept implements nic.Interceptor.
-func (a *DoSAttack) Intercept(_ des.Time, src, dst string, _ any) nic.Verdict {
+func (a *DoSAttack) Intercept(_ des.Time, src, dst string, _ mac.Frame) nic.Verdict {
 	if !a.targets.involves(src, dst) {
 		return nic.Verdict{}
 	}
@@ -211,7 +212,7 @@ func (a *PacketLossAttack) Name() string { return "packet-loss" }
 func (a *PacketLossAttack) Targets() []string { return a.targets.sorted() }
 
 // Intercept implements nic.Interceptor.
-func (a *PacketLossAttack) Intercept(_ des.Time, src, dst string, _ any) nic.Verdict {
+func (a *PacketLossAttack) Intercept(_ des.Time, src, dst string, _ mac.Frame) nic.Verdict {
 	if !a.targets.involves(src, dst) {
 		return nic.Verdict{}
 	}
@@ -261,15 +262,11 @@ func (a *FalsificationAttack) Name() string { return "falsification" }
 func (a *FalsificationAttack) Targets() []string { return a.targets.sorted() }
 
 // Intercept implements nic.Interceptor.
-func (a *FalsificationAttack) Intercept(_ des.Time, src, _ string, payload any) nic.Verdict {
-	if !a.targets[src] {
+func (a *FalsificationAttack) Intercept(_ des.Time, src, _ string, f mac.Frame) nic.Verdict {
+	if !a.targets[src] || !f.HasBeacon {
 		return nic.Verdict{}
 	}
-	b, ok := payload.(msg.Beacon)
-	if !ok {
-		return nic.Verdict{}
-	}
-	return nic.Verdict{Payload: a.fn(b.Clone())}
+	return nic.Verdict{OverrideBeacon: true, Beacon: a.fn(f.Beacon.Clone())}
 }
 
 // ReplayAttack is an extension model: frames from the targets are
@@ -311,7 +308,7 @@ func (a *ReplayAttack) Name() string { return "replay" }
 func (a *ReplayAttack) Targets() []string { return a.targets.sorted() }
 
 // Intercept implements nic.Interceptor.
-func (a *ReplayAttack) Intercept(_ des.Time, src, _ string, _ any) nic.Verdict {
+func (a *ReplayAttack) Intercept(_ des.Time, src, _ string, _ mac.Frame) nic.Verdict {
 	if !a.targets[src] {
 		return nic.Verdict{}
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"comfase/internal/mac"
 	"comfase/internal/msg"
 	"comfase/internal/sim/des"
 	"comfase/internal/sim/rng"
@@ -44,7 +45,7 @@ func TestDelayAttackIntercept(t *testing.T) {
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			v := a.Intercept(0, tt.src, tt.dst, nil)
+			v := a.Intercept(0, tt.src, tt.dst, mac.Frame{})
 			if v.OverrideDelay != tt.hit {
 				t.Errorf("OverrideDelay = %v, want %v", v.OverrideDelay, tt.hit)
 			}
@@ -72,11 +73,11 @@ func TestDoSAttack(t *testing.T) {
 	if a.Name() != "dos" {
 		t.Errorf("Name = %q", a.Name())
 	}
-	v := a.Intercept(0, "v2", "v1", nil)
+	v := a.Intercept(0, "v2", "v1", mac.Frame{})
 	if !v.OverrideDelay || v.Delay != 60*des.Second {
 		t.Errorf("verdict = %+v, want PD pinned to horizon", v)
 	}
-	if v := a.Intercept(0, "v3", "v4", nil); v.OverrideDelay {
+	if v := a.Intercept(0, "v3", "v4", mac.Frame{}); v.OverrideDelay {
 		t.Error("bystander link attacked")
 	}
 }
@@ -99,16 +100,16 @@ func TestPacketLossAttack(t *testing.T) {
 		t.Errorf("Name = %q", a.Name())
 	}
 	for i := 0; i < 10; i++ {
-		if !a.Intercept(0, "v2", "v1", nil).Drop {
+		if !a.Intercept(0, "v2", "v1", mac.Frame{}).Drop {
 			t.Fatal("p=1 jammer let a frame through")
 		}
 	}
-	if a.Intercept(0, "v3", "v4", nil).Drop {
+	if a.Intercept(0, "v3", "v4", mac.Frame{}).Drop {
 		t.Error("bystander frame dropped")
 	}
 	never, _ := NewPacketLossAttack(0, rng.New(1, "x"), "v2")
 	for i := 0; i < 10; i++ {
-		if never.Intercept(0, "v2", "v1", nil).Drop {
+		if never.Intercept(0, "v2", "v1", mac.Frame{}).Drop {
 			t.Fatal("p=0 jammer dropped a frame")
 		}
 	}
@@ -129,20 +130,20 @@ func TestFalsificationAttack(t *testing.T) {
 		t.Errorf("Name = %q", a.Name())
 	}
 	orig := msg.Beacon{Source: "v2", Accel: 1.5}
-	v := a.Intercept(0, "v2", "v3", orig)
-	fb, ok := v.Payload.(msg.Beacon)
-	if !ok || fb.Accel != 99 {
-		t.Errorf("payload = %+v, want falsified accel", v.Payload)
+	origFrame := mac.Frame{Src: "v2", Beacon: orig, HasBeacon: true}
+	v := a.Intercept(0, "v2", "v3", origFrame)
+	if !v.OverrideBeacon || v.Beacon.Accel != 99 {
+		t.Errorf("verdict = %+v, want falsified accel", v)
 	}
-	if orig.Accel != 1.5 {
+	if origFrame.Beacon.Accel != 1.5 {
 		t.Error("original beacon mutated")
 	}
 	// Only frames SENT by the target are falsified.
-	if v := a.Intercept(0, "v1", "v2", orig); v.Payload != nil {
+	if v := a.Intercept(0, "v1", "v2", origFrame); v.OverrideBeacon {
 		t.Error("frame to target falsified")
 	}
 	// Non-beacon payloads pass through.
-	if v := a.Intercept(0, "v2", "v3", "not a beacon"); v.Payload != nil {
+	if v := a.Intercept(0, "v2", "v3", mac.Frame{Src: "v2", Payload: "not a beacon"}); v.OverrideBeacon {
 		t.Error("non-beacon payload replaced")
 	}
 }
@@ -158,10 +159,10 @@ func TestReplayAttack(t *testing.T) {
 	if a.Name() != "replay" {
 		t.Errorf("Name = %q", a.Name())
 	}
-	if v := a.Intercept(0, "v2", "v1", nil); !v.OverrideDelay || v.Delay != des.Second {
+	if v := a.Intercept(0, "v2", "v1", mac.Frame{}); !v.OverrideDelay || v.Delay != des.Second {
 		t.Errorf("verdict = %+v", v)
 	}
-	if v := a.Intercept(0, "v1", "v2", nil); v.OverrideDelay {
+	if v := a.Intercept(0, "v1", "v2", mac.Frame{}); v.OverrideDelay {
 		t.Error("replay attacked frames TO the target")
 	}
 }

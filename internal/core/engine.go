@@ -486,7 +486,10 @@ func (e *Engine) runExperiment(ctx context.Context, spec ExperimentSpec, withLog
 	}
 	sim.AddRecorder(summary)
 	if withLog {
-		full = trace.NewFullLog(sim.VehicleIDs())
+		// Preallocate for the known run length (one sample per traffic
+		// step) so the log never regrows mid-run.
+		hint := int(horizon/sim.Traffic.StepLength()) + 2
+		full = trace.NewFullLogCap(sim.VehicleIDs(), hint)
 		sim.AddRecorder(full)
 	}
 	if err := sim.Start(); err != nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"comfase/internal/core"
+	"comfase/internal/mac"
 	"comfase/internal/scenario"
 	"comfase/internal/sim/des"
 )
@@ -58,8 +59,8 @@ func ExampleDelayAttack() {
 		fmt.Println(err)
 		return
 	}
-	hit := attack.Intercept(0, "vehicle.1", "vehicle.2", nil)
-	miss := attack.Intercept(0, "vehicle.3", "vehicle.4", nil)
+	hit := attack.Intercept(0, "vehicle.1", "vehicle.2", mac.Frame{})
+	miss := attack.Intercept(0, "vehicle.3", "vehicle.4", mac.Frame{})
 	fmt.Println(hit.OverrideDelay, hit.Delay)
 	fmt.Println(miss.OverrideDelay)
 	// Output:

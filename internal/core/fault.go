@@ -4,7 +4,7 @@ import (
 	"errors"
 	"fmt"
 
-	"comfase/internal/msg"
+	"comfase/internal/mac"
 	"comfase/internal/nic"
 	"comfase/internal/sim/des"
 	"comfase/internal/sim/rng"
@@ -49,7 +49,7 @@ func (f *OmissionFault) Name() string { return "omission" }
 func (f *OmissionFault) Targets() []string { return f.targets.sorted() }
 
 // Intercept implements nic.Interceptor.
-func (f *OmissionFault) Intercept(_ des.Time, src, _ string, _ any) nic.Verdict {
+func (f *OmissionFault) Intercept(_ des.Time, src, _ string, _ mac.Frame) nic.Verdict {
 	return nic.Verdict{Drop: f.targets[src]}
 }
 
@@ -102,15 +102,11 @@ func (f *CorruptionFault) Name() string { return "corruption" }
 func (f *CorruptionFault) Targets() []string { return f.targets.sorted() }
 
 // Intercept implements nic.Interceptor.
-func (f *CorruptionFault) Intercept(_ des.Time, src, _ string, payload any) nic.Verdict {
-	if !f.targets[src] {
+func (f *CorruptionFault) Intercept(_ des.Time, src, _ string, fr mac.Frame) nic.Verdict {
+	if !f.targets[src] || !fr.HasBeacon {
 		return nic.Verdict{}
 	}
-	b, ok := payload.(msg.Beacon)
-	if !ok {
-		return nic.Verdict{}
-	}
-	c := b.Clone()
+	c := fr.Beacon.Clone()
 	if f.sigmaPos > 0 {
 		c.Pos = f.rng.Normal(c.Pos, f.sigmaPos)
 	}
@@ -120,7 +116,7 @@ func (f *CorruptionFault) Intercept(_ des.Time, src, _ string, payload any) nic.
 	if f.sigmaAccel > 0 {
 		c.Accel = f.rng.Normal(c.Accel, f.sigmaAccel)
 	}
-	return nic.Verdict{Payload: c}
+	return nic.Verdict{OverrideBeacon: true, Beacon: c}
 }
 
 // CalibrationFault models a systematic sensor bias: constant offsets on
@@ -166,19 +162,15 @@ func (f *CalibrationFault) Name() string { return "calibration" }
 func (f *CalibrationFault) Targets() []string { return f.targets.sorted() }
 
 // Intercept implements nic.Interceptor.
-func (f *CalibrationFault) Intercept(_ des.Time, src, _ string, payload any) nic.Verdict {
-	if !f.targets[src] {
+func (f *CalibrationFault) Intercept(_ des.Time, src, _ string, fr mac.Frame) nic.Verdict {
+	if !f.targets[src] || !fr.HasBeacon {
 		return nic.Verdict{}
 	}
-	b, ok := payload.(msg.Beacon)
-	if !ok {
-		return nic.Verdict{}
-	}
-	c := b.Clone()
+	c := fr.Beacon.Clone()
 	c.Pos += f.offPos
 	c.Speed += f.offSpeed
 	c.Accel += f.offAccel
-	return nic.Verdict{Payload: c}
+	return nic.Verdict{OverrideBeacon: true, Beacon: c}
 }
 
 // String renders a short description of the fault configuration.

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"comfase/internal/classify"
+	"comfase/internal/mac"
 	"comfase/internal/msg"
 	"comfase/internal/nic"
 	"comfase/internal/scenario"
@@ -23,11 +24,11 @@ func TestOmissionFault(t *testing.T) {
 	if f.Name() != "omission" {
 		t.Errorf("Name = %q", f.Name())
 	}
-	if !f.Intercept(0, "vehicle.2", "vehicle.3", nil).Drop {
+	if !f.Intercept(0, "vehicle.2", "vehicle.3", mac.Frame{}).Drop {
 		t.Error("target transmission not dropped")
 	}
 	// Omission is transmit-only: frames TO the target still arrive.
-	if f.Intercept(0, "vehicle.1", "vehicle.2", nil).Drop {
+	if f.Intercept(0, "vehicle.1", "vehicle.2", mac.Frame{}).Drop {
 		t.Error("frame to target dropped")
 	}
 }
@@ -54,13 +55,14 @@ func TestCorruptionFaultPerturbsFields(t *testing.T) {
 		t.Fatalf("NewCorruptionFault: %v", err)
 	}
 	orig := msg.Beacon{Source: "vehicle.2", Pos: 100, Speed: 25, Accel: 1}
+	origFrame := mac.Frame{Src: "vehicle.2", Beacon: orig, HasBeacon: true}
 	var devPos, devSpeed, devAccel float64
 	for i := 0; i < 200; i++ {
-		v := f.Intercept(0, "vehicle.2", "vehicle.3", orig)
-		b, ok := v.Payload.(msg.Beacon)
-		if !ok {
-			t.Fatal("payload not replaced")
+		v := f.Intercept(0, "vehicle.2", "vehicle.3", origFrame)
+		if !v.OverrideBeacon {
+			t.Fatal("beacon not replaced")
 		}
+		b := v.Beacon
 		devPos += math.Abs(b.Pos - 100)
 		devSpeed += math.Abs(b.Speed - 25)
 		devAccel += math.Abs(b.Accel - 1)
@@ -68,14 +70,14 @@ func TestCorruptionFaultPerturbsFields(t *testing.T) {
 	if devPos == 0 || devSpeed == 0 || devAccel == 0 {
 		t.Errorf("fields not perturbed: %v %v %v", devPos, devSpeed, devAccel)
 	}
-	if orig.Pos != 100 {
+	if origFrame.Beacon.Pos != 100 {
 		t.Error("original beacon mutated")
 	}
 	// Bystanders and non-beacons untouched.
-	if f.Intercept(0, "vehicle.1", "vehicle.3", orig).Payload != nil {
+	if f.Intercept(0, "vehicle.1", "vehicle.3", origFrame).OverrideBeacon {
 		t.Error("bystander frame corrupted")
 	}
-	if f.Intercept(0, "vehicle.2", "vehicle.3", "junk").Payload != nil {
+	if f.Intercept(0, "vehicle.2", "vehicle.3", mac.Frame{Src: "vehicle.2", Payload: "junk"}).OverrideBeacon {
 		t.Error("non-beacon corrupted")
 	}
 }
@@ -95,10 +97,9 @@ func TestCalibrationFault(t *testing.T) {
 		t.Error("metadata wrong")
 	}
 	orig := msg.Beacon{Source: "vehicle.2", Pos: 100, Speed: 25, Accel: 1}
-	v := f.Intercept(0, "vehicle.2", "vehicle.3", orig)
-	b, ok := v.Payload.(msg.Beacon)
-	if !ok || b.Pos != 110 || b.Speed != 23 || b.Accel != 1.5 {
-		t.Errorf("biased beacon = %+v", v.Payload)
+	v := f.Intercept(0, "vehicle.2", "vehicle.3", mac.Frame{Src: "vehicle.2", Beacon: orig, HasBeacon: true})
+	if !v.OverrideBeacon || v.Beacon.Pos != 110 || v.Beacon.Speed != 23 || v.Beacon.Accel != 1.5 {
+		t.Errorf("biased beacon = %+v", v.Beacon)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"reflect"
 	"testing"
 
+	"comfase/internal/mac"
 	"comfase/internal/nic"
 	"comfase/internal/phy"
 	"comfase/internal/platoon"
@@ -396,11 +397,11 @@ type timeBombModel struct {
 func (m timeBombModel) Name() string              { return "time-bomb" }
 func (m timeBombModel) Targets() []string         { return m.inner.Targets() }
 func (m timeBombModel) ChainableAcrossDurations() {}
-func (m timeBombModel) Intercept(t des.Time, src, dst string, payload any) nic.Verdict {
+func (m timeBombModel) Intercept(t des.Time, src, dst string, f mac.Frame) nic.Verdict {
 	if t >= m.trigger {
 		panic("time-bomb")
 	}
-	return m.inner.Intercept(t, src, dst, payload)
+	return m.inner.Intercept(t, src, dst, f)
 }
 
 // panicOnInstallModel panics when the engine installs it.

@@ -93,7 +93,7 @@ func (a *SybilAttack) Install(sim *scenario.Simulation) error {
 		b := a.forge(k.Now())
 		b.SentAt = k.Now()
 		b.Seq = a.seq
-		_ = a.radio.Send(b, sim.Comm().PacketBits, mac.ACVideo, a.seq)
+		_ = a.radio.SendBeacon(b, sim.Comm().PacketBits, mac.ACVideo, a.seq)
 		a.Sent++
 	})
 	a.ticker.Start(k.Now())

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 
+	"comfase/internal/msg"
 	"comfase/internal/sim/des"
 	"comfase/internal/sim/rng"
 	"comfase/internal/wave1609"
@@ -89,6 +90,11 @@ func (ac AccessCategory) AIFS() des.Time {
 }
 
 // Frame is a MAC service data unit to broadcast.
+//
+// The platooning beacon — the only message on the steady-state hot path
+// — travels inline in the Beacon field rather than boxed into Payload,
+// so sending one copies a struct instead of allocating an interface
+// value. Other applications (teleop commands) keep using Payload.
 type Frame struct {
 	// Seq is an application-level sequence number (for tracing).
 	Seq uint64
@@ -99,8 +105,14 @@ type Frame struct {
 	Bits int
 	// AC is the EDCA access category.
 	AC AccessCategory
-	// Payload carries the application message (msg.Beacon for the
-	// platooning app).
+	// Beacon carries a platooning beacon inline when HasBeacon is set;
+	// it is ignored otherwise.
+	Beacon msg.Beacon
+	// HasBeacon discriminates the inline Beacon from the generic
+	// Payload.
+	HasBeacon bool
+	// Payload carries any non-beacon application message (e.g. a teleop
+	// Command). Nil for beacon frames.
 	Payload any
 }
 
@@ -142,12 +154,36 @@ type Config struct {
 	MaxQueue int
 }
 
-// acState is the contention state of one access category.
+// acState is the contention state of one access category. The queue is
+// a fixed-capacity ring buffer: frames are consumed by advancing head,
+// never by reslicing, so steady-state enqueue/dequeue touches no
+// allocator. Capacity equals the configured MaxQueue and never regrows.
 type acState struct {
-	queue []Frame
+	ring  []Frame
+	head  int
+	count int
 	// backoff is the remaining backoff slots; -1 means no backoff is
 	// pending (immediate access after AIFS is allowed).
 	backoff int
+}
+
+// push appends a frame at the tail. The caller has checked capacity.
+func (st *acState) push(f Frame) {
+	st.ring[(st.head+st.count)%len(st.ring)] = f
+	st.count++
+}
+
+// front returns the head frame without removing it.
+func (st *acState) front() *Frame { return &st.ring[st.head] }
+
+// pop removes and returns the head frame, clearing the slot so the ring
+// does not retain payload references past dequeue.
+func (st *acState) pop() Frame {
+	f := st.ring[st.head]
+	st.ring[st.head] = Frame{}
+	st.head = (st.head + 1) % len(st.ring)
+	st.count--
+	return f
 }
 
 // EDCA is one station's 802.11p broadcast MAC entity.
@@ -217,8 +253,17 @@ func (m *EDCA) Reset(cfg Config) error {
 	m.transmit = cfg.Transmit
 	m.maxQueue = maxQ
 	for i := range m.acs {
-		m.acs[i].queue = m.acs[i].queue[:0]
-		m.acs[i].backoff = -1
+		st := &m.acs[i]
+		if len(st.ring) != maxQ {
+			st.ring = make([]Frame, maxQ)
+		} else {
+			for j := range st.ring {
+				st.ring[j] = Frame{}
+			}
+		}
+		st.head = 0
+		st.count = 0
+		st.backoff = -1
 	}
 	m.busy = false
 	m.transmitting = false
@@ -237,7 +282,7 @@ func (m *EDCA) QueueLen(ac AccessCategory) int {
 	if !ac.Valid() {
 		return 0
 	}
-	return len(m.acs[ac-1].queue)
+	return m.acs[ac-1].count
 }
 
 // Enqueue accepts a broadcast frame for transmission.
@@ -246,11 +291,11 @@ func (m *EDCA) Enqueue(f Frame) error {
 		return fmt.Errorf("%w: ac=%v bits=%d", ErrBadFrame, f.AC, f.Bits)
 	}
 	st := &m.acs[f.AC-1]
-	if len(st.queue) >= m.maxQueue {
+	if st.count >= m.maxQueue {
 		m.stats.DroppedQueueFull++
 		return ErrQueueFull
 	}
-	st.queue = append(st.queue, f)
+	st.push(f)
 	m.stats.Enqueued++
 	// A frame arriving to a busy medium must draw a backoff.
 	if m.busy && st.backoff < 0 {
@@ -330,7 +375,7 @@ func (m *EDCA) interruptAttempt() {
 // wins, matching EDCA's internal-collision rule for a single station.
 func (m *EDCA) nextAC() (AccessCategory, bool) {
 	for ac := ACVoice; ac >= ACBackground; ac-- {
-		if len(m.acs[ac-1].queue) > 0 {
+		if m.acs[ac-1].count > 0 {
 			return ac, true
 		}
 	}
@@ -352,12 +397,12 @@ func (m *EDCA) kick() {
 		wait += des.Time(st.backoff) * SlotTime
 	}
 	start := m.k.Now().Add(wait)
-	air := m.airtime(st.queue[0].Bits)
+	air := m.airtime(st.front().Bits)
 	if !m.sched.CanTransmit(start, air) {
 		opp := m.sched.NextTxOpportunity(start, air)
 		if opp == des.MaxTime {
 			// Frame can never fit a CCH window: drop it.
-			st.queue = st.queue[1:]
+			st.pop()
 			m.kick()
 			return
 		}
@@ -376,17 +421,16 @@ func (m *EDCA) kick() {
 func (m *EDCA) txStart() {
 	m.attempt = 0
 	st := &m.acs[m.deferAC-1]
-	if len(st.queue) == 0 {
+	if st.count == 0 {
 		return
 	}
-	f := st.queue[0]
-	st.queue = st.queue[1:]
+	f := st.pop()
 	st.backoff = -1
 	m.transmitting = true
 	m.stats.Sent++
 	m.transmit(f)
 	// Post-transmission backoff so back-to-back frames re-contend.
-	if len(st.queue) > 0 {
+	if st.count > 0 {
 		m.drawBackoff(m.deferAC)
 	}
 }

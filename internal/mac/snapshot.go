@@ -23,11 +23,18 @@ type EDCAState struct {
 }
 
 // SaveState captures the entity's mutable state into st, reusing st's
-// queue buffers.
+// queue buffers. Ring contents are serialised in queue order (head
+// first), so the snapshot is independent of where the ring's head
+// happens to sit.
 func (m *EDCA) SaveState(st *EDCAState) {
 	for i := range m.acs {
-		st.queues[i] = append(st.queues[i][:0], m.acs[i].queue...)
-		st.backoff[i] = m.acs[i].backoff
+		ac := &m.acs[i]
+		q := st.queues[i][:0]
+		for j := 0; j < ac.count; j++ {
+			q = append(q, ac.ring[(ac.head+j)%len(ac.ring)])
+		}
+		st.queues[i] = q
+		st.backoff[i] = ac.backoff
 	}
 	st.busy = m.busy
 	st.transmitting = m.transmitting
@@ -40,11 +47,19 @@ func (m *EDCA) SaveState(st *EDCAState) {
 // LoadState restores state captured by SaveState. The saved attempt
 // EventID is only meaningful together with a Kernel.Restore to the
 // matching snapshot, which rewinds the generation counters that make it
-// valid again.
+// valid again. Each ring is rebuilt with head 0; only queue order
+// matters for determinism, not the head index, so a restored entity
+// replays identically to the captured one.
 func (m *EDCA) LoadState(st *EDCAState) {
 	for i := range m.acs {
-		m.acs[i].queue = append(m.acs[i].queue[:0], st.queues[i]...)
-		m.acs[i].backoff = st.backoff[i]
+		ac := &m.acs[i]
+		for j := range ac.ring {
+			ac.ring[j] = Frame{}
+		}
+		copy(ac.ring, st.queues[i])
+		ac.head = 0
+		ac.count = len(st.queues[i])
+		ac.backoff = st.backoff[i]
 	}
 	m.busy = st.busy
 	m.transmitting = st.transmitting

@@ -1,0 +1,126 @@
+package nic
+
+import (
+	"testing"
+
+	"comfase/internal/geo"
+	"comfase/internal/mac"
+	"comfase/internal/msg"
+	"comfase/internal/phy"
+	"comfase/internal/sim/des"
+	"comfase/internal/wave1609"
+)
+
+// beaconNet builds a 4-radio medium for the delivery-path measurements:
+// sender plus three receivers in range, mirroring the paper platoon.
+func beaconNet(tb testing.TB) (*des.Kernel, *Air, *Radio) {
+	tb.Helper()
+	k := des.NewKernel()
+	air, err := NewAir(Config{
+		Kernel:   k,
+		Channel:  phy.DefaultChannelConfig(),
+		Schedule: wave1609.NewSchedule(wave1609.AccessContinuous),
+		Seed:     1,
+	})
+	if err != nil {
+		tb.Fatalf("NewAir: %v", err)
+	}
+	handler := func(mac.Frame, RxMeta) {}
+	positions := []float64{0, 10, 20, 30}
+	var src *Radio
+	for i, x := range positions {
+		x := x
+		r, err := air.AddRadio(scratchID(i), func() geo.Vec { return geo.Vec{X: x} }, handler)
+		if err != nil {
+			tb.Fatalf("AddRadio: %v", err)
+		}
+		if i == 0 {
+			src = r
+		}
+	}
+	return k, air, src
+}
+
+func scratchID(i int) string {
+	return string([]byte{'v', byte('0' + i)})
+}
+
+// deliverOneBeacon enqueues one beacon and drains the kernel: MAC
+// contention, transmit fan-out to 3 receivers, begin/end receptions and
+// decoded deliveries all run inside.
+func deliverOneBeacon(tb testing.TB, k *des.Kernel, src *Radio, seq uint64) {
+	b := msg.Beacon{
+		Source: src.ID(), Seq: seq, SentAt: k.Now(),
+		PlatoonID: "platoon.0", Pos: 12.5, Speed: 25, Accel: 0.1, Length: 4,
+	}
+	if err := src.SendBeacon(b, 200, mac.ACVideo, seq); err != nil {
+		tb.Fatalf("SendBeacon: %v", err)
+	}
+	if err := k.Run(); err != nil {
+		tb.Fatalf("Run: %v", err)
+	}
+}
+
+// TestBeaconDeliveryZeroAllocs pins the steady-state beacon pipeline —
+// SendBeacon through MAC contention, Air fan-out and decoded delivery —
+// at zero allocations per beacon, mirroring the kernel's 0 allocs/event
+// pin. The first deliveries warm the reception freelist; after that the
+// typed beacon path must never touch the allocator.
+func TestBeaconDeliveryZeroAllocs(t *testing.T) {
+	k, _, src := beaconNet(t)
+	var seq uint64
+	for i := 0; i < 16; i++ { // warm-up: populate reception pool
+		seq++
+		deliverOneBeacon(t, k, src, seq)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		seq++
+		deliverOneBeacon(t, k, src, seq)
+	})
+	if allocs != 0 {
+		t.Errorf("beacon delivery allocs/op = %v, want 0", allocs)
+	}
+}
+
+// TestBeaconDeliveryZeroAllocsWithInterceptor re-pins the path with an
+// attack model installed: interception passes the frame by value, so the
+// verdict round-trip must not force the frame onto the heap.
+func TestBeaconDeliveryZeroAllocsWithInterceptor(t *testing.T) {
+	k, air, src := beaconNet(t)
+	air.SetInterceptor(delayAll{delay: des.Millisecond})
+	var seq uint64
+	for i := 0; i < 16; i++ {
+		seq++
+		deliverOneBeacon(t, k, src, seq)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		seq++
+		deliverOneBeacon(t, k, src, seq)
+	})
+	if allocs != 0 {
+		t.Errorf("intercepted beacon delivery allocs/op = %v, want 0", allocs)
+	}
+}
+
+type delayAll struct{ delay des.Time }
+
+func (d delayAll) Intercept(_ des.Time, _, _ string, _ mac.Frame) Verdict {
+	return Verdict{OverrideDelay: true, Delay: d.delay}
+}
+
+// BenchmarkBeaconDelivery measures one complete beacon delivery:
+// enqueue, EDCA contention, fan-out to three receivers and decode.
+func BenchmarkBeaconDelivery(b *testing.B) {
+	k, _, src := beaconNet(b)
+	var seq uint64
+	for i := 0; i < 16; i++ {
+		seq++
+		deliverOneBeacon(b, k, src, seq)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seq++
+		deliverOneBeacon(b, k, src, seq)
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"comfase/internal/geo"
 	"comfase/internal/mac"
+	"comfase/internal/msg"
 	"comfase/internal/phy"
 	"comfase/internal/sim/des"
 	"comfase/internal/sim/rng"
@@ -57,16 +58,24 @@ type Verdict struct {
 	OverrideDelay bool
 	// Delay is the overriding propagation delay.
 	Delay des.Time
-	// Payload, when non-nil, replaces the frame payload (falsification
-	// attacks).
+	// OverrideBeacon, when true, replaces an inline beacon with Beacon
+	// (falsification and sensor-fault models). It is ignored for frames
+	// without an inline beacon.
+	OverrideBeacon bool
+	// Beacon is the overriding beacon.
+	Beacon msg.Beacon
+	// Payload, when non-nil, replaces the generic frame payload.
 	Payload any
 }
 
 // Interceptor inspects every (transmitter, receiver) frame delivery while
-// installed. Implementations are the ComFASE attack models.
+// installed. Implementations are the ComFASE attack models. The frame is
+// passed by value so the hot path never forces it onto the heap;
+// implementations read f.Beacon/f.HasBeacon (or f.Payload for
+// non-beacon traffic) and return overrides by value in the Verdict.
 type Interceptor interface {
 	// Intercept is called at transmission time for each receiver.
-	Intercept(now des.Time, src, dst string, payload any) Verdict
+	Intercept(now des.Time, src, dst string, f mac.Frame) Verdict
 }
 
 // Stats counts medium-level events.
@@ -125,6 +134,11 @@ type Air struct {
 	deciderRNG  *rng.Source
 	seed        uint64
 
+	// noiseMw caches DBmToMilliwatt(Channel.NoiseFloorDBm) — a pure
+	// function of the configuration hoisted out of the per-delivery SINR
+	// computation (bit-identical to converting on every call).
+	noiseMw float64
+
 	// airtimeFn is the bound airtime method, created once and shared by
 	// every MAC so per-radio wiring does not allocate method values.
 	airtimeFn func(int) des.Time
@@ -172,6 +186,7 @@ func (a *Air) Reset(cfg Config) error {
 	a.cfg = cfg.Channel
 	a.sched = cfg.Schedule
 	a.seed = cfg.Seed
+	a.noiseMw = phy.DBmToMilliwatt(cfg.Channel.NoiseFloorDBm)
 	a.interceptor = nil
 	a.stats = Stats{}
 	if a.deciderRNG == nil {
@@ -314,7 +329,6 @@ func (a *Air) acquireReception(dst *Radio) *reception {
 func (a *Air) finishReception(rec *reception) {
 	rec.dst.endReception(rec)
 	rec.frame = mac.Frame{}
-	rec.payload = nil
 	rec.dst = nil
 	a.recFree = append(a.recFree, rec)
 }
@@ -335,9 +349,9 @@ func (a *Air) transmit(src *Radio, f mac.Frame) {
 		}
 		dist := srcPos.Dist(dst.pos())
 		delay := a.cfg.Delay.Delay(dist)
-		payload := f.Payload
+		df := f
 		if a.interceptor != nil {
-			v := a.interceptor.Intercept(now, src.id, dst.id, payload)
+			v := a.interceptor.Intercept(now, src.id, dst.id, f)
 			if v.Drop {
 				a.stats.DroppedByInterceptor++
 				continue
@@ -346,8 +360,11 @@ func (a *Air) transmit(src *Radio, f mac.Frame) {
 				delay = v.Delay
 				a.stats.DelayOverridden++
 			}
+			if v.OverrideBeacon && df.HasBeacon {
+				df.Beacon = v.Beacon
+			}
 			if v.Payload != nil {
-				payload = v.Payload
+				df.Payload = v.Payload
 			}
 		}
 		rxPower := a.cfg.RxPowerDBm(dist)
@@ -355,12 +372,12 @@ func (a *Air) transmit(src *Radio, f mac.Frame) {
 			rxPower += a.cfg.Fading.GainDB(dist)
 		}
 		rec := a.acquireReception(dst)
-		rec.frame = f
-		rec.payload = payload
+		rec.frame = df
 		rec.sentAt = now
 		rec.start = now.Add(delay)
 		rec.end = rec.start.Add(dur)
 		rec.powerDBm = rxPower
+		rec.powerMw = phy.DBmToMilliwatt(rxPower)
 		rec.delay = delay
 		a.k.ScheduleAt(rec.start, rec.beginFn)
 		a.k.ScheduleAt(rec.end, rec.endFn)
@@ -372,12 +389,15 @@ func (a *Air) transmit(src *Radio, f mac.Frame) {
 // two pre-bound scheduling closures, so the per-link delivery path is
 // allocation-free in steady state.
 type reception struct {
-	frame    mac.Frame
-	payload  any
-	sentAt   des.Time
-	start    des.Time
-	end      des.Time
+	frame  mac.Frame
+	sentAt des.Time
+	start  des.Time
+	end    des.Time
+	// powerDBm is the received power; powerMw caches its milliwatt
+	// conversion (same pure function, computed once at transmit time
+	// instead of per overlapping reception).
 	powerDBm float64
+	powerMw  float64
 	delay    des.Time
 	// interferenceMw accumulates the power of every overlapping
 	// reception at this radio (worst-case SINR, like Veins' per-segment
@@ -433,13 +453,27 @@ func (r *Radio) Send(payload any, payloadBits int, ac mac.AccessCategory, seq ui
 	})
 }
 
+// SendBeacon broadcasts a platooning beacon. Unlike Send, the beacon
+// travels inline in the frame (no interface boxing), so the steady-state
+// beaconing path stays allocation-free end to end.
+func (r *Radio) SendBeacon(b msg.Beacon, payloadBits int, ac mac.AccessCategory, seq uint64) error {
+	return r.mac.Enqueue(mac.Frame{
+		Seq:       seq,
+		Src:       r.id,
+		Bits:      payloadBits + MACOverheadBits,
+		AC:        ac,
+		Beacon:    b,
+		HasBeacon: true,
+	})
+}
+
 // beginReception registers an incoming frame: it interferes with every
 // overlapping reception and may raise carrier sense.
 func (r *Radio) beginReception(rec *reception) {
-	mw := phy.DBmToMilliwatt(rec.powerDBm)
+	mw := rec.powerMw
 	for _, other := range r.active {
 		other.interferenceMw += mw
-		rec.interferenceMw += phy.DBmToMilliwatt(other.powerDBm)
+		rec.interferenceMw += other.powerMw
 	}
 	r.active = append(r.active, rec)
 	if rec.powerDBm >= r.air.cfg.CCAThresholdDBm {
@@ -489,7 +523,7 @@ func (r *Radio) endReception(rec *reception) {
 		return
 	}
 
-	sinr := cfg.SINRdB(rec.powerDBm, phy.MilliwattToDBm(rec.interferenceMw))
+	sinr := cfg.SINRdBWithNoiseMw(rec.powerDBm, phy.MilliwattToDBm(rec.interferenceMw), a.noiseMw)
 	ok := false
 	switch cfg.Decider {
 	case phy.DeciderThreshold:
@@ -507,7 +541,6 @@ func (r *Radio) endReception(rec *reception) {
 		return
 	}
 	f := rec.frame
-	f.Payload = rec.payload
 	r.handler(f, RxMeta{
 		Src:        f.Src,
 		SentAt:     rec.sentAt,

@@ -216,7 +216,7 @@ type fixedVerdict struct {
 	calls []string
 }
 
-func (f *fixedVerdict) Intercept(_ des.Time, src, dst string, _ any) Verdict {
+func (f *fixedVerdict) Intercept(_ des.Time, src, dst string, _ mac.Frame) Verdict {
 	f.calls = append(f.calls, src+">"+dst)
 	return f.v
 }

@@ -15,11 +15,11 @@ import (
 // recycled and rebound in between snapshot and restore.
 type receptionState struct {
 	frame          mac.Frame
-	payload        any
 	sentAt         des.Time
 	start          des.Time
 	end            des.Time
 	powerDBm       float64
+	powerMw        float64
 	delay          des.Time
 	interferenceMw float64
 	sensedBusy     bool
@@ -84,11 +84,11 @@ func (a *Air) SaveState(st *AirState) error {
 		}
 		st.recs = append(st.recs, receptionState{
 			frame:          rec.frame,
-			payload:        rec.payload,
 			sentAt:         rec.sentAt,
 			start:          rec.start,
 			end:            rec.end,
 			powerDBm:       rec.powerDBm,
+			powerMw:        rec.powerMw,
 			delay:          rec.delay,
 			interferenceMw: rec.interferenceMw,
 			sensedBusy:     rec.sensedBusy,
@@ -144,11 +144,11 @@ func (a *Air) LoadState(st *AirState) error {
 	for i := 0; i < st.numRecs; i++ {
 		rec, rs := a.allRecs[i], &st.recs[i]
 		rec.frame = rs.frame
-		rec.payload = rs.payload
 		rec.sentAt = rs.sentAt
 		rec.start = rs.start
 		rec.end = rs.end
 		rec.powerDBm = rs.powerDBm
+		rec.powerMw = rs.powerMw
 		rec.delay = rs.delay
 		rec.interferenceMw = rs.interferenceMw
 		rec.sensedBusy = rs.sensedBusy
@@ -168,7 +168,6 @@ func (a *Air) LoadState(st *AirState) error {
 		// object, and the kernel rewind dropped its scheduled events.
 		rec := a.allRecs[i]
 		rec.frame = mac.Frame{}
-		rec.payload = nil
 		rec.dst = nil
 		a.recFree = append(a.recFree, rec)
 	}

@@ -134,7 +134,14 @@ func (c ChannelConfig) SNRdB(rxPowerDBm float64) float64 {
 // SINRdB computes the signal-to-interference-plus-noise ratio given the
 // aggregate interference power in dBm (use math.Inf(-1) for none).
 func (c ChannelConfig) SINRdB(rxPowerDBm, interferenceDBm float64) float64 {
-	noiseMw := DBmToMilliwatt(c.NoiseFloorDBm)
+	return c.SINRdBWithNoiseMw(rxPowerDBm, interferenceDBm, DBmToMilliwatt(c.NoiseFloorDBm))
+}
+
+// SINRdBWithNoiseMw is SINRdB with the noise floor pre-converted to
+// milliwatts. The conversion is a pure function of the configuration, so
+// callers on the hot path may compute it once per experiment; passing
+// noiseMw == DBmToMilliwatt(c.NoiseFloorDBm) is bit-identical to SINRdB.
+func (c ChannelConfig) SINRdBWithNoiseMw(rxPowerDBm, interferenceDBm, noiseMw float64) float64 {
 	intMw := DBmToMilliwatt(interferenceDBm)
 	return rxPowerDBm - MilliwattToDBm(noiseMw+intMw)
 }

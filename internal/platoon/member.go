@@ -271,17 +271,17 @@ func (m *Member) sendBeacon() {
 	}
 	// Queue-full drops are legitimate MAC behaviour under attack-induced
 	// congestion; the next beacon will carry fresher state anyway.
-	_ = m.radio.Send(b, m.params.PayloadBits, m.params.AC, m.beaconSeq)
+	_ = m.radio.SendBeacon(b, m.params.PayloadBits, m.params.AC, m.beaconSeq)
 }
 
 // handleRx caches leader/predecessor beacons. Only fresher states (by
 // sender time stamp) replace the cache, so a delayed frame that arrives
 // after a newer one cannot roll the cache back.
 func (m *Member) handleRx(f mac.Frame, meta nic.RxMeta) {
-	b, ok := f.Payload.(msg.Beacon)
-	if !ok || b.PlatoonID != m.params.ID {
+	if !f.HasBeacon || f.Beacon.PlatoonID != m.params.ID {
 		return
 	}
+	b := f.Beacon
 	st := KinState{
 		Pos:    b.Pos,
 		Speed:  b.Speed,

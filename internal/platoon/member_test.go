@@ -182,7 +182,8 @@ func TestForeignPlatoonBeaconIgnored(t *testing.T) {
 
 func TestNonBeaconPayloadIgnored(t *testing.T) {
 	rig := newMemberRig(t)
-	rig.follower.handleRx(macFrame("vehicle.1", "not a beacon"), nic.RxMeta{})
+	f := mac.Frame{Src: "vehicle.1", Bits: 424, AC: mac.ACVideo, Payload: "not a beacon"}
+	rig.follower.handleRx(f, nic.RxMeta{})
 	if rig.follower.RxCount() != 0 {
 		t.Error("non-beacon payload accepted")
 	}
@@ -254,6 +255,6 @@ func injectBeacon(m *Member, b msg.Beacon) {
 	m.handleRx(macFrame(b.Source, b), nic.RxMeta{})
 }
 
-func macFrame(src string, payload any) mac.Frame {
-	return mac.Frame{Src: src, Bits: 424, AC: mac.ACVideo, Payload: payload}
+func macFrame(src string, b msg.Beacon) mac.Frame {
+	return mac.Frame{Src: src, Bits: 424, AC: mac.ACVideo, Beacon: b, HasBeacon: true}
 }

@@ -2,7 +2,6 @@ package runner
 
 import (
 	"context"
-	"encoding/csv"
 	"errors"
 	"fmt"
 	"io"
@@ -157,42 +156,38 @@ func RunMatrix(ctx context.Context, cells []MatrixCell, opts Options, sinks ...S
 }
 
 // MatrixCSVSink streams one CSV row per result in the
-// analysis.MatrixCSVHeader schema (scenario column included), flushing
-// after every row like CSVSink.
+// analysis.MatrixCSVHeader schema (scenario column included), writing
+// through on every row like CSVSink and reusing the row buffer the same
+// way.
 type MatrixCSVSink struct {
-	cw          *csv.Writer
+	w           io.Writer
+	buf         []byte
 	writeHeader bool
 }
 
 // NewMatrixCSVSink returns a sink that writes the matrix header before
 // the first row.
 func NewMatrixCSVSink(w io.Writer) *MatrixCSVSink {
-	return &MatrixCSVSink{cw: csv.NewWriter(w), writeHeader: true}
+	return &MatrixCSVSink{w: w, writeHeader: true}
 }
 
 // NewMatrixCSVAppendSink returns a matrix sink that writes rows only —
 // the resume path appending to a file that already carries a header.
 func NewMatrixCSVAppendSink(w io.Writer) *MatrixCSVSink {
-	return &MatrixCSVSink{cw: csv.NewWriter(w)}
+	return &MatrixCSVSink{w: w}
 }
 
 // Put implements Sink.
 func (s *MatrixCSVSink) Put(res core.ExperimentResult) error {
+	s.buf = s.buf[:0]
 	if s.writeHeader {
-		if err := s.cw.Write(analysis.MatrixCSVHeader()); err != nil {
-			return err
-		}
+		s.buf = analysis.AppendMatrixCSVHeader(s.buf)
 		s.writeHeader = false
 	}
-	if err := s.cw.Write(analysis.MatrixCSVRecord(res)); err != nil {
-		return err
-	}
-	s.cw.Flush()
-	return s.cw.Error()
+	s.buf = analysis.AppendMatrixCSVRow(s.buf, res)
+	_, err := s.w.Write(s.buf)
+	return err
 }
 
-// Flush implements Sink.
-func (s *MatrixCSVSink) Flush() error {
-	s.cw.Flush()
-	return s.cw.Error()
-}
+// Flush implements Sink. Put writes through, so nothing is buffered.
+func (s *MatrixCSVSink) Flush() error { return nil }

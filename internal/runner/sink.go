@@ -1,7 +1,6 @@
 package runner
 
 import (
-	"encoding/csv"
 	"encoding/json"
 	"io"
 
@@ -25,44 +24,43 @@ type Sink interface {
 }
 
 // CSVSink streams one CSV row per result in the analysis.ExperimentsCSV
-// schema, flushing after every row so an interrupted campaign leaves a
-// complete, parseable prefix on disk — the file Resume reads back.
+// schema, writing through on every row so an interrupted campaign leaves
+// a complete, parseable prefix on disk — the file Resume reads back.
+// Rows are encoded with the analysis.AppendExperimentCSVRow appender
+// into a buffer reused across Puts, so the per-row path is
+// allocation-free in steady state while staying byte-identical to
+// encoding/csv output.
 type CSVSink struct {
-	cw          *csv.Writer
+	w           io.Writer
+	buf         []byte
 	writeHeader bool
 }
 
 // NewCSVSink returns a sink that writes a header before the first row.
 func NewCSVSink(w io.Writer) *CSVSink {
-	return &CSVSink{cw: csv.NewWriter(w), writeHeader: true}
+	return &CSVSink{w: w, writeHeader: true}
 }
 
 // NewCSVAppendSink returns a sink that writes rows only — the resume path
 // appending to a result file that already carries a header.
 func NewCSVAppendSink(w io.Writer) *CSVSink {
-	return &CSVSink{cw: csv.NewWriter(w)}
+	return &CSVSink{w: w}
 }
 
 // Put implements Sink.
 func (s *CSVSink) Put(res core.ExperimentResult) error {
+	s.buf = s.buf[:0]
 	if s.writeHeader {
-		if err := s.cw.Write(analysis.ExperimentCSVHeader()); err != nil {
-			return err
-		}
+		s.buf = analysis.AppendExperimentCSVHeader(s.buf)
 		s.writeHeader = false
 	}
-	if err := s.cw.Write(analysis.ExperimentCSVRecord(res)); err != nil {
-		return err
-	}
-	s.cw.Flush()
-	return s.cw.Error()
+	s.buf = analysis.AppendExperimentCSVRow(s.buf, res)
+	_, err := s.w.Write(s.buf)
+	return err
 }
 
-// Flush implements Sink.
-func (s *CSVSink) Flush() error {
-	s.cw.Flush()
-	return s.cw.Error()
-}
+// Flush implements Sink. Put writes through, so nothing is buffered.
+func (s *CSVSink) Flush() error { return nil }
 
 // jsonRow is the flat JSON-lines encoding of one result. ExperimentSpec
 // itself is not marshalable (it can carry a ModelFactory func), so the

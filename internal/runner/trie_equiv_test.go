@@ -9,6 +9,7 @@ import (
 
 	"comfase/internal/analysis"
 	"comfase/internal/core"
+	"comfase/internal/mac"
 	"comfase/internal/nic"
 	"comfase/internal/obs"
 	"comfase/internal/scenario"
@@ -78,11 +79,11 @@ func (m *trieBombModel) Name() string              { return "trie-bomb" }
 func (m *trieBombModel) Targets() []string         { return m.inner.Targets() }
 func (m *trieBombModel) ChainableAcrossDurations() {}
 
-func (m *trieBombModel) Intercept(t des.Time, src, dst string, payload any) nic.Verdict {
+func (m *trieBombModel) Intercept(t des.Time, src, dst string, f mac.Frame) nic.Verdict {
 	if t >= m.trigger {
 		panic(fmt.Sprintf("trie bomb detonated at %v", t))
 	}
-	return m.inner.Intercept(t, src, dst, payload)
+	return m.inner.Intercept(t, src, dst, f)
 }
 
 // trieBombFactory plants a bomb on one attack value, 1.2 s into the

@@ -7,6 +7,7 @@ import (
 	"comfase/internal/platoon"
 	"comfase/internal/roadnet"
 	"comfase/internal/sim/des"
+	"comfase/internal/trace"
 	"comfase/internal/traffic"
 	"comfase/internal/vehicle"
 )
@@ -124,6 +125,13 @@ func (w *Workspace) Build(ts TrafficScenario, cm CommModel, seed uint64, factory
 		s.Members[i] = nil
 	}
 	s.Members = s.Members[:0]
+	// Pre-size the retained post-step sample buffer for this build's
+	// member count, so pooled workspaces cycling between scenarios of
+	// different platoon sizes never regrow it mid-run.
+	if cap(s.states) < ts.NrVehicles {
+		s.states = make([]trace.VehicleSample, ts.NrVehicles)
+	}
+	s.states = s.states[:0]
 
 	params := platoon.Params{
 		ID:             "platoon.0",

@@ -208,7 +208,7 @@ func TestStaleCommandDoesNotRollBack(t *testing.T) {
 // dropTo drops every frame destined for one receiver.
 type dropTo struct{ dst string }
 
-func (d dropTo) Intercept(_ des.Time, _, dst string, _ any) nic.Verdict {
+func (d dropTo) Intercept(_ des.Time, _, dst string, _ mac.Frame) nic.Verdict {
 	return nic.Verdict{Drop: dst == d.dst}
 }
 

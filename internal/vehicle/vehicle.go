@@ -108,6 +108,26 @@ type Vehicle struct {
 	// stopped latches true once the vehicle has been halted by a
 	// collision (SUMO "collision.action = stop" semantics).
 	stopped bool
+
+	// lagAlphaDt/lagAlphaVal memoize 1-exp(-dt/ActuationLag) for the last
+	// step width seen. dt is the fixed traffic step in practice, so the
+	// memo hits on every step after the first; it stores the result of
+	// the identical computation, bit-for-bit, never an approximation.
+	// Per-vehicle (not package-level) so concurrent workers never share
+	// it. Reset wipes it via *v = Vehicle{...}, which is also exact.
+	lagAlphaDt  float64
+	lagAlphaVal float64
+}
+
+// lagAlpha returns 1-exp(-dt/Spec.ActuationLag), memoized on dt. The
+// caller guarantees dt > 0 and ActuationLag > 0; a lag change goes
+// through Reset, which clears the memo.
+func (v *Vehicle) lagAlpha(dt float64) float64 {
+	if dt != v.lagAlphaDt {
+		v.lagAlphaDt = dt
+		v.lagAlphaVal = 1 - math.Exp(-dt/v.Spec.ActuationLag)
+	}
+	return v.lagAlphaVal
 }
 
 // New constructs a vehicle at the given initial state.
@@ -217,8 +237,7 @@ func (v *Vehicle) Step(dt float64) {
 		a = target
 	} else {
 		// Exact discretisation of da/dt = (target - a)/tau over dt.
-		alpha := 1 - math.Exp(-dt/v.Spec.ActuationLag)
-		a += (target - a) * alpha
+		a += (target - a) * v.lagAlpha(dt)
 	}
 	a = geo.Clamp(a, -v.Spec.MaxDecel, v.Spec.MaxAccel)
 

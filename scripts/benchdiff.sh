@@ -1,0 +1,39 @@
+#!/bin/sh
+# Bench regression gate (`make bench-diff`): run a fresh, shorter pass of
+# the regression trio and fail when it regresses against the committed
+# bench/BENCH_baseline.json — more than 25% on ns/op medians, or on
+# allocs/op beyond measurement grain (max(1, 0.1%) allocations; per-op
+# counts are b.N averages that flutter by a few ppm with GC timing,
+# while a real steady-state leak adds per-beacon/per-step allocations).
+# Unlike `make bench` this writes no dated artifact: it is a gate, not a
+# measurement.
+#
+# Environment knobs:
+#   COUNT=6        -count repetitions per benchmark (medians absorb noise)
+#   BENCH=regexp   benchmark selection (default: the regression trio)
+#   THRESHOLD=25   ns/op regression percentage that fails
+#   WARN_ONLY=1    report regressions but exit 0 (noisy hosts, laptops)
+set -eu
+cd "$(dirname "$0")/.."
+
+COUNT="${COUNT:-6}"
+BENCH="${BENCH:-BenchmarkExperiment\$|BenchmarkKernelThroughput\$|BenchmarkFig4GoldenRun\$|BenchmarkExperimentCheckpointed|BenchmarkCampaignCheckpointed|BenchmarkCampaignMatrix}"
+THRESHOLD="${THRESHOLD:-25}"
+
+if [ ! -f bench/BENCH_baseline.json ]; then
+    echo "benchdiff: bench/BENCH_baseline.json missing — run 'make bench' and commit a baseline first" >&2
+    exit 1
+fi
+
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+echo "==> go test -bench '$BENCH' -count $COUNT"
+go test -run '^$' -bench "$BENCH" -benchmem -count "$COUNT" . | tee "$TMP"
+
+echo "==> gate vs bench/BENCH_baseline.json (ns/op threshold +${THRESHOLD}%, allocs/op grain max(1, 0.1%))"
+if [ "${WARN_ONLY:-}" = "1" ]; then
+    go run scripts/benchjson.go -in "$TMP" -compare bench/BENCH_baseline.json -check -threshold "$THRESHOLD" -warn-only
+else
+    go run scripts/benchjson.go -in "$TMP" -compare bench/BENCH_baseline.json -check -threshold "$THRESHOLD"
+fi

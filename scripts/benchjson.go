@@ -9,10 +9,22 @@
 //
 //	go run scripts/benchjson.go -in bench.txt -out BENCH_2026-08-06.json
 //	go run scripts/benchjson.go -in bench.txt -compare bench/BENCH_baseline.json
+//	go run scripts/benchjson.go -in bench.txt -compare bench/BENCH_baseline.json -check
 //
 // The JSON carries the per-benchmark median of every metric across
 // repeated -count runs (medians are robust against scheduler noise in
 // single runs), plus the run context (goos/goarch/pkg/cpu).
+//
+// With -check (the `make bench-diff` regression gate), the comparison
+// FAILS (exit 1) when any shared benchmark regresses by more than
+// -threshold percent on ns/op (default 25, sized for run-to-run noise)
+// or on allocs/op beyond measurement granularity: the per-op counts
+// are averages over b.N, so campaign-scale benchmarks flutter by a few
+// parts per million with GC timing (pool refills, map growth
+// amortisation); an increase above max(1, 0.1%) allocations is treated
+// as real — any genuine hot-path leak adds per-beacon or per-step
+// allocations, thousands of times that. -warn-only reports the same
+// findings but exits 0, for noisy hosts.
 package main
 
 import (
@@ -21,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -47,6 +60,9 @@ func main() {
 	in := flag.String("in", "", "benchmark text input (default stdin)")
 	out := flag.String("out", "", "write aggregated JSON to this file")
 	compare := flag.String("compare", "", "baseline JSON to diff the input against")
+	check := flag.Bool("check", false, "with -compare: exit 1 on ns/op or allocs/op regressions")
+	threshold := flag.Float64("threshold", 25, "with -check: ns/op regression percentage that fails")
+	warnOnly := flag.Bool("warn-only", false, "with -check: report regressions but exit 0 (noisy hosts)")
 	flag.Parse()
 
 	r := io.Reader(os.Stdin)
@@ -71,6 +87,7 @@ func main() {
 			fatal(err)
 		}
 	}
+	var regressions []string
 	if *compare != "" {
 		data, err := os.ReadFile(*compare)
 		if err != nil {
@@ -81,9 +98,32 @@ func main() {
 			fatal(fmt.Errorf("%s: %w", *compare, err))
 		}
 		diff(os.Stdout, base, rep)
+		if *check {
+			regressions = findRegressions(base, rep, *threshold)
+		}
 	}
 	if *out != "" || *compare != "" {
 		modeDiff(os.Stdout, rep)
+	}
+	if *check {
+		if *compare == "" {
+			fatal(fmt.Errorf("-check requires -compare"))
+		}
+		if len(regressions) > 0 {
+			verdict := "FAIL"
+			if *warnOnly {
+				verdict = "WARN"
+			}
+			fmt.Fprintf(os.Stderr, "\nbenchjson: %s — %d regression(s) vs %s:\n", verdict, len(regressions), *compare)
+			for _, r := range regressions {
+				fmt.Fprintln(os.Stderr, "  "+r)
+			}
+			if !*warnOnly {
+				os.Exit(1)
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "\nbenchjson: PASS — no regressions vs %s (ns/op threshold %+.0f%%, allocs/op grain max(1, 0.1%%))\n", *compare, *threshold)
+		}
 	}
 	if *out == "" && *compare == "" {
 		data, err := json.MarshalIndent(rep, "", "  ")
@@ -212,6 +252,43 @@ func diff(w io.Writer, base, cur Report) {
 				b.Name, unit, formatVal(ov), formatVal(nv), delta, speedup)
 		}
 	}
+}
+
+// findRegressions returns one line per benchmark metric that got worse
+// beyond tolerance: ns/op medians more than thresholdPct above the
+// baseline, and allocs/op medians above the baseline by more than
+// measurement granularity — max(1, 0.1%) allocations, because per-op
+// counts are b.N averages that flutter by a few ppm with GC timing on
+// campaign-scale benchmarks, while a genuine steady-state leak adds at
+// least one allocation per beacon or step (thousands per op).
+// Benchmarks present in only one report are skipped: the gate compares
+// shared coverage, it does not police benchmark-set drift.
+func findRegressions(base, cur Report, thresholdPct float64) []string {
+	baseBy := map[string]Benchmark{}
+	for _, b := range base.Benchmarks {
+		baseBy[b.Name] = b
+	}
+	var out []string
+	for _, b := range cur.Benchmarks {
+		old, ok := baseBy[b.Name]
+		if !ok {
+			continue
+		}
+		if ov, nv := old.Metrics["ns/op"], b.Metrics["ns/op"]; ov > 0 && nv > 0 {
+			if pct := (nv - ov) / ov * 100; pct > thresholdPct {
+				out = append(out, fmt.Sprintf("%s ns/op %s -> %s (%+.1f%%, threshold %+.0f%%)",
+					b.Name, formatVal(ov), formatVal(nv), pct, thresholdPct))
+			}
+		}
+		if ov, okOld := old.Metrics["allocs/op"]; okOld {
+			grain := math.Max(1, ov*0.001)
+			if nv, okNew := b.Metrics["allocs/op"]; okNew && nv > ov+grain {
+				out = append(out, fmt.Sprintf("%s allocs/op %s -> %s (beyond the max(1, 0.1%%) grain)",
+					b.Name, formatVal(ov), formatVal(nv)))
+			}
+		}
+	}
+	return out
 }
 
 // modePairs lists within-run sub-benchmark comparisons worth quoting.

@@ -1,0 +1,144 @@
+//go:build ignore
+
+// Profdiff diffs two `go tool pprof -top` text captures and prints the
+// functions whose flat share moved the most — the distilled view a
+// hot-path sweep needs ("phy.LossDB went from 18% to 3%, csv encoding
+// disappeared, memo lookup appeared at 1%"). It compares the unitless
+// flat% column rather than absolute seconds/bytes, so captures from
+// machines of different speeds still diff meaningfully.
+//
+// Usage:
+//
+//	go run scripts/profdiff.go [-n 15] baseline.top.txt current.top.txt
+//
+// `make profile` runs it automatically against the committed
+// bench/PROFILE_baseline_{cpu,mem}.txt captures.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type sample struct {
+	flatPct float64
+	cumPct  float64
+}
+
+func main() {
+	n := flag.Int("n", 15, "show the N functions with the largest |flat% delta|")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: profdiff [-n 15] baseline.top.txt current.top.txt")
+		os.Exit(2)
+	}
+	base, err := parseTop(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := parseTop(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+
+	names := map[string]bool{}
+	for name := range base {
+		names[name] = true
+	}
+	for name := range cur {
+		names[name] = true
+	}
+	type row struct {
+		name     string
+		old, new float64
+	}
+	rows := make([]row, 0, len(names))
+	for name := range names {
+		rows = append(rows, row{name, base[name].flatPct, cur[name].flatPct})
+	}
+	// Largest absolute movement first; ties break by name so the output
+	// is stable across runs.
+	sort.Slice(rows, func(i, j int) bool {
+		di, dj := math.Abs(rows[i].new-rows[i].old), math.Abs(rows[j].new-rows[j].old)
+		if di != dj {
+			return di > dj
+		}
+		return rows[i].name < rows[j].name
+	})
+	if len(rows) > *n {
+		rows = rows[:*n]
+	}
+
+	fmt.Printf("%9s %9s %9s  %s\n", "old flat%", "new flat%", "delta", "function")
+	for _, r := range rows {
+		old, new := "-", "-"
+		if _, ok := base[r.name]; ok {
+			old = fmt.Sprintf("%.2f%%", r.old)
+		}
+		if _, ok := cur[r.name]; ok {
+			new = fmt.Sprintf("%.2f%%", r.new)
+		}
+		fmt.Printf("%9s %9s %+8.2f%%  %s\n", old, new, r.new-r.old, r.name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "profdiff:", err)
+	os.Exit(1)
+}
+
+// parseTop reads pprof -top text: a free-form header, then a column
+// header line containing "flat  flat%", then one node per line:
+//
+//	0.50s 38.46% 38.46%  0.60s 46.15%  comfase/internal/phy.FreeSpace.LossDB
+//
+// Only the percentage columns are kept — they are unit-free, so the same
+// parser covers cpu (seconds) and heap (bytes) captures.
+func parseTop(path string) (map[string]sample, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	out := map[string]sample{}
+	inBody := false
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !inBody {
+			if strings.HasPrefix(line, "flat") && strings.Contains(line, "flat%") {
+				inBody = true
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 6 {
+			continue
+		}
+		flatPct, err1 := parsePct(fields[1])
+		cumPct, err2 := parsePct(fields[4])
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		name := strings.Join(fields[5:], " ")
+		out[name] = sample{flatPct: flatPct, cumPct: cumPct}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !inBody {
+		return nil, fmt.Errorf("%s: no pprof -top table found (missing 'flat  flat%%' header)", path)
+	}
+	return out, nil
+}
+
+func parsePct(s string) (float64, error) {
+	return strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+}

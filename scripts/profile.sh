@@ -1,0 +1,52 @@
+#!/bin/sh
+# Profiling harness (`make profile`): capture CPU and heap profiles on
+# the campaign benchmarks, distill both into `go tool pprof -top` text
+# under profiles/, and diff the CPU top against the committed baseline
+# (bench/PROFILE_baseline_cpu.txt) with scripts/profdiff.go so a hot-path
+# sweep shows exactly which functions gained or lost share.
+#
+# profiles/ is gitignored (raw .pprof files are machine-specific and
+# large); only the distilled baseline text under bench/ is committed.
+#
+# Environment knobs:
+#   BENCH=regexp       benchmark selection (default: the campaign pair)
+#   NODES=25           -nodecount for the distilled -top text
+#   UPDATE_BASELINE=1  refresh bench/PROFILE_baseline_{cpu,mem}.txt
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCH="${BENCH:-BenchmarkExperiment\$|BenchmarkCampaignCheckpointed}"
+NODES="${NODES:-25}"
+mkdir -p profiles
+
+echo "==> go test -bench '$BENCH' with CPU+heap profiling"
+go test -run '^$' -bench "$BENCH" -benchmem -count 1 \
+    -cpuprofile profiles/cpu.pprof -memprofile profiles/mem.pprof \
+    -o profiles/comfase.test . | tee profiles/bench.txt
+
+echo "==> distilling pprof -top (nodecount $NODES)"
+go tool pprof -top -nodecount "$NODES" profiles/comfase.test profiles/cpu.pprof \
+    > profiles/cpu.top.txt
+# alloc_space (total bytes allocated) rather than the inuse default:
+# the zero-allocation work targets allocation volume, not live heap.
+go tool pprof -sample_index=alloc_space -top -nodecount "$NODES" \
+    profiles/comfase.test profiles/mem.pprof > profiles/mem.top.txt
+
+sed -n '1,8p' profiles/cpu.top.txt
+
+if [ "${UPDATE_BASELINE:-}" = "1" ]; then
+    cp profiles/cpu.top.txt bench/PROFILE_baseline_cpu.txt
+    cp profiles/mem.top.txt bench/PROFILE_baseline_mem.txt
+    echo "==> baselines refreshed: bench/PROFILE_baseline_{cpu,mem}.txt"
+    exit 0
+fi
+
+if [ -f bench/PROFILE_baseline_cpu.txt ]; then
+    echo "==> CPU flat%% delta vs bench/PROFILE_baseline_cpu.txt"
+    go run scripts/profdiff.go bench/PROFILE_baseline_cpu.txt profiles/cpu.top.txt
+fi
+if [ -f bench/PROFILE_baseline_mem.txt ]; then
+    echo "==> alloc_space flat%% delta vs bench/PROFILE_baseline_mem.txt"
+    go run scripts/profdiff.go bench/PROFILE_baseline_mem.txt profiles/mem.top.txt
+fi
+echo "==> raw profiles: profiles/{cpu,mem}.pprof (go tool pprof profiles/comfase.test profiles/cpu.pprof)"
