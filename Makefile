@@ -63,14 +63,18 @@ obs-equiv:
 registry-equiv:
 	$(GO) test -race -run 'TestRegistryCampaignEquivalence|TestRegistryChaosEquivalence|TestRunMatrixDeterminism' ./internal/runner
 
-# The fabric-equivalence chaos drill by name, under the race detector:
+# The fabric-equivalence chaos drills by name, under the race detector:
 # a distributed campaign with a worker killed mid-lease (its ranges
 # expire and are re-leased to survivors) and a fully healthy 3-worker
 # run must both merge result CSVs and quarantine files byte-identical
 # to a sequential run; late completions from the presumed-dead worker
-# must be rejected by the lease generation counter, exactly once.
+# must be rejected by the lease generation counter, exactly once; and
+# the multi-campaign drill — three campaigns with distinct grids
+# submitted concurrently to one service, one worker crashing mid-lease
+# — must leave every campaign's on-disk artifacts byte-identical to
+# its own sequential run.
 fabric-equiv:
-	$(GO) test -race -run 'TestFabricChaosEquivalence|TestFabricDistributedEquivalence|TestCoordinatorStaleCompletionExactlyOnce|TestRangeSplitEquivalence' ./internal/fabric ./internal/runner
+	$(GO) test -race -run 'TestFabricChaosEquivalence|TestFabricDistributedEquivalence|TestFabricMultiCampaignChaosEquivalence|TestCoordinatorStaleCompletionExactlyOnce|TestRangeSplitEquivalence' ./internal/fabric ./internal/runner
 
 # Short coverage-guided fuzz smoke on every fuzz target (the config
 # parser, the matrix-section decoder, the DES kernel scheduler and
@@ -87,6 +91,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzTrieGroupKey' -fuzztime 5s ./internal/runner
 	$(GO) test -run '^$$' -fuzz 'FuzzHeartbeatDecode' -fuzztime 5s ./internal/obs
 	$(GO) test -run '^$$' -fuzz 'FuzzLeaseProtocolDecode' -fuzztime 5s ./internal/fabric
+	$(GO) test -run '^$$' -fuzz 'FuzzCampaignSubmitDecode' -fuzztime 5s ./internal/fabric
 
 # Per-package coverage report plus the internal/obs coverage floor: the
 # observability layer is pure bookkeeping whose failures would corrupt

@@ -125,6 +125,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		return runServe(ctx, args[1:], stdout)
 	case "work":
 		return runWork(ctx, args[1:], stdout)
+	case "submit":
+		return runSubmit(ctx, args[1:], stdout)
+	case "campaigns":
+		return runCampaigns(ctx, args[1:], stdout)
 	case "merge":
 		return runMerge(args[1:], stdout)
 	case "list":
@@ -138,7 +142,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 }
 
 func usageError() error {
-	return fmt.Errorf("usage: comfase <golden|campaign|serve|work|merge|list> [flags]; see comfase help")
+	return fmt.Errorf("usage: comfase <golden|campaign|serve|work|submit|campaigns|merge|list> [flags]; see comfase help")
 }
 
 func printUsage(w io.Writer) {
@@ -188,6 +192,18 @@ Subcommands:
                    -metrics-addr HOST:PORT, -v (log fabric events)
             the first SIGINT drains (finish what's leased, lease nothing
             new) and exits 2 with a -resume hint; a second force-exits.
+            with -dir DIR the coordinator becomes a multi-campaign
+            service: campaigns arrive via "comfase submit", run oldest-
+            first under a per-campaign -fairness-cap, and every
+            campaign's config/results/quarantine/status files live side
+            by side in DIR; -resume re-adopts everything in DIR, and
+            -config becomes optional (fabric defaults only)
+  submit    enqueue a campaign config on a "comfase serve -dir" service
+            flags: -coordinator URL (required), -config FILE (required),
+                   -name NAME (label shown by "comfase campaigns")
+  campaigns inspect a campaign service: list all campaigns, or one of
+            -id ID (status JSON), -cancel ID, -results ID [-o FILE]
+            [-quarantine-out FILE]; plus -coordinator URL (required)
   work      execute leased ranges for a "comfase serve" coordinator; the
             campaign config arrives from the coordinator at registration
             flags: -coordinator URL (required unless -config supplies
@@ -679,7 +695,9 @@ func runServe(ctx context.Context, args []string, stdout io.Writer) error {
 	quarantinePath := fs.String("quarantine", "", "merged quarantine JSON-lines file")
 	leaseSize := fs.Int("lease-size", 0, "grid points per worker lease (0 = config fabric.leaseSize, else 16)")
 	leaseTTL := fs.Duration("lease-ttl", 0, "worker lease TTL; silence past it re-leases the range (0 = config fabric.leaseTTLS, else 15s)")
-	resume := fs.Bool("resume", false, "trust the merged prefix already in -results/-quarantine and serve only the rest")
+	dirFlag := fs.String("dir", "", "campaign service directory: enables submit mode, where campaigns arrive via `comfase submit` and every campaign's files live here")
+	fairnessCap := fs.Int("fairness-cap", 0, "max chunks one campaign may hold leased while others wait (0 = config fabric.fairnessCap, else 4; submit mode only)")
+	resume := fs.Bool("resume", false, "trust the merged prefix already in -results/-quarantine (or every campaign in -dir) and serve only the rest")
 	maxFailures := fs.Int("max-failures", 0, "persistent failures tolerated before aborting (0 = fail fast, negative = unlimited)")
 	verbose := fs.Bool("v", false, "log fabric events (registrations, leases, expiries)")
 	heartbeatPath := fs.String("heartbeat", "", "periodically publish a JSON metrics snapshot to this file (atomic rename)")
@@ -688,22 +706,47 @@ func runServe(ctx context.Context, args []string, stdout io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *cfgPath == "" && *dirFlag == "" {
+		return fmt.Errorf("serve: -config is required")
+	}
+	// In submit mode the config file is optional and only supplies fabric
+	// defaults; campaigns bring their own configs over the API.
+	var cfgJSON []byte
+	var parsed *config.Parsed
+	if *cfgPath != "" {
+		var err error
+		cfgJSON, err = os.ReadFile(*cfgPath)
+		if err != nil {
+			return err
+		}
+		parsed, err = config.Parse(bytes.NewReader(cfgJSON))
+		if err != nil {
+			return err
+		}
+	} else {
+		parsed = &config.Parsed{}
+	}
+	explicit := map[string]bool{}
+	fs.Visit(func(fl *flag.Flag) { explicit[fl.Name] = true })
+
+	dir := parsed.Fabric.Dir
+	if explicit["dir"] {
+		dir = *dirFlag
+	}
+	if dir != "" {
+		return runServeSubmitMode(ctx, stdout, explicit, parsed, serveSubmitFlags{
+			dir: dir, addr: *addr, leaseSize: *leaseSize, leaseTTL: *leaseTTL,
+			fairnessCap: *fairnessCap, resume: *resume, verbose: *verbose,
+			heartbeatPath: *heartbeatPath, heartbeatInterval: *heartbeatInterval,
+			metricsAddr: *metricsAddr,
+		})
+	}
 	if *cfgPath == "" {
 		return fmt.Errorf("serve: -config is required")
 	}
 	if *resultsPath == "" {
 		return fmt.Errorf("serve: -results is required")
 	}
-	cfgJSON, err := os.ReadFile(*cfgPath)
-	if err != nil {
-		return err
-	}
-	parsed, err := config.Parse(bytes.NewReader(cfgJSON))
-	if err != nil {
-		return err
-	}
-	explicit := map[string]bool{}
-	fs.Visit(func(fl *flag.Flag) { explicit[fl.Name] = true })
 
 	matrixMode := len(parsed.Cells) > 0
 	base, total := 0, 0
@@ -742,42 +785,17 @@ func runServe(ctx context.Context, args []string, stdout io.Writer) error {
 
 	// Resume: the coordinator's release frontier writes a contiguous grid
 	// prefix, so "done so far" is exactly the rows + quarantine records
-	// below the first missing expNr. A mid-write coordinator crash leaves
-	// at most one partial trailing line in each file; chop it before
-	// appending so the resumed stream stays parseable.
+	// below the first missing expNr. ReadMergedPrefix also chops any
+	// partial trailing line a mid-write crash left, and its rejection
+	// names the offending file — with several campaigns' outputs on one
+	// disk, "which file was refused" must never be ambiguous.
 	prefix := 0
 	if *resume {
-		if err := truncateToLastNewline(*resultsPath); err != nil {
-			return err
-		}
-		if *quarantinePath != "" {
-			if err := truncateToLastNewline(*quarantinePath); err != nil {
-				return err
-			}
-		}
-		rows, err := runner.ReadResultsFile(*resultsPath)
+		p, err := runner.ReadMergedPrefix(*resultsPath, *quarantinePath, base, total)
 		if err != nil {
-			return err
+			return fmt.Errorf("serve: %w", err)
 		}
-		fails := map[int]core.ExperimentFailure{}
-		if *quarantinePath != "" {
-			if fails, err = runner.ReadQuarantineFile(*quarantinePath); err != nil {
-				return err
-			}
-		}
-		for prefix < total {
-			nr := base + prefix
-			_, inRows := rows[nr]
-			_, inFails := fails[nr]
-			if !inRows && !inFails {
-				break
-			}
-			prefix++
-		}
-		if len(rows)+len(fails) != prefix {
-			return fmt.Errorf("serve: -results/-quarantine hold %d records but only a %d-point contiguous prefix — not a coordinator output (shard files need `comfase merge` first)",
-				len(rows)+len(fails), prefix)
-		}
+		prefix = p
 	}
 
 	appendMode := false
@@ -887,24 +905,6 @@ func ttlOrDefault(ttl time.Duration) time.Duration {
 		return fabric.DefaultLeaseTTL
 	}
 	return ttl
-}
-
-// truncateToLastNewline chops a partial trailing line (a crash mid-write)
-// off a line-oriented output file so appending to it stays parseable.
-// Missing files are fine; a file with no newline at all is emptied.
-func truncateToLastNewline(path string) error {
-	data, err := os.ReadFile(path)
-	if os.IsNotExist(err) {
-		return nil
-	}
-	if err != nil {
-		return err
-	}
-	if len(data) == 0 || data[len(data)-1] == '\n' {
-		return nil
-	}
-	idx := bytes.LastIndexByte(data, '\n')
-	return os.Truncate(path, int64(idx+1))
 }
 
 // runWork is a fabric worker: it registers with a coordinator, receives

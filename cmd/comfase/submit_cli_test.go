@@ -1,0 +1,212 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// waitForCampaignState polls `comfase campaigns -id` until the status
+// document reports the wanted state.
+func waitForCampaignState(t *testing.T, url, id, want string) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		var out syncBuffer
+		if err := run(bg(), []string{"campaigns", "-coordinator", url, "-id", id}, &out); err == nil {
+			if strings.Contains(out.String(), `"state": "`+want+`"`) {
+				return
+			}
+			if strings.Contains(out.String(), `"state": "failed"`) {
+				t.Fatalf("campaign %s failed: %s", id, out.String())
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("campaign %s never reached state %q", id, want)
+}
+
+// TestRunServeSubmitCampaignsCLI drives the whole multi-campaign control
+// plane through the CLI: serve -dir, submit, campaigns (list / status /
+// results), a SIGINT-style drain that leaves a queued campaign
+// resumable, and a -resume serve that completes it.
+func TestRunServeSubmitCampaignsCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs experiments in -short mode")
+	}
+	dir := t.TempDir()
+	cfg := writeGridConfig(t, dir)
+	svcDir := filepath.Join(dir, "campaigns")
+
+	// Sequential oracle for the byte-identity checks.
+	ref := filepath.Join(dir, "ref.csv")
+	if err := run(bg(), []string{"campaign", "-config", cfg, "-results", ref}, os.Stdout); err != nil {
+		t.Fatalf("sequential campaign: %v", err)
+	}
+	want, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	serveCtx, stopServe := context.WithCancel(context.Background())
+	defer stopServe()
+	serveOut := &syncBuffer{}
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- run(serveCtx, []string{"serve", "-dir", svcDir,
+			"-addr", "127.0.0.1:0", "-lease-size", "1", "-lease-ttl", "1s"}, serveOut)
+	}()
+	url := waitForCoordinatorURL(t, serveOut)
+
+	// Submit the first campaign and let a worker run it to completion.
+	var submitOut syncBuffer
+	if err := run(bg(), []string{"submit", "-coordinator", url,
+		"-config", cfg, "-name", "first"}, &submitOut); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if !strings.Contains(submitOut.String(), "campaign c1 submitted: 4 grid points") {
+		t.Fatalf("submit output = %q", submitOut.String())
+	}
+
+	workCtx, stopWorker := context.WithCancel(context.Background())
+	defer stopWorker()
+	workDone := make(chan error, 1)
+	go func() {
+		workDone <- run(workCtx, []string{"work", "-coordinator", url, "-workers", "2"}, &syncBuffer{})
+	}()
+	waitForCampaignState(t, url, "c1", "done")
+
+	// The list shows the finished campaign by name.
+	var listOut syncBuffer
+	if err := run(bg(), []string{"campaigns", "-coordinator", url}, &listOut); err != nil {
+		t.Fatalf("campaigns list: %v", err)
+	}
+	if !strings.Contains(listOut.String(), "c1") || !strings.Contains(listOut.String(), "first") ||
+		!strings.Contains(listOut.String(), "done") {
+		t.Fatalf("campaigns list = %q", listOut.String())
+	}
+
+	// The results endpoint round-trips the merged CSV byte-identically.
+	fetched := filepath.Join(dir, "fetched.csv")
+	if err := run(bg(), []string{"campaigns", "-coordinator", url,
+		"-results", "c1", "-o", fetched}, &syncBuffer{}); err != nil {
+		t.Fatalf("campaigns -results: %v", err)
+	}
+	got, err := os.ReadFile(fetched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("fetched CSV differs from the sequential run:\nfetched:\n%s\nsequential:\n%s", got, want)
+	}
+
+	// Stop the worker, then queue a second campaign nobody will execute.
+	stopWorker()
+	if err := <-workDone; exitCode(err) != exitInterrupted {
+		t.Fatalf("interrupted worker exit = %d (%v), want %d", exitCode(err), err, exitInterrupted)
+	}
+	if err := run(bg(), []string{"submit", "-coordinator", url,
+		"-config", cfg, "-name", "second"}, &syncBuffer{}); err != nil {
+		t.Fatalf("submit second: %v", err)
+	}
+
+	// Drain: the queued campaign must survive on disk, and serve must say
+	// so with a -resume hint and the interrupted exit code.
+	stopServe()
+	select {
+	case err := <-serveErr:
+		if exitCode(err) != exitInterrupted {
+			t.Fatalf("drained serve exit = %d (%v), want %d\noutput: %q", exitCode(err), err, exitInterrupted, serveOut.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("serve did not drain: %q", serveOut.String())
+	}
+	if !strings.Contains(serveOut.String(), "1 campaign(s) incomplete") ||
+		!strings.Contains(serveOut.String(), "-resume") {
+		t.Errorf("drain message = %q", serveOut.String())
+	}
+	if _, err := os.Stat(filepath.Join(svcDir, "c2.config.json")); err != nil {
+		t.Fatalf("queued campaign's config not durable: %v", err)
+	}
+
+	// Resume: the service re-adopts both campaigns, a fresh worker
+	// finishes the queued one, and its file is byte-identical too.
+	resumeCtx, stopResume := context.WithCancel(context.Background())
+	defer stopResume()
+	resumeOut := &syncBuffer{}
+	resumeErr := make(chan error, 1)
+	go func() {
+		resumeErr <- run(resumeCtx, []string{"serve", "-dir", svcDir, "-resume",
+			"-addr", "127.0.0.1:0", "-lease-size", "1", "-lease-ttl", "1s"}, resumeOut)
+	}()
+	url2 := waitForCoordinatorURL(t, resumeOut)
+	if !strings.Contains(resumeOut.String(), "2 campaign(s) in") {
+		t.Errorf("resume banner = %q", resumeOut.String())
+	}
+
+	work2Ctx, stopWorker2 := context.WithCancel(context.Background())
+	defer stopWorker2()
+	worker2Done := make(chan error, 1)
+	go func() {
+		worker2Done <- run(work2Ctx, []string{"work", "-coordinator", url2, "-workers", "2"}, &syncBuffer{})
+	}()
+	waitForCampaignState(t, url2, "c2", "done")
+	stopWorker2()
+	<-worker2Done
+
+	// Exercise cancel on a third, never-executed campaign.
+	if err := run(bg(), []string{"submit", "-coordinator", url2,
+		"-config", cfg, "-name", "doomed"}, &syncBuffer{}); err != nil {
+		t.Fatalf("submit third: %v", err)
+	}
+	var cancelOut syncBuffer
+	if err := run(bg(), []string{"campaigns", "-coordinator", url2, "-cancel", "c3"}, &cancelOut); err != nil {
+		t.Fatalf("campaigns -cancel: %v", err)
+	}
+	if !strings.Contains(cancelOut.String(), "campaign c3 cancelled") {
+		t.Errorf("cancel output = %q", cancelOut.String())
+	}
+
+	// Every campaign is terminal now, so this drain is a clean exit.
+	stopResume()
+	select {
+	case err := <-resumeErr:
+		if err != nil {
+			t.Fatalf("resume serve: %v\noutput: %q", err, resumeOut.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("resume serve did not finish: %q", resumeOut.String())
+	}
+
+	got2, err := os.ReadFile(filepath.Join(svcDir, "c2.results.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got2) != string(want) {
+		t.Errorf("resumed campaign CSV differs from the sequential run:\nfabric:\n%s\nsequential:\n%s", got2, want)
+	}
+}
+
+// TestRunSubmitCampaignsErrors covers the operator-CLI validation paths.
+func TestRunSubmitCampaignsErrors(t *testing.T) {
+	if err := run(bg(), []string{"submit"}, os.Stdout); err == nil {
+		t.Error("submit without -coordinator accepted")
+	}
+	if err := run(bg(), []string{"submit", "-coordinator", "http://127.0.0.1:1"}, os.Stdout); err == nil {
+		t.Error("submit without -config accepted")
+	}
+	if err := run(bg(), []string{"campaigns"}, os.Stdout); err == nil {
+		t.Error("campaigns without -coordinator accepted")
+	}
+	if err := run(bg(), []string{"campaigns", "-coordinator", "http://127.0.0.1:1",
+		"-id", "c1", "-cancel", "c2"}, os.Stdout); err == nil {
+		t.Error("campaigns with conflicting modes accepted")
+	}
+	// An unreachable service is an error, not a hang.
+	if err := run(bg(), []string{"campaigns", "-coordinator", "http://127.0.0.1:1"}, os.Stdout); err == nil {
+		t.Error("campaigns against a dead service accepted")
+	}
+}

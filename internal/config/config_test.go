@@ -252,7 +252,9 @@ func TestParseFabricSection(t *testing.T) {
 	    "leaseSize": 8,
 	    "leaseTTLS": 2.5,
 	    "maxCoordinatorRetries": 4,
-	    "retryBaseMS": 50
+	    "retryBaseMS": 50,
+	    "dir": "/tmp/campaigns",
+	    "fairnessCap": 2
 	  }
 	}`
 	p, err := Parse(strings.NewReader(doc))
@@ -268,6 +270,9 @@ func TestParseFabricSection(t *testing.T) {
 	}
 	if fb.MaxCoordinatorRetries != 4 || fb.RetryBase != 50*time.Millisecond {
 		t.Errorf("worker retry settings = %+v", fb)
+	}
+	if fb.Dir != "/tmp/campaigns" || fb.FairnessCap != 2 {
+		t.Errorf("submit-mode settings = %+v", fb)
 	}
 	// An absent section yields all-zero settings (fabric defaults apply).
 	p2, err := Parse(strings.NewReader(`{"campaign": {
@@ -287,6 +292,7 @@ func TestParseFabricSection(t *testing.T) {
 		`{"fabric": {"leaseTTLS": -2}}`,
 		`{"fabric": {"maxCoordinatorRetries": -3}}`,
 		`{"fabric": {"retryBaseMS": -4}}`,
+		`{"fabric": {"fairnessCap": -1}}`,
 		`{"fabric": {"bogus": true}}`,
 	} {
 		if _, err := Parse(strings.NewReader(bad)); err == nil {

@@ -2,27 +2,22 @@ package fabric
 
 import (
 	"context"
-	"encoding/csv"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
-	"sort"
-	"strconv"
-	"sync"
 	"time"
 
 	"comfase/internal/analysis"
 	"comfase/internal/obs"
-	"comfase/internal/runner"
 )
 
-// ErrDrained marks a coordinator that shut down in draining mode with
-// the grid incomplete: everything leased at drain time was finished (or
-// expired) and flushed, but un-leased ranges were never executed. A
-// later `comfase serve -resume` run picks up exactly where the merged
-// prefix ends.
+// ErrDrained marks a service that shut down in draining mode with work
+// incomplete: everything leased at drain time was finished (or expired)
+// and flushed, but un-leased ranges were never executed. A later
+// `comfase serve -resume` run picks up exactly where each campaign's
+// merged prefix ends.
 var ErrDrained = errors.New("fabric: drained before the grid completed")
 
 // DefaultLeaseTTL is the worker lease time-to-live used when the
@@ -37,8 +32,8 @@ const DefaultLeaseSize = 16
 
 // CoordinatorOptions configure a Coordinator.
 type CoordinatorOptions struct {
-	// ConfigJSON is the raw campaign config file; it is served verbatim
-	// to registering workers.
+	// ConfigJSON is the raw campaign config file; it is shipped to
+	// workers with their first lease grant.
 	ConfigJSON []byte
 	// Base is the first expNr of the grid; Total the number of points.
 	Base, Total int
@@ -81,7 +76,7 @@ type chunkPayload struct {
 	failures []FailureRow
 }
 
-// workerInfo is the coordinator's per-worker liveness record.
+// workerInfo is the service's per-worker liveness record.
 type workerInfo struct {
 	host     string
 	pid      int
@@ -93,37 +88,21 @@ type workerInfo struct {
 	notifiedEnd bool
 }
 
-// Coordinator owns the grid: it leases ranges to workers, verifies and
-// buffers their results, and streams the merged rows in grid order
-// through a release frontier so the output files are byte-identical to
-// a sequential single-process run. Create with NewCoordinator, mount
-// Handler on an HTTP server, then Wait for completion.
+// Coordinator is the single-campaign view of the fabric: one grid, one
+// set of output writers, Wait returning when the grid completes. Since
+// the multi-campaign growth it is a thin wrapper over Service with
+// exactly one pre-submitted campaign — `comfase serve` without -dir, and
+// every existing single-grid test, runs through the same scheduler,
+// frontier and handlers as the queued-submission service.
 type Coordinator struct {
-	opts  CoordinatorOptions
-	table *LeaseTable
-	now   func() time.Time
-	mux   *http.ServeMux
-
-	mu            sync.Mutex
-	buffered      map[int]chunkPayload
-	nextChunk     int  // frontier: chunks below it are written out
-	merged        int  // grid points written (resumed prefix included)
-	failures      int  // new quarantined experiments accepted
-	headerPending bool // write the CSV header before the first row
-	workers       map[string]*workerInfo
-	nextID        int
-	cw            *csv.Writer
-	err           error         // first fatal error (I/O, budget)
-	doneCh        chan struct{} // closed exactly once when the run is over
-	doneOnce      sync.Once
-
-	rowsMerged     *obs.Counter
-	failuresMerged *obs.Counter
-	workersLive    *obs.Gauge
-	workersSeen    *obs.Counter
+	svc *Service
+	id  string // the wrapped campaign's ID
 }
 
-// NewCoordinator validates the options and builds the lease table.
+// coordinatorCampaignID names the wrapper's single campaign.
+const coordinatorCampaignID = "c1"
+
+// NewCoordinator validates the options and builds the wrapped service.
 func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
 	if len(opts.ConfigJSON) == 0 {
 		return nil, errors.New("fabric: coordinator needs the raw config JSON")
@@ -134,268 +113,72 @@ func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
 	if opts.Results == nil {
 		return nil, errors.New("fabric: coordinator needs a results writer")
 	}
-	if opts.LeaseSize <= 0 {
-		opts.LeaseSize = DefaultLeaseSize
-	}
-	if opts.LeaseTTL <= 0 {
-		opts.LeaseTTL = DefaultLeaseTTL
-	}
 	if opts.ResumePrefix < 0 || opts.ResumePrefix > opts.Total {
 		return nil, fmt.Errorf("fabric: resume prefix %d outside grid of %d", opts.ResumePrefix, opts.Total)
 	}
-	now := opts.Now
-	if now == nil {
-		now = time.Now
-	}
-	table, err := NewLeaseTable(opts.Base, opts.Total, opts.LeaseSize, opts.LeaseTTL, now, opts.Metrics)
+	svc, err := NewService(ServiceOptions{
+		LeaseSize:      opts.LeaseSize,
+		LeaseTTL:       opts.LeaseTTL,
+		FinishWhenDone: true,
+		Metrics:        opts.Metrics,
+		Now:            opts.Now,
+		Logf:           opts.Logf,
+	})
 	if err != nil {
 		return nil, err
 	}
-	c := &Coordinator{
-		opts:           opts,
-		table:          table,
-		now:            now,
-		buffered:       make(map[int]chunkPayload),
-		workers:        make(map[string]*workerInfo),
-		cw:             csv.NewWriter(opts.Results),
-		doneCh:         make(chan struct{}),
-		rowsMerged:     opts.Metrics.Counter("fabric.rows_merged"),
-		failuresMerged: opts.Metrics.Counter("fabric.failures_merged"),
-		workersLive:    opts.Metrics.Gauge("fabric.workers_live"),
-		workersSeen:    opts.Metrics.Counter("fabric.workers_registered"),
+	if _, err := svc.addCampaign(campaignSpec{
+		id:           coordinatorCampaignID,
+		configJSON:   opts.ConfigJSON,
+		base:         opts.Base,
+		total:        opts.Total,
+		matrix:       opts.Matrix,
+		maxFailures:  opts.MaxFailures,
+		resumePrefix: opts.ResumePrefix,
+		noHeader:     opts.NoHeader,
+		results:      opts.Results,
+		quarantine:   opts.Quarantine,
+	}); err != nil {
+		return nil, err
 	}
-	if opts.ResumePrefix > 0 {
-		table.MarkDonePrefix(opts.Base + opts.ResumePrefix)
-		// Fast-forward the frontier past the chunks that are entirely
-		// below the resumed prefix; a chunk straddling it was trimmed by
-		// MarkDonePrefix and stays at the frontier, its below-prefix
-		// points already on disk.
-		for c.nextChunk < table.NumChunks() {
-			_, to, _ := table.Bounds(c.nextChunk)
-			if to > opts.Base+opts.ResumePrefix {
-				break
-			}
-			c.nextChunk++
-		}
-		c.merged = opts.ResumePrefix
-	}
-	// Header is lazy, like runner.CSVSink: written right before the
-	// first released row, so an all-quarantined grid leaves the results
-	// file empty — byte-identical to the sequential sink's behavior.
-	c.headerPending = !opts.NoHeader
-	if table.Done() {
-		// Resuming a grid that was already complete: nothing to serve.
-		c.finish(nil)
-	}
-	c.mux = http.NewServeMux()
-	c.mux.HandleFunc("POST "+PathRegister, c.handleRegister)
-	c.mux.HandleFunc("POST "+PathLease, c.handleLease)
-	c.mux.HandleFunc("POST "+PathReport, c.handleReport)
-	c.mux.HandleFunc("POST "+PathComplete, c.handleComplete)
-	c.mux.HandleFunc("GET "+PathStatus, c.handleStatus)
-	return c, nil
-}
-
-func (c *Coordinator) writeHeader() error {
-	header := resultHeader(c.opts.Matrix)
-	if err := c.cw.Write(header); err != nil {
-		return fmt.Errorf("fabric: results header: %w", err)
-	}
-	c.cw.Flush()
-	return c.cw.Error()
+	return &Coordinator{svc: svc, id: coordinatorCampaignID}, nil
 }
 
 // Handler returns the coordinator's HTTP handler.
-func (c *Coordinator) Handler() http.Handler { return c.mux }
+func (c *Coordinator) Handler() http.Handler { return c.svc.Handler() }
 
-// logf forwards to the configured logger.
-func (c *Coordinator) logf(format string, args ...any) {
-	if c.opts.Logf != nil {
-		c.opts.Logf(format, args...)
-	}
-}
+// Service exposes the underlying multi-campaign service (status and
+// results endpoints answer for the wrapped campaign too).
+func (c *Coordinator) Service() *Service { return c.svc }
 
 // Drain switches the coordinator to draining mode: outstanding leases
 // may finish and report, nothing new is granted, and Wait returns once
 // the table is idle.
-func (c *Coordinator) Drain() {
-	c.table.Drain()
-	c.logf("draining: finishing leased ranges, leasing nothing new")
-}
+func (c *Coordinator) Drain() { c.svc.Drain() }
 
 // Wait blocks until the grid completes, a fatal error occurs, or — after
-// ctx is canceled — the drain finishes. It owns the liveness sweeper:
-// expired leases return to pending (and are re-granted on the next
-// Acquire), and the workers-live gauge tracks how many workers reported
-// within the last TTL.
-func (c *Coordinator) Wait(ctx context.Context) error {
-	sweep := time.NewTicker(c.sweepInterval())
-	defer sweep.Stop()
-	ctxDone := ctx.Done()
-	for {
-		select {
-		case <-c.doneCh:
-			return c.runError()
-		case <-ctxDone:
-			ctxDone = nil // handled; don't spin on the closed channel
-			c.Drain()
-			if c.table.Idle() {
-				c.finish(c.completionError())
-			}
-		case <-sweep.C:
-			if n := c.table.Sweep(); n > 0 {
-				c.logf("expired %d lease(s); ranges return to the pool", n)
-			}
-			c.updateLiveness()
-			if c.table.Done() || (c.table.Draining() && c.table.Idle()) {
-				c.finish(c.completionError())
-			}
-		}
-	}
-}
+// ctx is canceled — the drain finishes.
+func (c *Coordinator) Wait(ctx context.Context) error { return c.svc.Wait(ctx) }
 
-// sweepInterval is a quarter of the TTL, clamped to stay responsive for
-// the short TTLs tests use without busy-looping for long ones.
-func (c *Coordinator) sweepInterval() time.Duration {
-	iv := c.opts.LeaseTTL / 4
-	if iv < 10*time.Millisecond {
-		iv = 10 * time.Millisecond
-	}
-	if iv > 5*time.Second {
-		iv = 5 * time.Second
-	}
-	return iv
-}
-
-// completionError distinguishes "grid complete" (nil) from "drained
-// early" at shutdown time; a recorded fatal error wins.
-func (c *Coordinator) completionError() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.err != nil {
-		return c.err
-	}
-	if !c.table.Done() {
-		return fmt.Errorf("%w: %d/%d grid points merged", ErrDrained, c.merged, c.opts.Total)
-	}
-	return nil
-}
-
-// finish flushes the sinks and releases Wait exactly once.
-func (c *Coordinator) finish(err error) {
-	c.doneOnce.Do(func() {
-		c.mu.Lock()
-		if c.err == nil {
-			c.err = err
-		}
-		c.cw.Flush()
-		if ferr := c.cw.Error(); ferr != nil && c.err == nil {
-			c.err = fmt.Errorf("fabric: results flush: %w", ferr)
-		}
-		c.mu.Unlock()
-		close(c.doneCh)
-	})
-}
-
-func (c *Coordinator) runError() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.err
-}
-
-// fail records a fatal coordinator error and stops the run: the table
-// drains so workers wind down, and Wait returns the error.
-func (c *Coordinator) fail(err error) {
-	c.mu.Lock()
-	if c.err == nil {
-		c.err = err
-	}
-	c.mu.Unlock()
-	c.table.Drain()
-	c.finish(err)
-}
+// Linger blocks until every live worker has been told the run is over,
+// bounded by one lease TTL. Call after Wait, before tearing down the
+// HTTP server.
+func (c *Coordinator) Linger() { c.svc.Linger() }
 
 // Merged reports how many grid points have been written out (the
 // resumed prefix included).
 func (c *Coordinator) Merged() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.merged
+	merged, _ := c.svc.campaignCounts(c.id)
+	return merged
 }
 
 // Failures reports how many new quarantine records were accepted.
 func (c *Coordinator) Failures() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.failures
+	_, failures := c.svc.campaignCounts(c.id)
+	return failures
 }
 
-// updateLiveness refreshes the workers-live gauge: workers whose last
-// report (register/lease/report/complete) is within one TTL.
-func (c *Coordinator) updateLiveness() {
-	cutoff := c.now().Add(-c.opts.LeaseTTL)
-	c.mu.Lock()
-	live := int64(0)
-	for _, w := range c.workers {
-		if w.lastSeen.After(cutoff) {
-			live++
-		}
-	}
-	c.mu.Unlock()
-	c.workersLive.Set(live)
-}
-
-// touchWorker stamps a worker's liveness; unknown IDs are ignored (the
-// lease table rejects their operations anyway).
-func (c *Coordinator) touchWorker(id string, snap *obs.Snapshot) {
-	c.mu.Lock()
-	if w, ok := c.workers[id]; ok {
-		w.lastSeen = c.now()
-		if snap != nil {
-			w.snapshot = snap
-		}
-	}
-	c.mu.Unlock()
-}
-
-// markNotified records that a worker has been handed an end-of-run
-// response and will not call back.
-func (c *Coordinator) markNotified(id string) {
-	c.mu.Lock()
-	if w, ok := c.workers[id]; ok {
-		w.notifiedEnd = true
-	}
-	c.mu.Unlock()
-}
-
-// Linger blocks until every live worker (seen within the last TTL) has
-// received an end-of-run response, or one full lease TTL elapses —
-// whichever comes first. Call it after Wait, before tearing down the
-// HTTP server: idle workers poll for leases every TTL/2, and killing
-// the socket before their next poll would make a clean completion look
-// like a dead coordinator and burn their retry budgets.
-func (c *Coordinator) Linger() {
-	deadline := time.Now().Add(c.opts.LeaseTTL)
-	ticker := time.NewTicker(25 * time.Millisecond)
-	defer ticker.Stop()
-	for time.Now().Before(deadline) {
-		cutoff := c.now().Add(-c.opts.LeaseTTL)
-		pending := 0
-		c.mu.Lock()
-		for _, w := range c.workers {
-			if !w.notifiedEnd && w.lastSeen.After(cutoff) {
-				pending++
-			}
-		}
-		c.mu.Unlock()
-		if pending == 0 {
-			return
-		}
-		<-ticker.C
-	}
-}
-
-// ---- HTTP handlers -------------------------------------------------
+// ---- shared HTTP plumbing ------------------------------------------
 
 // readBody slurps a protocol request under the message size cap.
 func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
@@ -413,221 +196,6 @@ func writeJSON(w http.ResponseWriter, v any) {
 		// The client will see a truncated body and retry.
 		return
 	}
-}
-
-func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
-	data, ok := readBody(w, r)
-	if !ok {
-		return
-	}
-	req, err := DecodeRegisterRequest(data)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	c.mu.Lock()
-	c.nextID++
-	id := "w" + strconv.Itoa(c.nextID)
-	c.workers[id] = &workerInfo{host: req.Host, pid: req.PID, lastSeen: c.now()}
-	c.mu.Unlock()
-	c.workersSeen.Inc()
-	c.logf("worker %s registered (host=%s pid=%d)", id, req.Host, req.PID)
-	writeJSON(w, RegisterResponse{
-		Version:    ProtocolVersion,
-		WorkerID:   id,
-		Config:     json.RawMessage(c.opts.ConfigJSON),
-		Base:       c.opts.Base,
-		Total:      c.opts.Total,
-		LeaseTTLMS: c.opts.LeaseTTL.Milliseconds(),
-	})
-}
-
-func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
-	data, ok := readBody(w, r)
-	if !ok {
-		return
-	}
-	req, err := DecodeLeaseRequest(data)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	c.touchWorker(req.WorkerID, nil)
-	lease, status := c.table.Acquire(req.WorkerID)
-	switch status {
-	case AcquireGranted:
-		c.logf("leased chunk %d [%d,%d) gen %d to %s", lease.Chunk, lease.From, lease.To, lease.Gen, req.WorkerID)
-		writeJSON(w, LeaseResponse{Granted: true, Chunk: lease.Chunk, From: lease.From, To: lease.To, Gen: lease.Gen})
-	case AcquireDone:
-		c.markNotified(req.WorkerID)
-		writeJSON(w, LeaseResponse{Done: true})
-	case AcquireDraining:
-		c.markNotified(req.WorkerID)
-		writeJSON(w, LeaseResponse{Draining: true})
-	default: // AcquireEmpty: outstanding leases may expire; poll again.
-		writeJSON(w, LeaseResponse{RetryMS: (c.opts.LeaseTTL / 2).Milliseconds()})
-	}
-}
-
-func (c *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
-	data, ok := readBody(w, r)
-	if !ok {
-		return
-	}
-	req, err := DecodeReportRequest(data)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	c.touchWorker(req.WorkerID, req.Snapshot)
-	if err := c.table.Renew(req.WorkerID, req.Chunk, req.Gen); err != nil {
-		// The lease is gone; tell the worker to abandon the range.
-		writeJSON(w, ReportResponse{OK: false, Cancel: true, Draining: c.table.Draining()})
-		return
-	}
-	writeJSON(w, ReportResponse{OK: true, Draining: c.table.Draining()})
-}
-
-func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
-	data, ok := readBody(w, r)
-	if !ok {
-		return
-	}
-	req, err := DecodeCompleteRequest(data)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	c.touchWorker(req.WorkerID, nil)
-
-	from, to, err := c.table.Bounds(req.Chunk)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	// Verify coverage before touching the lease: every expNr in
-	// [from, to) exactly once, as a result row or a quarantine record.
-	// A worker shipping garbage must not consume the lease.
-	if err := verifyCoverage(from, to, req.Rows, req.Failures); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	if err := c.table.Complete(req.WorkerID, req.Chunk, req.Gen); err != nil {
-		// Late completion from a presumed-dead worker: the range was (or
-		// will be) re-executed elsewhere. Discard idempotently.
-		c.logf("rejected stale completion of chunk %d gen %d from %s", req.Chunk, req.Gen, req.WorkerID)
-		done := c.table.Done()
-		if done {
-			c.markNotified(req.WorkerID)
-		}
-		writeJSON(w, CompleteResponse{OK: false, Stale: true, Done: done})
-		return
-	}
-
-	c.mu.Lock()
-	c.buffered[req.Chunk] = chunkPayload{rows: req.Rows, failures: req.Failures}
-	c.failures += len(req.Failures)
-	overBudget := c.opts.MaxFailures >= 0 && c.failures > c.opts.MaxFailures
-	werr := c.releaseLocked()
-	c.mu.Unlock()
-	if werr != nil {
-		c.fail(werr)
-		http.Error(w, werr.Error(), http.StatusInternalServerError)
-		return
-	}
-	done := c.table.Done()
-	if done {
-		c.markNotified(req.WorkerID)
-	}
-	writeJSON(w, CompleteResponse{OK: true, Done: done})
-	if overBudget {
-		// The triggering records are already merged and durable; stop
-		// granting new work and surface the budget error, mirroring the
-		// runner's ErrFailureBudget semantics.
-		c.fail(fmt.Errorf("%w: %d persistent failure(s) over budget %d",
-			runner.ErrFailureBudget, c.Failures(), c.opts.MaxFailures))
-		return
-	}
-	if c.table.Done() {
-		c.finish(nil)
-	}
-}
-
-func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
-	cutoff := c.now().Add(-c.opts.LeaseTTL)
-	c.mu.Lock()
-	st := StatusResponse{
-		Version:    ProtocolVersion,
-		Total:      c.opts.Total,
-		Merged:     c.merged,
-		Chunks:     c.table.NumChunks(),
-		ChunksDone: c.table.DoneChunks(),
-		Draining:   c.table.Draining(),
-	}
-	ids := make([]string, 0, len(c.workers))
-	for id := range c.workers {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	for _, id := range ids {
-		wi := c.workers[id]
-		st.Workers = append(st.Workers, WorkerStatus{
-			ID: id, Host: wi.host, PID: wi.pid,
-			LastSeenUnix: wi.lastSeen.Unix(),
-			Live:         wi.lastSeen.After(cutoff),
-		})
-	}
-	c.mu.Unlock()
-	writeJSON(w, st)
-}
-
-// ---- merge frontier ------------------------------------------------
-
-// releaseLocked writes every buffered chunk at the frontier in chunk
-// order: result rows to the CSV writer, failure records to the
-// quarantine writer, both already in their exact sequential encodings.
-// The caller holds c.mu.
-func (c *Coordinator) releaseLocked() error {
-	for {
-		payload, ok := c.buffered[c.nextChunk]
-		if !ok {
-			break
-		}
-		delete(c.buffered, c.nextChunk)
-		// Rows and failures each arrive sorted; interleave by expNr so
-		// the quarantine stream is globally grid-ordered like the CSV.
-		ri, fi := 0, 0
-		for ri < len(payload.rows) || fi < len(payload.failures) {
-			if fi >= len(payload.failures) || (ri < len(payload.rows) && payload.rows[ri].Nr < payload.failures[fi].Nr) {
-				if c.headerPending {
-					if err := c.writeHeader(); err != nil {
-						return err
-					}
-					c.headerPending = false
-				}
-				if err := c.cw.Write(payload.rows[ri].Fields); err != nil {
-					return fmt.Errorf("fabric: results write: %w", err)
-				}
-				c.rowsMerged.Inc()
-				ri++
-			} else {
-				if c.opts.Quarantine != nil {
-					if _, err := c.opts.Quarantine.Write(append(payload.failures[fi].Record, '\n')); err != nil {
-						return fmt.Errorf("fabric: quarantine write: %w", err)
-					}
-				}
-				c.failuresMerged.Inc()
-				fi++
-			}
-			c.merged++
-		}
-		c.cw.Flush()
-		if err := c.cw.Error(); err != nil {
-			return fmt.Errorf("fabric: results flush: %w", err)
-		}
-		c.nextChunk++
-	}
-	return nil
 }
 
 // verifyCoverage checks that rows and failures partition [from, to):

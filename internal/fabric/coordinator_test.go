@@ -115,7 +115,7 @@ func TestCoordinatorFrontierOrder(t *testing.T) {
 	complete := func(l Lease) CompleteResponse {
 		var resp CompleteResponse
 		code := postProto(t, h, PathComplete, CompleteRequest{
-			WorkerID: w1, Chunk: l.Chunk, Gen: l.Gen, Rows: testRows(l.From, l.To, "v"),
+			WorkerID: w1, Campaign: "c1", Chunk: l.Chunk, Gen: l.Gen, Rows: testRows(l.From, l.To, "v"),
 		}, &resp)
 		if code != http.StatusOK {
 			t.Fatalf("complete chunk %d: HTTP %d", l.Chunk, code)
@@ -171,13 +171,13 @@ func TestCoordinatorStaleCompletionExactlyOnce(t *testing.T) {
 
 	// w1 wakes up and tries to renew, then complete: both stale.
 	var rr ReportResponse
-	postProto(t, h, PathReport, ReportRequest{WorkerID: w1, Chunk: dead.Chunk, Gen: dead.Gen}, &rr)
+	postProto(t, h, PathReport, ReportRequest{WorkerID: w1, Campaign: "c1", Chunk: dead.Chunk, Gen: dead.Gen}, &rr)
 	if rr.OK || !rr.Cancel {
 		t.Fatalf("stale report answered %+v, want cancel", rr)
 	}
 	var cr CompleteResponse
 	postProto(t, h, PathComplete, CompleteRequest{
-		WorkerID: w1, Chunk: dead.Chunk, Gen: dead.Gen, Rows: testRows(dead.From, dead.To, "dead"),
+		WorkerID: w1, Campaign: "c1", Chunk: dead.Chunk, Gen: dead.Gen, Rows: testRows(dead.From, dead.To, "dead"),
 	}, &cr)
 	if cr.OK || !cr.Stale {
 		t.Fatalf("stale completion answered %+v, want stale", cr)
@@ -188,14 +188,14 @@ func TestCoordinatorStaleCompletionExactlyOnce(t *testing.T) {
 
 	// The live executions win.
 	postProto(t, h, PathComplete, CompleteRequest{
-		WorkerID: w2, Chunk: release.Chunk, Gen: release.Gen, Rows: testRows(release.From, release.To, "live"),
+		WorkerID: w2, Campaign: "c1", Chunk: release.Chunk, Gen: release.Gen, Rows: testRows(release.From, release.To, "live"),
 	}, &cr)
 	if !cr.OK {
 		t.Fatalf("live completion rejected: %+v", cr)
 	}
 	rest := lease(t, h, w2)
 	postProto(t, h, PathComplete, CompleteRequest{
-		WorkerID: w2, Chunk: rest.Chunk, Gen: rest.Gen, Rows: testRows(rest.From, rest.To, "live"),
+		WorkerID: w2, Campaign: "c1", Chunk: rest.Chunk, Gen: rest.Gen, Rows: testRows(rest.From, rest.To, "live"),
 	}, &cr)
 	if err := waitDone(t, c); err != nil {
 		t.Fatalf("Wait: %v", err)
@@ -227,11 +227,11 @@ func TestCoordinatorCoverageRejected(t *testing.T) {
 
 	bad := []CompleteRequest{
 		// Missing expNr 1.
-		{WorkerID: w1, Chunk: l.Chunk, Gen: l.Gen, Rows: testRows(l.From, l.From+1, "v")},
+		{WorkerID: w1, Campaign: "c1", Chunk: l.Chunk, Gen: l.Gen, Rows: testRows(l.From, l.From+1, "v")},
 		// ExpNr outside the range.
-		{WorkerID: w1, Chunk: l.Chunk, Gen: l.Gen, Rows: testRows(l.From, l.To+1, "v")},
+		{WorkerID: w1, Campaign: "c1", Chunk: l.Chunk, Gen: l.Gen, Rows: testRows(l.From, l.To+1, "v")},
 		// Duplicated as both result and failure.
-		{WorkerID: w1, Chunk: l.Chunk, Gen: l.Gen, Rows: testRows(l.From, l.To, "v"),
+		{WorkerID: w1, Campaign: "c1", Chunk: l.Chunk, Gen: l.Gen, Rows: testRows(l.From, l.To, "v"),
 			Failures: []FailureRow{{Nr: l.From, Record: json.RawMessage(`{}`)}}},
 	}
 	for i, req := range bad {
@@ -245,7 +245,7 @@ func TestCoordinatorCoverageRejected(t *testing.T) {
 	// The lease survived the garbage: a correct completion still lands.
 	var cr CompleteResponse
 	postProto(t, h, PathComplete, CompleteRequest{
-		WorkerID: w1, Chunk: l.Chunk, Gen: l.Gen, Rows: testRows(l.From, l.To, "v"),
+		WorkerID: w1, Campaign: "c1", Chunk: l.Chunk, Gen: l.Gen, Rows: testRows(l.From, l.To, "v"),
 	}, &cr)
 	if !cr.OK {
 		t.Fatalf("correct completion after rejections failed: %+v", cr)
@@ -267,11 +267,11 @@ func TestCoordinatorResumePrefix(t *testing.T) {
 	}
 	var cr CompleteResponse
 	postProto(t, h, PathComplete, CompleteRequest{
-		WorkerID: w1, Chunk: l.Chunk, Gen: l.Gen, Rows: testRows(l.From, l.To, "v"),
+		WorkerID: w1, Campaign: "c1", Chunk: l.Chunk, Gen: l.Gen, Rows: testRows(l.From, l.To, "v"),
 	}, &cr)
 	l2 := lease(t, h, w1)
 	postProto(t, h, PathComplete, CompleteRequest{
-		WorkerID: w1, Chunk: l2.Chunk, Gen: l2.Gen, Rows: testRows(l2.From, l2.To, "v"),
+		WorkerID: w1, Campaign: "c1", Chunk: l2.Chunk, Gen: l2.Gen, Rows: testRows(l2.From, l2.To, "v"),
 	}, &cr)
 	if err := waitDone(t, c); err != nil {
 		t.Fatalf("Wait: %v", err)
@@ -307,7 +307,7 @@ func TestCoordinatorQuarantineMergeAndBudget(t *testing.T) {
 	// budget of 1.
 	var cr CompleteResponse
 	code := postProto(t, h, PathComplete, CompleteRequest{
-		WorkerID: w1, Chunk: l.Chunk, Gen: l.Gen,
+		WorkerID: w1, Campaign: "c1", Chunk: l.Chunk, Gen: l.Gen,
 		Rows: []ResultRow{
 			{Nr: 0, Fields: []string{"0", "v"}},
 			{Nr: 2, Fields: []string{"2", "v"}},
@@ -356,7 +356,7 @@ func TestCoordinatorHeaderSchema(t *testing.T) {
 		h := c.Handler()
 		w1 := register(t, h)
 		l := lease(t, h, w1)
-		req := CompleteRequest{WorkerID: w1, Chunk: l.Chunk, Gen: l.Gen}
+		req := CompleteRequest{WorkerID: w1, Campaign: "c1", Chunk: l.Chunk, Gen: l.Gen}
 		if fail {
 			req.Failures = []FailureRow{{Nr: 0, Record: []byte(`{"expNr":0}`)}}
 		} else {

@@ -59,3 +59,46 @@ func FuzzLeaseProtocolDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzCampaignSubmitDecode drives the campaign control-plane decoders
+// (submit, cancel) with arbitrary bytes: none may panic, and anything
+// accepted must satisfy the validator invariants — the config is a JSON
+// object, the name is bounded and free of path separators and control
+// characters, the cancel target is named. These messages share
+// decodeStrict with the lease protocol, so unknown fields, trailing
+// data and the size cap are exercised here too.
+func FuzzCampaignSubmitDecode(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"config":{}}`))
+	f.Add([]byte(`{"name":"delay-sweep","config":{"campaign":{"lower":0,"upper":1,"step":1}}}`))
+	f.Add([]byte(`{"name":"a/b","config":{}}`))
+	f.Add([]byte(`{"config":{"matrix":{"scenarios":["platoon"],"attacks":["dos"]}}}`))
+	f.Add([]byte(`{"config":{}} {"config":{}}`))
+	f.Add([]byte(`{"config":[1,2,3]}`))
+	f.Add([]byte(`{"campaignID":"c1"}`))
+	f.Add([]byte(`{"campaignID":""}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if m, err := DecodeSubmitRequest(data); err == nil {
+			trimmed := bytes.TrimSpace(m.Config)
+			if len(trimmed) == 0 || trimmed[0] != '{' || !json.Valid(trimmed) {
+				t.Fatalf("accepted submit without a JSON-object config: %+v", m)
+			}
+			if len(m.Name) > maxCampaignName {
+				t.Fatalf("accepted overlong campaign name (%d bytes)", len(m.Name))
+			}
+			for _, r := range m.Name {
+				if r < 0x20 || r == 0x7f || r == '/' || r == '\\' {
+					t.Fatalf("accepted campaign name with %q: %q", r, m.Name)
+				}
+			}
+			if _, err := json.Marshal(m); err != nil {
+				t.Fatalf("accepted submit does not re-encode: %v", err)
+			}
+		}
+		if m, err := DecodeCancelRequest(data); err == nil {
+			if m.CampaignID == "" {
+				t.Fatalf("accepted cancel without campaignID: %+v", m)
+			}
+		}
+	})
+}

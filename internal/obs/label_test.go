@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestLabelRendering(t *testing.T) {
+	cases := []struct {
+		name string
+		kv   []string
+		want string
+	}{
+		{"fabric.rows", nil, "fabric.rows"},
+		{"fabric.rows", []string{"campaign"}, "fabric.rows"}, // odd pair ignored
+		{"fabric.rows", []string{"campaign", "c1"}, `fabric.rows{campaign="c1"}`},
+		{"fabric.rows", []string{"campaign", "c1", "state", "done"},
+			`fabric.rows{campaign="c1",state="done"}`},
+		{"m", []string{"k", `quo"te`}, `m{k="quo\"te"}`},
+		{"m", []string{"k", `back\slash`}, `m{k="back\\slash"}`},
+	}
+	for _, tc := range cases {
+		if got := Label(tc.name, tc.kv...); got != tc.want {
+			t.Errorf("Label(%q, %v) = %q, want %q", tc.name, tc.kv, got, tc.want)
+		}
+	}
+}
+
+func TestSplitLabelRoundTrip(t *testing.T) {
+	cases := [][]string{
+		nil,
+		{"campaign", "c1"},
+		{"campaign", "c1", "state", "running"},
+		{"k", `quo"te`},
+		{"k", `back\slash`},
+		{"k", ""},
+	}
+	for _, kv := range cases {
+		decorated := Label("fabric.campaign.rows", kv...)
+		name, got := SplitLabel(decorated)
+		if name != "fabric.campaign.rows" {
+			t.Errorf("SplitLabel(%q) name = %q", decorated, name)
+		}
+		if len(kv) == 0 {
+			if got != nil {
+				t.Errorf("SplitLabel(%q) kv = %v, want nil", decorated, got)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got, kv) {
+			t.Errorf("SplitLabel(%q) kv = %v, want %v", decorated, got, kv)
+		}
+	}
+}
+
+func TestSplitLabelMalformedStaysOpaque(t *testing.T) {
+	for _, s := range []string{
+		"plain", "name{", `name{k="v"`, `name{k=v}`, `name{k="v"x}`, `name{k="v\}`,
+	} {
+		name, kv := SplitLabel(s)
+		if name != s || kv != nil {
+			t.Errorf("SplitLabel(%q) = %q, %v; want opaque passthrough", s, name, kv)
+		}
+	}
+}
+
+// TestLabeledMetricsInRegistry pins the intended use: per-campaign
+// counters under one registry, distinct handles per label set, all
+// visible in the snapshot under their decorated names.
+func TestLabeledMetricsInRegistry(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter(Label("fabric.campaign.rows_merged", "campaign", "c1"))
+	b := reg.Counter(Label("fabric.campaign.rows_merged", "campaign", "c2"))
+	if a == b {
+		t.Fatal("distinct labels resolved to the same counter")
+	}
+	a.Add(3)
+	b.Inc()
+	snap := reg.Snapshot()
+	if snap.Counters[`fabric.campaign.rows_merged{campaign="c1"}`] != 3 {
+		t.Errorf("c1 counter missing from snapshot: %v", snap.Counters)
+	}
+	if snap.Counters[`fabric.campaign.rows_merged{campaign="c2"}`] != 1 {
+		t.Errorf("c2 counter missing from snapshot: %v", snap.Counters)
+	}
+}

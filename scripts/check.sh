@@ -23,8 +23,8 @@ echo "==> observability equivalence self-test (-race)"
 go test -race -run 'TestMetricsCampaignEquivalence' ./internal/runner
 echo "==> registry equivalence self-test (-race)"
 go test -race -run 'TestRegistryCampaignEquivalence|TestRegistryChaosEquivalence|TestRunMatrixDeterminism' ./internal/runner
-echo "==> fabric equivalence chaos drill (-race)"
-go test -race -run 'TestFabricChaosEquivalence|TestFabricDistributedEquivalence|TestCoordinatorStaleCompletionExactlyOnce|TestRangeSplitEquivalence' ./internal/fabric ./internal/runner
+echo "==> fabric equivalence chaos drills (-race)"
+go test -race -run 'TestFabricChaosEquivalence|TestFabricDistributedEquivalence|TestFabricMultiCampaignChaosEquivalence|TestCoordinatorStaleCompletionExactlyOnce|TestRangeSplitEquivalence' ./internal/fabric ./internal/runner
 echo "==> fuzz smoke (5s per target)"
 go test -run '^$' -fuzz 'FuzzParse$' -fuzztime 5s ./internal/config >/dev/null
 go test -run '^$' -fuzz 'FuzzMatrixConfigDecode' -fuzztime 5s ./internal/config >/dev/null
@@ -34,6 +34,7 @@ go test -run '^$' -fuzz 'FuzzParseShard' -fuzztime 5s ./internal/runner >/dev/nu
 go test -run '^$' -fuzz 'FuzzTrieGroupKey' -fuzztime 5s ./internal/runner >/dev/null
 go test -run '^$' -fuzz 'FuzzHeartbeatDecode' -fuzztime 5s ./internal/obs >/dev/null
 go test -run '^$' -fuzz 'FuzzLeaseProtocolDecode' -fuzztime 5s ./internal/fabric >/dev/null
+go test -run '^$' -fuzz 'FuzzCampaignSubmitDecode' -fuzztime 5s ./internal/fabric >/dev/null
 echo "==> coverage report + internal/obs floor"
 scripts/cover.sh
 echo "==> go test -bench . -benchtime 1x (sanity)"
